@@ -1,0 +1,51 @@
+//! Baseline cache systems from the iCache evaluation (§V-A).
+//!
+//! Every system implements [`icache_core::CacheSystem`], so the training
+//! simulator can drive them interchangeably with the real
+//! [`icache_core::IcacheManager`]:
+//!
+//! * [`LruCache`] — **Default**: PyTorch with a user-level LRU cache. The
+//!   paper's *Base* variant is this cache plus the CIS selector, which is
+//!   a simulator configuration, not a different cache.
+//! * [`MinIoCache`] — **CoorDL**'s MinIO cache: items are inserted until
+//!   the cache fills and are then never evicted (avoids thrashing but has
+//!   no room for late-arriving H-samples).
+//! * [`QuiverCache`] — **Quiver**: LRU management plus substitutability
+//!   for *any* missed sample, including high-importance ones (the source
+//!   of its accuracy loss under importance sampling).
+//! * [`IlfuCache`] — **iLFU**: the paper's ablation baseline combining IIS
+//!   with an LFU cache; LFU reacts slowly to importance drift.
+//! * [`OracleSource`] — **Oracle**: the whole dataset in local DRAM, the
+//!   lower bound on I/O time.
+//!
+//! # Examples
+//!
+//! ```
+//! use icache_baselines::LruCache;
+//! use icache_core::CacheSystem;
+//! use icache_storage::{LocalTier, StorageBackend};
+//! use icache_types::{ByteSize, JobId, SampleId, SimTime};
+//!
+//! let mut cache = LruCache::new(ByteSize::mib(1));
+//! let mut storage = LocalTier::tmpfs();
+//! let miss = cache.fetch(JobId(0), SampleId(1), ByteSize::kib(3), SimTime::ZERO, &mut storage);
+//! let hit = cache.fetch(JobId(0), SampleId(1), ByteSize::kib(3), miss.ready_at, &mut storage);
+//! assert!(hit.outcome.served_from_cache());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ilfu;
+mod lru;
+mod minio;
+mod oracle;
+mod quiver;
+mod timing;
+
+pub use ilfu::IlfuCache;
+pub use lru::{LruCache, LruCore};
+pub use minio::MinIoCache;
+pub use oracle::OracleSource;
+pub use quiver::QuiverCache;
+pub use timing::BaselineTimings;

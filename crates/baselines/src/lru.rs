@@ -1,0 +1,267 @@
+//! The Default baseline: a user-level LRU cache.
+
+use crate::BaselineTimings;
+use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome};
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, JobId, SampleId, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// A byte-capacity LRU map of samples, reusable by several baselines.
+///
+/// Recency is tracked with a monotone counter and an ordered index, giving
+/// `O(log n)` touch/insert/evict with fully deterministic eviction order.
+///
+/// # Examples
+///
+/// ```
+/// use icache_baselines::LruCore;
+/// use icache_types::{ByteSize, SampleId};
+///
+/// let mut lru = LruCore::new(ByteSize::new(100));
+/// lru.insert(SampleId(1), ByteSize::new(60));
+/// lru.insert(SampleId(2), ByteSize::new(60)); // evicts #1
+/// assert!(!lru.contains(SampleId(1)));
+/// assert!(lru.contains(SampleId(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LruCore {
+    capacity: ByteSize,
+    used: ByteSize,
+    items: HashMap<SampleId, (ByteSize, u64)>,
+    order: BTreeMap<u64, SampleId>,
+    clock: u64,
+}
+
+impl LruCore {
+    /// An empty LRU with the given byte capacity.
+    pub fn new(capacity: ByteSize) -> Self {
+        LruCore { capacity, ..Default::default() }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `id` is cached (does not touch recency).
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    /// Mark `id` as most recently used. Returns true when it was cached.
+    pub fn touch(&mut self, id: SampleId) -> bool {
+        let clock = self.next_clock();
+        match self.items.get_mut(&id) {
+            Some((_, stamp)) => {
+                self.order.remove(stamp);
+                *stamp = clock;
+                self.order.insert(clock, id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert `id` (touching it if already present), evicting
+    /// least-recently-used entries to fit. Items larger than the whole
+    /// capacity are not cached. Returns the evicted ids.
+    pub fn insert(&mut self, id: SampleId, size: ByteSize) -> Vec<SampleId> {
+        if self.touch(id) {
+            return Vec::new();
+        }
+        if size > self.capacity {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let (&stamp, &victim) = self.order.iter().next().expect("used > 0 implies entries");
+            self.order.remove(&stamp);
+            let (vsize, _) = self.items.remove(&victim).expect("order and items agree");
+            self.used -= vsize;
+            evicted.push(victim);
+        }
+        let clock = self.next_clock();
+        self.items.insert(id, (size, clock));
+        self.order.insert(clock, id);
+        self.used += size;
+        evicted
+    }
+
+    /// Iterate over cached ids from least to most recently used.
+    pub fn iter_lru(&self) -> impl Iterator<Item = SampleId> + '_ {
+        self.order.values().copied()
+    }
+
+    fn next_clock(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// The paper's **Default** system: PyTorch with a user-level LRU cache in
+/// front of remote storage. Every miss is fetched and inserted; eviction
+/// is strictly by recency, which performs poorly under the random access
+/// order of shuffled (or importance-sampled) training.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    lru: LruCore,
+    timings: BaselineTimings,
+    stats: CacheStats,
+    sizes: HashMap<SampleId, ByteSize>,
+}
+
+impl LruCache {
+    /// An LRU cache of the given capacity with default timings.
+    pub fn new(capacity: ByteSize) -> Self {
+        Self::with_timings(capacity, BaselineTimings::default())
+    }
+
+    /// An LRU cache with explicit timing parameters.
+    pub fn with_timings(capacity: ByteSize, timings: BaselineTimings) -> Self {
+        LruCache { lru: LruCore::new(capacity), timings, stats: CacheStats::default(), sizes: HashMap::new() }
+    }
+}
+
+impl CacheSystem for LruCache {
+    fn name(&self) -> &str {
+        "lru"
+    }
+
+    fn fetch(
+        &mut self,
+        _job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        if self.lru.touch(id) {
+            self.stats.h_hits += 1;
+            self.stats.bytes_from_cache += size;
+            return Fetch {
+                ready_at: now + self.timings.hit_service(size),
+                served_id: id,
+                outcome: FetchOutcome::HitH,
+            };
+        }
+        let done = storage.read_sample(id, size, now);
+        self.stats.misses += 1;
+        self.stats.bytes_from_storage += size;
+        let evicted = self.lru.insert(id, size);
+        self.stats.insertions += 1;
+        self.stats.evictions += evicted.len() as u64;
+        for v in evicted {
+            self.sizes.remove(&v);
+        }
+        self.sizes.insert(id, size);
+        Fetch {
+            ready_at: done + self.timings.rpc_overhead,
+            served_id: id,
+            outcome: FetchOutcome::Miss,
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.lru.used()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.lru.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_storage::LocalTier;
+
+    #[test]
+    fn lru_core_evicts_least_recent_first() {
+        let mut l = LruCore::new(ByteSize::new(30));
+        l.insert(SampleId(1), ByteSize::new(10));
+        l.insert(SampleId(2), ByteSize::new(10));
+        l.insert(SampleId(3), ByteSize::new(10));
+        assert!(l.touch(SampleId(1)), "1 becomes most recent");
+        let evicted = l.insert(SampleId(4), ByteSize::new(10));
+        assert_eq!(evicted, vec![SampleId(2)]);
+        let order: Vec<u64> = l.iter_lru().map(|i| i.0).collect();
+        assert_eq!(order, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn lru_core_multi_eviction_for_large_items() {
+        let mut l = LruCore::new(ByteSize::new(30));
+        for i in 0..3 {
+            l.insert(SampleId(i), ByteSize::new(10));
+        }
+        let evicted = l.insert(SampleId(9), ByteSize::new(25));
+        assert_eq!(evicted, vec![SampleId(0), SampleId(1), SampleId(2)]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.used(), ByteSize::new(25));
+    }
+
+    #[test]
+    fn lru_core_rejects_oversized() {
+        let mut l = LruCore::new(ByteSize::new(10));
+        assert!(l.insert(SampleId(1), ByteSize::new(11)).is_empty());
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn cache_miss_then_hit_timing() {
+        let mut c = LruCache::new(ByteSize::mib(1));
+        let mut st = LocalTier::nvme_ssd();
+        let miss = c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), SimTime::ZERO, &mut st);
+        assert_eq!(miss.outcome, FetchOutcome::Miss);
+        let hit = c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), miss.ready_at, &mut st);
+        assert_eq!(hit.outcome, FetchOutcome::HitH);
+        assert!(
+            hit.ready_at.saturating_since(miss.ready_at)
+                < miss.ready_at.saturating_since(SimTime::ZERO),
+            "hits are faster than misses"
+        );
+        assert_eq!(c.stats().requests(), 2);
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scan_larger_than_cache_mostly_misses() {
+        // The pathology motivating the paper: shuffled access over a
+        // dataset 5x the cache yields a poor LRU hit ratio.
+        let mut c = LruCache::new(ByteSize::new(100 * 10));
+        let mut st = LocalTier::tmpfs();
+        let mut now = SimTime::ZERO;
+        // two epochs of "shuffled" access over 500 samples of 10 bytes
+        for epoch in 0..2u64 {
+            for i in 0..500u64 {
+                let id = SampleId((i * 7 + epoch * 13) % 500);
+                let f = c.fetch(JobId(0), id, ByteSize::new(10), now, &mut st);
+                now = f.ready_at;
+            }
+        }
+        assert!(c.stats().hit_ratio() < 0.3, "hit ratio {}", c.stats().hit_ratio());
+    }
+}

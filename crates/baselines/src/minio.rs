@@ -1,0 +1,167 @@
+//! The CoorDL baseline: the MinIO no-eviction cache.
+
+use crate::BaselineTimings;
+use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome};
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, JobId, SampleId, SimTime};
+use std::collections::HashMap;
+
+/// CoorDL's MinIO cache (§II-C): samples are inserted until the cache is
+/// full and are then **never evicted**. This eliminates thrashing — every
+/// cached sample is hit exactly once per conventional epoch — but the
+/// cached set is frozen at whatever arrived first, so late-identified
+/// H-samples can never enter.
+///
+/// # Examples
+///
+/// ```
+/// use icache_baselines::MinIoCache;
+/// use icache_core::CacheSystem;
+/// use icache_storage::LocalTier;
+/// use icache_types::{ByteSize, JobId, SampleId, SimTime};
+///
+/// let mut c = MinIoCache::new(ByteSize::new(4096));
+/// let mut st = LocalTier::tmpfs();
+/// let f1 = c.fetch(JobId(0), SampleId(1), ByteSize::new(4096), SimTime::ZERO, &mut st);
+/// // Full: sample 2 is served from storage and NOT admitted.
+/// let f2 = c.fetch(JobId(0), SampleId(2), ByteSize::new(100), f1.ready_at, &mut st);
+/// let f3 = c.fetch(JobId(0), SampleId(2), ByteSize::new(100), f2.ready_at, &mut st);
+/// assert!(!f3.outcome.served_from_cache(), "no eviction, no admission");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinIoCache {
+    capacity: ByteSize,
+    used: ByteSize,
+    items: HashMap<SampleId, ByteSize>,
+    timings: BaselineTimings,
+    stats: CacheStats,
+}
+
+impl MinIoCache {
+    /// A MinIO cache of the given capacity with default timings.
+    pub fn new(capacity: ByteSize) -> Self {
+        Self::with_timings(capacity, BaselineTimings::default())
+    }
+
+    /// A MinIO cache with explicit timing parameters.
+    pub fn with_timings(capacity: ByteSize, timings: BaselineTimings) -> Self {
+        MinIoCache {
+            capacity,
+            used: ByteSize::ZERO,
+            items: HashMap::new(),
+            timings,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether `id` is cached.
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.items.contains_key(&id)
+    }
+}
+
+impl CacheSystem for MinIoCache {
+    fn name(&self) -> &str {
+        "coordl"
+    }
+
+    fn fetch(
+        &mut self,
+        _job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        if self.items.contains_key(&id) {
+            self.stats.h_hits += 1;
+            self.stats.bytes_from_cache += size;
+            return Fetch {
+                ready_at: now + self.timings.hit_service(size),
+                served_id: id,
+                outcome: FetchOutcome::HitH,
+            };
+        }
+        let done = storage.read_sample(id, size, now);
+        self.stats.misses += 1;
+        self.stats.bytes_from_storage += size;
+        if self.used + size <= self.capacity {
+            self.items.insert(id, size);
+            self.used += size;
+            self.stats.insertions += 1;
+        } else {
+            self.stats.rejections += 1;
+        }
+        Fetch {
+            ready_at: done + self.timings.rpc_overhead,
+            served_id: id,
+            outcome: FetchOutcome::Miss,
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.used
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_storage::LocalTier;
+
+    #[test]
+    fn first_comers_stay_forever() {
+        let mut c = MinIoCache::new(ByteSize::new(20));
+        let mut st = LocalTier::tmpfs();
+        let mut now = SimTime::ZERO;
+        // Fill with samples 0 and 1.
+        for i in 0..2u64 {
+            let f = c.fetch(JobId(0), SampleId(i), ByteSize::new(10), now, &mut st);
+            now = f.ready_at;
+        }
+        // Hammer sample 2: never admitted.
+        for _ in 0..5 {
+            let f = c.fetch(JobId(0), SampleId(2), ByteSize::new(10), now, &mut st);
+            assert_eq!(f.outcome, FetchOutcome::Miss);
+            now = f.ready_at;
+        }
+        // Early samples still hit.
+        let f = c.fetch(JobId(0), SampleId(0), ByteSize::new(10), now, &mut st);
+        assert_eq!(f.outcome, FetchOutcome::HitH);
+        assert_eq!(c.stats().evictions, 0, "MinIO never evicts");
+        assert_eq!(c.stats().rejections, 5);
+    }
+
+    #[test]
+    fn hit_ratio_equals_capacity_fraction_under_uniform_epochs() {
+        // CoorDL's known property: hit ratio ~= cache/dataset under
+        // once-per-epoch access.
+        let mut c = MinIoCache::new(ByteSize::new(10 * 20)); // 20 of 100 samples
+        let mut st = LocalTier::tmpfs();
+        let mut now = SimTime::ZERO;
+        // Warm epoch.
+        for i in 0..100u64 {
+            let f = c.fetch(JobId(0), SampleId(i), ByteSize::new(10), now, &mut st);
+            now = f.ready_at;
+        }
+        c.reset_stats();
+        // Measured epoch.
+        for i in 0..100u64 {
+            let f = c.fetch(JobId(0), SampleId(i), ByteSize::new(10), now, &mut st);
+            now = f.ready_at;
+        }
+        assert!((c.stats().hit_ratio() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! The Oracle: the whole dataset in local DRAM.
+
+use crate::BaselineTimings;
+use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome};
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, JobId, SampleId, SimTime};
+
+/// The **Oracle** configuration of Figure 8: every sample already resides
+/// in local DRAM, so each fetch costs only the memory copy. This is the
+/// lower bound any cache system can approach; the paper highlights that
+/// iCache matches it for the compute-heavy ImageNet models.
+///
+/// # Examples
+///
+/// ```
+/// use icache_baselines::OracleSource;
+/// use icache_core::CacheSystem;
+/// use icache_storage::LocalTier;
+/// use icache_types::{ByteSize, JobId, SampleId, SimTime};
+///
+/// let mut o = OracleSource::new(ByteSize::gib(1));
+/// let mut st = LocalTier::tmpfs();
+/// let f = o.fetch(JobId(0), SampleId(0), ByteSize::kib(3), SimTime::ZERO, &mut st);
+/// assert!(f.outcome.served_from_cache());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleSource {
+    dataset_bytes: ByteSize,
+    timings: BaselineTimings,
+    stats: CacheStats,
+}
+
+impl OracleSource {
+    /// An oracle holding a dataset of `dataset_bytes` entirely in memory.
+    pub fn new(dataset_bytes: ByteSize) -> Self {
+        Self::with_timings(dataset_bytes, BaselineTimings::default())
+    }
+
+    /// An oracle with explicit timing parameters.
+    pub fn with_timings(dataset_bytes: ByteSize, timings: BaselineTimings) -> Self {
+        OracleSource { dataset_bytes, timings, stats: CacheStats::default() }
+    }
+}
+
+impl CacheSystem for OracleSource {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn fetch(
+        &mut self,
+        _job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        _storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        self.stats.h_hits += 1;
+        self.stats.bytes_from_cache += size;
+        Fetch {
+            ready_at: now + self.timings.hit_service(size),
+            served_id: id,
+            outcome: FetchOutcome::HitH,
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.dataset_bytes
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.dataset_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_storage::LocalTier;
+
+    #[test]
+    fn oracle_never_touches_storage() {
+        let mut o = OracleSource::new(ByteSize::mib(100));
+        let mut st = LocalTier::tmpfs();
+        let mut now = SimTime::ZERO;
+        for i in 0..100u64 {
+            let f = o.fetch(JobId(0), SampleId(i), ByteSize::kib(3), now, &mut st);
+            now = f.ready_at;
+            assert_eq!(f.outcome, FetchOutcome::HitH);
+        }
+        assert_eq!(st.stats().total_reads(), 0);
+        assert!((o.stats().hit_ratio() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! The Quiver baseline: substitutability for any sample.
+
+use crate::BaselineTimings;
+use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome, LCache, LCacheConfig, LFetch, Packager};
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, Dataset, Epoch, JobId, Result, SampleId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The Quiver cache (§II-C, §V-A): exploits the *substitutability* of DNN
+/// training data — a missed read can be served by any cached sample that
+/// has not been used this epoch — and fetches data in large chunks.
+///
+/// Crucially, Quiver applies substitution to **every** sample, including
+/// high-importance ones; under importance sampling this skews the trained
+/// distribution and costs accuracy, which is exactly the weakness iCache's
+/// H/L split fixes.
+///
+/// Internally this reuses the chunk/substitution machinery of
+/// [`icache_core::LCache`] with the *whole* cache as one region and the
+/// whole dataset as the packing pool.
+#[derive(Debug)]
+pub struct QuiverCache {
+    cache: LCache,
+    packager: Packager,
+    dataset: Dataset,
+    pool: Vec<SampleId>,
+    loader_busy: SimTime,
+    chunk_size: ByteSize,
+    timings: BaselineTimings,
+    stats: CacheStats,
+    rng: StdRng,
+}
+
+impl QuiverCache {
+    /// A Quiver cache over `dataset` with the given capacity and 1 MiB
+    /// chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`icache_types::Error::InvalidConfig`] when the chunk size
+    /// degenerates to zero.
+    pub fn new(dataset: &Dataset, capacity: ByteSize, seed: u64) -> Result<Self> {
+        let chunk_size = ByteSize::mib(1).min(capacity / 2).max(ByteSize::new(1));
+        Ok(QuiverCache {
+            cache: LCache::new(LCacheConfig { capacity, num_samples: dataset.len() }),
+            packager: Packager::new(chunk_size, seed ^ 0x0417)?,
+            dataset: dataset.clone(),
+            pool: dataset.ids().collect(),
+            loader_busy: SimTime::ZERO,
+            chunk_size,
+            timings: BaselineTimings::default(),
+            stats: CacheStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    fn maybe_trigger_load(&mut self, now: SimTime, storage: &mut dyn StorageBackend) {
+        // Only issue background reads once virtual time has caught up with
+        // the fetcher — future-dated submissions would jump the storage
+        // queues past in-flight demand reads.
+        if !self.cache.wants_load() || now < self.loader_busy {
+            return;
+        }
+        let missed = self.cache.take_missed(4 * 1024);
+        let sizes = |id: SampleId| self.dataset.sample_size(id);
+        let pkg = self.packager.build_with_target(&missed, &self.pool, sizes, self.chunk_size);
+        if pkg.is_empty() {
+            return;
+        }
+        // Quiver's background fetcher still reads individual sample files
+        // (the dataset sits in ImageFolder layout on the PFS); the chunk is
+        // only the unit of hand-off to the cache. This is why the paper
+        // measures a modest ~1.2x I/O gain for Quiver: volume is unchanged,
+        // only stalls are hidden by substitution.
+        let mut ready = now;
+        for s in pkg.samples() {
+            ready = ready.max(storage.read_sample(s.id(), s.size(), now));
+        }
+        self.loader_busy = ready;
+        self.cache.install_package(pkg, ready);
+    }
+}
+
+impl CacheSystem for QuiverCache {
+    fn name(&self) -> &str {
+        "quiver"
+    }
+
+    fn fetch(
+        &mut self,
+        _job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        self.cache.integrate(now);
+        let fetch = match self.cache.lookup(id, &mut self.rng) {
+            LFetch::Hit => {
+                self.stats.h_hits += 1;
+                self.stats.bytes_from_cache += size;
+                Fetch {
+                    ready_at: now + self.timings.hit_service(size),
+                    served_id: id,
+                    outcome: FetchOutcome::HitH,
+                }
+            }
+            LFetch::Substitute(sub) => {
+                self.stats.substitutions += 1;
+                let sub_size = self.dataset.sample_size(sub);
+                self.stats.bytes_from_cache += sub_size;
+                Fetch {
+                    ready_at: now + self.timings.hit_service(sub_size),
+                    served_id: sub,
+                    // Quiver substitutes blindly; the simulator classifies
+                    // whether `sub` was an H-sample for accuracy purposes.
+                    outcome: FetchOutcome::Substituted { by: sub, from_h: false },
+                }
+            }
+            LFetch::Empty => {
+                let done = storage.read_sample(id, size, now);
+                self.stats.misses += 1;
+                self.stats.bytes_from_storage += size;
+                Fetch {
+                    ready_at: done + self.timings.rpc_overhead,
+                    served_id: id,
+                    outcome: FetchOutcome::Miss,
+                }
+            }
+        };
+        self.maybe_trigger_load(now, storage);
+        fetch
+    }
+
+    fn on_epoch_start(&mut self, _job: JobId, _epoch: Epoch) {
+        self.cache.on_epoch_start();
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.cache.used()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.cache.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_storage::{LocalTier, Pfs, PfsConfig};
+    use icache_types::{DatasetBuilder, SizeModel};
+
+    fn dataset() -> Dataset {
+        DatasetBuilder::new("q", 2_000)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn substitution_hides_misses_once_chunks_land() {
+        let ds = dataset();
+        let mut q = QuiverCache::new(&ds, ds.total_bytes().scaled(0.2), 1).unwrap();
+        let mut st = LocalTier::tmpfs();
+        q.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        let mut from_cache = 0;
+        for i in 0..400u64 {
+            let f = q.fetch(JobId(0), SampleId(i * 5 % 2000), ds.sample_size(SampleId(0)), now, &mut st);
+            now = f.ready_at;
+            if f.outcome.served_from_cache() {
+                from_cache += 1;
+            }
+        }
+        assert!(from_cache > 200, "only {from_cache} served from cache");
+    }
+
+    #[test]
+    fn io_volume_is_not_reduced_only_stalls_are_hidden() {
+        // Quiver hides stalls via substitution but its background fetcher
+        // still reads sample files one by one — total I/O volume stays
+        // proportional to consumption (the paper's ~1.2x I/O observation).
+        let ds = dataset();
+        let mut q = QuiverCache::new(&ds, ds.total_bytes().scaled(0.2), 1).unwrap();
+        let mut st = Pfs::new(PfsConfig::orangefs_default()).unwrap();
+        q.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        for i in 0..1000u64 {
+            let f = q.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+        let s = st.stats();
+        assert_eq!(s.package_reads, 0, "no chunked storage layout");
+        assert!(
+            s.sample_reads >= 500,
+            "background fetcher must keep reading samples, got {}",
+            s.sample_reads
+        );
+    }
+
+    #[test]
+    fn substituted_samples_do_not_repeat_within_epoch() {
+        let ds = dataset();
+        let mut q = QuiverCache::new(&ds, ds.total_bytes().scaled(0.1), 2).unwrap();
+        let mut st = LocalTier::tmpfs();
+        q.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        let mut served = Vec::new();
+        for i in 0..1500u64 {
+            let f = q.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+            if let FetchOutcome::Substituted { by, .. } = f.outcome {
+                served.push(by);
+            }
+        }
+        let unique: std::collections::HashSet<_> = served.iter().collect();
+        assert_eq!(unique.len(), served.len(), "no repeated substitutes in one epoch");
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared service-time model for the baseline caches.
+
+use icache_types::{ByteSize, SimDuration};
+
+/// Client↔cache service-time parameters, identical to the iCache manager's
+/// defaults so time comparisons isolate *policy* differences, not plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineTimings {
+    /// Cost of one client↔server round trip.
+    pub rpc_overhead: SimDuration,
+    /// DRAM copy bandwidth for serving hits, bytes/second.
+    pub dram_bandwidth: f64,
+}
+
+impl Default for BaselineTimings {
+    fn default() -> Self {
+        BaselineTimings {
+            rpc_overhead: SimDuration::from_micros(50),
+            dram_bandwidth: 10.0e9,
+        }
+    }
+}
+
+impl BaselineTimings {
+    /// Service time of a cache hit of `size` bytes.
+    pub fn hit_service(&self, size: ByteSize) -> SimDuration {
+        self.rpc_overhead + SimDuration::from_secs_f64(size.as_f64() / self.dram_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_service_scales_with_size() {
+        let t = BaselineTimings::default();
+        let small = t.hit_service(ByteSize::kib(3));
+        let large = t.hit_service(ByteSize::mib(3));
+        assert!(large > small);
+        assert!(small >= t.rpc_overhead);
+    }
+}

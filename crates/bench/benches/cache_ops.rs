@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the cache fast paths: H-cache admission
+//! vs LRU insertion, and hit lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icache_baselines::LruCore;
+use icache_core::{HCache, SampleData};
+use icache_types::{ByteSize, ImportanceValue, SampleId};
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission");
+    for &n in &[10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("hcache_admit", n), &n, |b, &n| {
+            // Capacity for n 1 KiB items; admission churns at the boundary.
+            let mut hc = HCache::new(ByteSize::kib(n));
+            for i in 0..n {
+                hc.admit(
+                    SampleData::generate(SampleId(i), ByteSize::kib(1)),
+                    ImportanceValue::saturating((i % 10_007) as f64),
+                );
+            }
+            let mut next = n;
+            b.iter(|| {
+                hc.admit(
+                    SampleData::generate(SampleId(next), ByteSize::kib(1)),
+                    ImportanceValue::saturating((next % 10_007) as f64 + 0.5),
+                );
+                next += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lru_insert", n), &n, |b, &n| {
+            let mut lru = LruCore::new(ByteSize::kib(n));
+            for i in 0..n {
+                lru.insert(SampleId(i), ByteSize::kib(1));
+            }
+            let mut next = n;
+            b.iter(|| {
+                lru.insert(SampleId(next), ByteSize::kib(1));
+                next += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    let n = 100_000u64;
+    let mut hc = HCache::new(ByteSize::kib(n));
+    for i in 0..n {
+        hc.admit(
+            SampleData::generate(SampleId(i), ByteSize::kib(1)),
+            ImportanceValue::saturating(i as f64),
+        );
+    }
+    group.bench_function("hcache_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 12_345) % n;
+            hc.get(SampleId(k)).is_some()
+        });
+    });
+    let mut lru = LruCore::new(ByteSize::kib(n));
+    for i in 0..n {
+        lru.insert(SampleId(i), ByteSize::kib(1));
+    }
+    group.bench_function("lru_touch", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 12_345) % n;
+            lru.touch(SampleId(k))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission, bench_lookup);
+criterion_main!(benches);

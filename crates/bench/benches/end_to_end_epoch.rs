@@ -1,0 +1,31 @@
+//! Criterion macro-benchmark: simulator throughput for a full training
+//! epoch under each cache system (how many virtual epochs per wall-second
+//! the reproduction itself can simulate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icache_sim::{Scenario, SystemKind};
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for kind in [SystemKind::Default, SystemKind::Quiver, SystemKind::Icache] {
+        group.bench_with_input(
+            BenchmarkId::new("cifar_2pct_3epochs", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    Scenario::cifar10(kind)
+                        .scale_dataset(0.02)
+                        .expect("valid scale")
+                        .epochs(3)
+                        .run()
+                        .expect("runs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

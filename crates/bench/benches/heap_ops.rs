@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the H-heap and the shadow-heap refresh
+//! (the DESIGN.md §5 "shadow vs naive rebuild" ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use icache_core::{HHeap, ShadowedHeap};
+use icache_types::{ImportanceValue, SampleId};
+use std::collections::HashMap;
+
+fn iv(v: f64) -> ImportanceValue {
+    ImportanceValue::saturating(v)
+}
+
+fn filled_heap(n: u64) -> HHeap {
+    let mut h = HHeap::with_capacity(n as usize);
+    for i in 0..n {
+        h.insert(SampleId(i), iv(((i * 2_654_435_761) % 1_000_003) as f64));
+    }
+    h
+}
+
+fn filled_shadow(n: u64) -> ShadowedHeap {
+    let mut h = ShadowedHeap::new();
+    for i in 0..n {
+        h.insert(SampleId(i), iv(((i * 2_654_435_761) % 1_000_003) as f64));
+    }
+    h
+}
+
+fn fresh_keys(n: u64) -> HashMap<SampleId, ImportanceValue> {
+    (0..n).map(|i| (SampleId(i), iv(((i * 40_503) % 999_983) as f64))).collect()
+}
+
+fn bench_basic_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hheap");
+    for &n in &[1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("insert_pop_cycle", n), &n, |b, &n| {
+            let mut heap = filled_heap(n);
+            let mut next = n;
+            b.iter(|| {
+                let popped = heap.pop_min().expect("non-empty");
+                heap.insert(SampleId(next), iv(popped.1.get() + 1.0));
+                next += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("update_key", n), &n, |b, &n| {
+            let mut heap = filled_heap(n);
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7) % n;
+                heap.update_key(SampleId(k), iv(black_box((k * 31) % 997) as f64));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refresh");
+    for &n in &[10_000u64, 100_000] {
+        let fresh = fresh_keys(n);
+        group.bench_with_input(BenchmarkId::new("shadow_begin", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled_shadow(n),
+                |mut heap| heap.begin_refresh(fresh.clone()),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("naive_rebuild", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled_shadow(n),
+                |mut heap| heap.rebuild_naive(&fresh),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_basic_ops, bench_refresh);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark of dynamic packaging (§III-C): building
+//! packages from a missed-id log plus a random pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icache_core::Packager;
+use icache_types::{ByteSize, SampleId};
+
+fn bench_packaging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packaging");
+    for &pool_size in &[10_000u64, 100_000, 1_000_000] {
+        let pool: Vec<SampleId> = (0..pool_size).map(SampleId).collect();
+        let missed: Vec<SampleId> = (0..128).map(|i| SampleId(i * 7 % pool_size)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("build_1mib", pool_size),
+            &pool_size,
+            |b, _| {
+                let mut packager = Packager::new(ByteSize::mib(1), 7).expect("valid");
+                b.iter(|| packager.build(&missed, &pool, |_| ByteSize::new(3_073)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packaging);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the sampling layer: epoch planning at
+//! CIFAR and ImageNet cardinalities, and H-list construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icache_sampling::{HList, IisSelector, ImportanceTable, Selector, UniformSelector};
+use icache_types::{Epoch, SampleId, SeedSequence};
+
+fn table(n: u64) -> ImportanceTable {
+    let mut t = ImportanceTable::new(n);
+    for i in 0..n {
+        t.record_loss(SampleId(i), ((i * 37) % 1_009) as f64 / 100.0);
+    }
+    t
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_epoch");
+    group.sample_size(20);
+    for &n in &[50_000u64, 1_281_167] {
+        let t = table(n);
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, _| {
+            let mut sel = UniformSelector::new();
+            let mut rng = SeedSequence::new(1).rng("u");
+            b.iter(|| sel.plan_epoch(&t, Epoch(1), &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("iis_0.7", n), &n, |b, _| {
+            let mut sel = IisSelector::new(0.7).unwrap();
+            let mut rng = SeedSequence::new(1).rng("i");
+            b.iter(|| sel.plan_epoch(&t, Epoch(1), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hlist");
+    group.sample_size(20);
+    for &n in &[50_000u64, 1_281_167] {
+        let t = table(n);
+        group.bench_with_input(BenchmarkId::new("top_half", n), &n, |b, _| {
+            b.iter(|| HList::top_fraction(&t, 0.5));
+        });
+    }
+    // Membership is the Algorithm 1 fast path.
+    let t = table(1_281_167);
+    let hl = HList::top_fraction(&t, 0.5);
+    group.bench_function("contains", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7_919) % 1_281_167;
+            hl.contains(SampleId(k))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors, bench_hlist);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation (beyond the paper): multi-job benefit-eligibility threshold.
+//!
+//! The paper fixes the cache-benefit threshold at 1.5 (§III-D). This
+//! sweep shows the trade-off: a threshold near 1.0 admits barely-helped
+//! jobs into the AIV aggregation (diluting it), a very high threshold
+//! excludes everyone and the cache degenerates to uncoordinated behaviour.
+
+use icache_baselines::LruCache;
+use icache_bench::{banner, BenchEnv};
+use icache_core::{IcacheConfig, IcacheManager};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, run_multi_job, JobConfig, SamplingMode};
+use icache_storage::{Pfs, PfsConfig};
+use icache_types::{Dataset, JobId};
+use serde_json::json;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Ablation — benefit threshold (multi-job)",
+        "extension experiment: sensitivity of multi-job coordination to the 1.5 eligibility threshold",
+        &env,
+    );
+
+    let dataset = Dataset::cifar10().scaled(env.cifar_scale).expect("scale in range");
+    let thresholds = [1.05f64, 1.5, 3.0, 10.0];
+
+    let jobs = |seed: u64| -> Vec<JobConfig> {
+        let mut a = JobConfig::new(JobId(0), ModelProfile::shufflenet(), dataset.clone());
+        let mut b = JobConfig::new(JobId(1), ModelProfile::resnet50(), dataset.clone());
+        for (i, c) in [&mut a, &mut b].into_iter().enumerate() {
+            c.epochs = env.perf_epochs;
+            c.sampling = SamplingMode::Iis { fraction: 0.7 };
+            c.seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9);
+        }
+        vec![a, b]
+    };
+
+    let mut table = report::Table::with_columns(&["threshold", "completion", "job hits"]);
+
+    // Reference: an uncoordinated shared LRU.
+    {
+        let mut cache = LruCache::new(dataset.total_bytes().scaled(0.2));
+        let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("valid pfs");
+        let out = run_multi_job(jobs(env.seed), &mut cache, &mut pfs).expect("runs");
+        let completion =
+            out[0].total_time().as_secs_f64().max(out[1].total_time().as_secs_f64());
+        table.row(vec!["(LRU)".into(), report::secs(completion), "-".into()]);
+    }
+
+    for &th in &thresholds {
+        let mut cfg = IcacheConfig::for_dataset(&dataset, 0.2).expect("valid config");
+        cfg.multi_job = true;
+        cfg.benefit_threshold = th;
+        cfg.probe_samples = 20 * 64;
+        cfg.seed = env.seed;
+        let mut cache = IcacheManager::new(cfg, &dataset).expect("valid manager");
+        let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("valid pfs");
+        let out = run_multi_job(jobs(env.seed), &mut cache, &mut pfs).expect("runs");
+        let completion =
+            out[0].total_time().as_secs_f64().max(out[1].total_time().as_secs_f64());
+        let hits: Vec<String> = out
+            .iter()
+            .map(|m| {
+                report::pct(
+                    m.epochs[1..].iter().map(|e| e.job_hit_ratio()).sum::<f64>()
+                        / (m.epochs.len() - 1) as f64,
+                )
+            })
+            .collect();
+        table.row(vec![format!("{th:.2}"), report::secs(completion), hits.join(" / ")]);
+        report::json_line(
+            "ablation_benefit_threshold",
+            &json!({"threshold": th, "completion_seconds": completion}),
+        );
+    }
+
+    println!("{}", table.render());
+    println!();
+    println!("expectation: moderate thresholds (~1.5) do best; extreme thresholds lose coordination");
+}

@@ -1,0 +1,65 @@
+//! Ablation (beyond the paper): L-cache package-size sweep.
+//!
+//! DESIGN.md §5 calls out the package size (≥1 MB in the paper) as a
+//! design choice worth ablating: tiny packages forfeit the sequential-read
+//! amortisation, huge packages monopolise the L-region and reduce
+//! re-packing freshness.
+
+use icache_bench::{banner, BenchEnv};
+use icache_core::{IcacheConfig, IcacheManager};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, run_single_job, JobConfig, SamplingMode};
+use icache_storage::{Pfs, PfsConfig};
+use icache_types::{ByteSize, Dataset, JobId};
+use serde_json::json;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Ablation — package size",
+        "extension experiment: how the dynamic-packaging unit affects epoch time and hit ratio",
+        &env,
+    );
+
+    let dataset = Dataset::cifar10().scaled(env.cifar_scale).expect("scale in range");
+    let sizes = [ByteSize::kib(64), ByteSize::kib(256), ByteSize::mib(1), ByteSize::mib(4)];
+
+    let mut table =
+        report::Table::with_columns(&["package", "epoch time", "hit ratio", "pkg reads/epoch"]);
+
+    for &pkg in &sizes {
+        let mut cfg = IcacheConfig::for_dataset(&dataset, 0.2).expect("valid config");
+        cfg.package_size = pkg;
+        cfg.seed = env.seed;
+        let mut cache = IcacheManager::new(cfg, &dataset).expect("valid manager");
+        let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("valid pfs");
+        let mut job = JobConfig::new(JobId(0), ModelProfile::shufflenet(), dataset.clone());
+        job.epochs = env.perf_epochs;
+        job.sampling = SamplingMode::Iis { fraction: 0.7 };
+        job.seed = env.seed;
+        let m = run_single_job(job, &mut cache, &mut pfs).expect("runs");
+
+        let pkg_reads = m.epochs[1..]
+            .iter()
+            .map(|e| e.storage.package_reads)
+            .sum::<u64>() as f64
+            / (m.epochs.len() - 1) as f64;
+        table.row(vec![
+            pkg.to_string(),
+            report::secs(m.avg_epoch_time_steady().as_secs_f64()),
+            report::pct(m.avg_hit_ratio_steady()),
+            format!("{pkg_reads:.0}"),
+        ]);
+        report::json_line(
+            "ablation_package_size",
+            &json!({"package_bytes": pkg.as_u64(),
+                    "epoch_seconds": m.avg_epoch_time_steady().as_secs_f64(),
+                    "hit_ratio": m.avg_hit_ratio_steady(),
+                    "package_reads_per_epoch": pkg_reads}),
+        );
+    }
+
+    println!("{}", table.render());
+    println!();
+    println!("expectation: very small packages do more, less efficient reads; 1 MiB is a sweet spot");
+}

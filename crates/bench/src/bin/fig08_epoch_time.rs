@@ -1,0 +1,77 @@
+//! Figure 8: average training time per epoch — all eight models against
+//! the full system lineup.
+//!
+//! Paper findings: iCache achieves maximum speedups of 2.3×/2.3×/2.0×/
+//! 1.9×/1.6× over Default/Base/Quiver/CoorDL/iLFU on CIFAR-10 (and
+//! 2.2×/2.1×/1.7×/1.8×/1.5× on ImageNet); Base helps least; iCache is
+//! near Oracle for the compute-heavy VGG11/DenseNet121.
+
+use icache_bench::{banner, BenchEnv};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, Scenario, SystemKind};
+use serde_json::json;
+
+fn run_family(
+    family: &str,
+    models: Vec<ModelProfile>,
+    base: impl Fn(SystemKind) -> Scenario,
+    epochs: u32,
+) {
+    let lineup = SystemKind::figure8_lineup();
+    let mut header: Vec<&str> = vec!["model"];
+    header.extend(lineup.iter().map(|s| s.label()));
+    header.push("iCache-speedup");
+    let mut table = report::Table::new(header.iter().map(|s| s.to_string()).collect());
+
+    println!("--- {family} (avg epoch time, steady state) ---");
+    for model in models {
+        let mut cells = vec![model.name().to_string()];
+        let mut secs = Vec::new();
+        for &sys in &lineup {
+            let m = base(sys).model(model.clone()).epochs(epochs).run().expect("runs");
+            let t = m.avg_epoch_time_steady().as_secs_f64();
+            secs.push(t);
+            cells.push(report::secs(t));
+        }
+        // iCache is index 5 in the lineup, Default index 0.
+        cells.push(report::speedup(secs[0], secs[5]));
+        table.row(cells);
+        report::json_line(
+            "fig08",
+            &json!({
+                "family": family,
+                "model": model.name(),
+                "systems": lineup.iter().map(|s| s.label()).collect::<Vec<_>>(),
+                "epoch_seconds": secs,
+            }),
+        );
+    }
+    println!("{}\n", table.render());
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Figure 8 — per-epoch training time, 8 models x 7 systems",
+        "iCache up to 2.3x over Default / 2.0x over Quiver / 1.9x over CoorDL; ~Oracle on VGG11/DenseNet121",
+        &env,
+    );
+
+    run_family(
+        "CIFAR-10",
+        ModelProfile::cifar_models(),
+        |sys| env.cifar(sys),
+        env.perf_epochs,
+    );
+    run_family(
+        "ImageNet",
+        ModelProfile::imagenet_models(),
+        |sys| env.imagenet(sys),
+        env.perf_epochs,
+    );
+
+    println!(
+        "shape check: iCache fastest after Oracle everywhere; Base ~= Default; \
+         ShuffleNet shows the largest speedup; VGG11/DenseNet121 have iCache ~= Oracle"
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 9: I/O (data-stall) time per epoch on CIFAR-10.
+//!
+//! Paper findings: iCache reduces I/O time by 2.4× on average over
+//! Default, vs 1.2×/1.3×/1.4× for Quiver/CoorDL/iLFU — and Base is 1.3×
+//! *worse* than Default because CIS shrinks the compute that used to hide
+//! I/O.
+
+use icache_bench::{banner, BenchEnv};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, SystemKind};
+use serde_json::json;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Figure 9 — I/O time per epoch (CIFAR-10)",
+        "iCache cuts I/O 2.4x on average; Quiver/CoorDL/iLFU manage 1.2-1.4x; Base is worse than Default",
+        &env,
+    );
+
+    let systems = [
+        SystemKind::Default,
+        SystemKind::Base,
+        SystemKind::Quiver,
+        SystemKind::CoorDl,
+        SystemKind::Ilfu,
+        SystemKind::Icache,
+    ];
+    let mut header: Vec<&str> = vec!["model"];
+    header.extend(systems.iter().map(|s| s.label()));
+    header.push("iCache-io-speedup");
+    let mut table = report::Table::new(header.iter().map(|s| s.to_string()).collect());
+
+    let mut avg_speedup = 0.0;
+    for model in ModelProfile::cifar_models() {
+        let mut cells = vec![model.name().to_string()];
+        let mut stalls = Vec::new();
+        for &sys in &systems {
+            let m = env
+                .cifar(sys)
+                .model(model.clone())
+                .epochs(env.perf_epochs)
+                .run()
+                .expect("runs");
+            let t = m.avg_stall_time_steady().as_secs_f64();
+            stalls.push(t);
+            cells.push(report::secs(t));
+        }
+        let sp = stalls[0] / stalls[5].max(1e-12);
+        avg_speedup += sp / 4.0;
+        cells.push(format!("{sp:.2}x"));
+        table.row(cells);
+        report::json_line(
+            "fig09",
+            &json!({
+                "model": model.name(),
+                "systems": systems.iter().map(|s| s.label()).collect::<Vec<_>>(),
+                "stall_seconds": stalls,
+            }),
+        );
+    }
+
+    println!("{}", table.render());
+    println!();
+    println!("average iCache I/O-time speedup over Default: {avg_speedup:.2}x (paper: 2.4x)");
+    println!("shape check: iCache largest reduction; Base >= Default stall time");
+}

@@ -1,0 +1,62 @@
+//! Figure 10: contribution of each iCache technique to training time.
+//!
+//! Paper setup: ShuffleNet and ResNet50 on CIFAR-10, variants stacked on
+//! Base (CIS + LRU): `+IIS` (fetch-reducing sampling), `+HC` (importance-
+//! managed H-cache), `All` (L-cache enabled too). Paper speedups over
+//! Base for ShuffleNet: 1.4× / 1.7× / 2.3×.
+
+use icache_bench::{banner, BenchEnv};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, SystemKind};
+use serde_json::json;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Figure 10 — ablation of iCache techniques (training time)",
+        "over Base: +IIS 1.4x, +HC 1.7x, All 2.3x (ShuffleNet); similar trend for ResNet50",
+        &env,
+    );
+
+    let variants = [
+        SystemKind::Base,
+        SystemKind::IisLru,
+        SystemKind::IcacheNoL,
+        SystemKind::Icache,
+    ];
+    let labels = ["Base", "+IIS", "+HC", "All"];
+
+    let mut table =
+        report::Table::with_columns(&["model", "variant", "epoch time", "speedup vs Base"]);
+
+    for model in [ModelProfile::shufflenet(), ModelProfile::resnet50()] {
+        let mut base_time = 0.0;
+        for (i, &sys) in variants.iter().enumerate() {
+            let m = env
+                .cifar(sys)
+                .model(model.clone())
+                .epochs(env.perf_epochs)
+                .run()
+                .expect("runs");
+            let t = m.avg_epoch_time_steady().as_secs_f64();
+            if i == 0 {
+                base_time = t;
+            }
+            table.row(vec![
+                if i == 0 { model.name().to_string() } else { String::new() },
+                labels[i].to_string(),
+                report::secs(t),
+                report::speedup(base_time, t),
+            ]);
+            report::json_line(
+                "fig10",
+                &json!({"model": model.name(), "variant": labels[i], "epoch_seconds": t,
+                        "speedup_vs_base": base_time / t}),
+            );
+        }
+    }
+
+    println!("{}", table.render());
+    println!();
+    println!("shape check: monotone speedup Base < +IIS < +HC < All (paper: 1 / 1.4 / 1.7 / 2.3)");
+}

@@ -1,0 +1,60 @@
+//! Figure 15: sensitivity to the number of prefetching workers.
+//!
+//! Paper findings (ResNet18/CIFAR-10): iCache's speedup over Default
+//! shrinks from 3.9× with 2 workers to 1.2× with 16 — more workers hide
+//! more I/O — but commodity servers give only 3-4 cores per GPU, so the
+//! ≤8-worker regime is the realistic one.
+
+use icache_bench::{banner, BenchEnv};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, SystemKind};
+use serde_json::json;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Figure 15 — prefetch-worker sweep (ResNet18/CIFAR-10)",
+        "iCache speedup over Default falls from 3.9x (2 workers) to 1.2x (16 workers)",
+        &env,
+    );
+
+    let workers = [2usize, 4, 6, 8, 16];
+    let mut table =
+        report::Table::with_columns(&["workers", "Default", "iCache", "speedup"]);
+    let mut speedups = Vec::new();
+
+    for &w in &workers {
+        let run = |sys: SystemKind| {
+            env.cifar(sys)
+                .model(ModelProfile::resnet18())
+                .workers(w)
+                .epochs(env.perf_epochs)
+                .run()
+                .expect("runs")
+                .avg_epoch_time_steady()
+                .as_secs_f64()
+        };
+        let d = run(SystemKind::Default);
+        let i = run(SystemKind::Icache);
+        speedups.push(d / i);
+        table.row(vec![
+            w.to_string(),
+            report::secs(d),
+            report::secs(i),
+            report::speedup(d, i),
+        ]);
+        report::json_line(
+            "fig15",
+            &json!({"workers": w, "default_seconds": d, "icache_seconds": i}),
+        );
+    }
+
+    println!("{}", table.render());
+    println!();
+    println!(
+        "shape check: the speedup should decrease as workers grow \
+         (first {:.2}x vs last {:.2}x; paper: 3.9x -> 1.2x)",
+        speedups.first().expect("non-empty"),
+        speedups.last().expect("non-empty"),
+    );
+}

@@ -1,0 +1,140 @@
+//! `icache_replay` — replay a synthetic access pattern (or a recorded
+//! JSONL trace) through any cache policy and report hit ratio + latency
+//! percentiles; the classic cache-simulator workflow.
+//!
+//! ```sh
+//! cargo run --release -p icache-bench --bin icache_replay -- \
+//!     --pattern zipf --skew 1.1 --requests 50000 --cache-frac 0.1
+//! cargo run --release -p icache-bench --bin icache_replay -- --trace my.jsonl
+//! ```
+//!
+//! Flags: `--pattern uniform|zipf|scan|shuffle`, `--skew <f>` (zipf),
+//! `--requests <n>`, `--universe <n>`, `--cache-frac <f>`,
+//! `--storage orangefs|nfs|tmpfs|ssd`, `--seed <n>`,
+//! `--trace <file.jsonl>` (overrides `--pattern`).
+
+use icache_baselines::{IlfuCache, LruCache, MinIoCache, QuiverCache};
+use icache_core::{CacheSystem, IcacheConfig, IcacheManager};
+use icache_sampling::{HList, ImportanceTable};
+use icache_sim::replay::{replay, summarize, AccessPattern, Trace};
+use icache_sim::{report, StorageKind};
+use icache_types::{ByteSize, DatasetBuilder, JobId, SampleId, SizeModel};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}`"));
+        };
+        let Some(value) = args.next() else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let universe: u64 = get("universe", "20000").parse().map_err(|e| format!("--universe: {e}"))?;
+    let requests: usize = get("requests", "50000").parse().map_err(|e| format!("--requests: {e}"))?;
+    let cache_frac: f64 = get("cache-frac", "0.1").parse().map_err(|e| format!("--cache-frac: {e}"))?;
+    let seed: u64 = get("seed", "7").parse().map_err(|e| format!("--seed: {e}"))?;
+    let storage_kind = match get("storage", "orangefs").as_str() {
+        "orangefs" => StorageKind::OrangeFs,
+        "nfs" => StorageKind::Nfs,
+        "tmpfs" => StorageKind::Tmpfs,
+        "ssd" => StorageKind::NvmeSsd,
+        other => return Err(format!("unknown storage `{other}`")),
+    };
+
+    let trace = if let Some(path) = args.get("trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        Trace::parse_jsonl(&text).map_err(|e| e.to_string())?
+    } else {
+        let pattern = match get("pattern", "zipf").as_str() {
+            "uniform" => AccessPattern::Uniform,
+            "zipf" => AccessPattern::Zipf {
+                s: get("skew", "1.1").parse().map_err(|e| format!("--skew: {e}"))?,
+            },
+            "scan" => AccessPattern::Scan,
+            "shuffle" => AccessPattern::EpochShuffle,
+            other => return Err(format!("unknown pattern `{other}`")),
+        };
+        pattern.generate(universe, requests, JobId(0), seed).map_err(|e| e.to_string())?
+    };
+
+    let dataset = DatasetBuilder::new("replay", universe)
+        .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let cap = dataset.total_bytes().scaled(cache_frac);
+
+    // iCache needs an importance view; for replay we rank by first-seen
+    // popularity in the trace itself (what a warmed-up H-list would hold).
+    let mut popularity: HashMap<u64, f64> = HashMap::new();
+    for r in trace.records() {
+        *popularity.entry(r.sample.0).or_insert(0.0) += 1.0;
+    }
+    let mut table = ImportanceTable::new(universe);
+    for (&id, &count) in &popularity {
+        table.record_loss(SampleId(id), count);
+    }
+    let hlist = HList::top_fraction(&table, 0.5);
+
+    println!(
+        "replaying {} accesses over {} samples (cache {} = {:.0}%)\n",
+        trace.len(),
+        universe,
+        cap,
+        cache_frac * 100.0
+    );
+
+    let mut out = report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed"]);
+    let policies: Vec<(&str, Box<dyn CacheSystem>)> = vec![
+        ("lru", Box::new(LruCache::new(cap))),
+        ("coordl", Box::new(MinIoCache::new(cap))),
+        ("ilfu", Box::new(IlfuCache::new(cap))),
+        (
+            "quiver",
+            Box::new(QuiverCache::new(&dataset, cap, seed).map_err(|e| e.to_string())?),
+        ),
+        ("icache", {
+            let cfg = IcacheConfig::for_dataset(&dataset, cache_frac).map_err(|e| e.to_string())?;
+            let mut m = IcacheManager::new(cfg, &dataset).map_err(|e| e.to_string())?;
+            m.update_hlist(JobId(0), &hlist);
+            Box::new(m)
+        }),
+    ];
+
+    for (name, mut cache) in policies {
+        let mut storage = storage_kind.build().map_err(|e| e.to_string())?;
+        cache.on_epoch_start(JobId(0), icache_types::Epoch(0));
+        let rep = replay(&trace, &dataset, cache.as_mut(), storage.as_mut());
+        out.row(vec![
+            name.to_string(),
+            format!("{:.1}", rep.hit_ratio() * 100.0),
+            format!("{}", rep.latency.quantile(0.5)),
+            format!("{}", rep.latency.quantile(0.99)),
+            format!("{}", rep.elapsed),
+        ]);
+        println!("{name:8} {}", summarize(&rep));
+    }
+    println!();
+    println!("{}", out.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! `icache_sim` — run any single-job scenario from the command line.
+//!
+//! ```sh
+//! cargo run --release -p icache-bench --bin icache_sim -- \
+//!     --system icache --model shufflenet --dataset cifar10 \
+//!     --scale 0.1 --epochs 5 --cache 0.2 --storage orangefs
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! | flag | default | values |
+//! |---|---|---|
+//! | `--system` | `icache` | default, base, iis-lru, quiver, coordl, ilfu, icache-nol, icache, icache-nosub, icache-subh, oracle |
+//! | `--model` | `shufflenet` | any of the paper's eight model names |
+//! | `--dataset` | `cifar10` | cifar10, imagenet |
+//! | `--storage` | `orangefs` | orangefs, nfs, tmpfs, ssd |
+//! | `--criterion` | `loss` | loss, gradnorm, staleness |
+//! | `--scale` | `0.1` | dataset fraction in (0, 1] |
+//! | `--cache` | `0.2` | cache fraction of the dataset |
+//! | `--epochs` | `5` | epochs to run |
+//! | `--batch` | `256` | mini-batch size |
+//! | `--workers` | `6` | data-loader workers |
+//! | `--gpus` | `1` | data-parallel GPUs |
+//! | `--seed` | `0x5EED` | run seed |
+//! | `--json` | off | emit per-epoch JSON lines |
+//! | `--csv` | - | also write per-epoch metrics to this CSV path |
+
+use icache_dnn::ModelProfile;
+use icache_sampling::ImportanceCriterion;
+use icache_sim::{report, Scenario, StorageKind, SystemKind};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}` (flags start with --)"));
+        };
+        if key == "json" {
+            out.insert("json".to_string(), "1".to_string());
+            continue;
+        }
+        if key == "help" {
+            return Err("see the flag table in the module docs (src/bin/icache_sim.rs)".into());
+        }
+        let Some(value) = args.next() else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn system_of(name: &str) -> Result<SystemKind, String> {
+    Ok(match name {
+        "default" => SystemKind::Default,
+        "base" => SystemKind::Base,
+        "iis-lru" => SystemKind::IisLru,
+        "quiver" => SystemKind::Quiver,
+        "coordl" => SystemKind::CoorDl,
+        "ilfu" => SystemKind::Ilfu,
+        "icache-nol" => SystemKind::IcacheNoL,
+        "icache" => SystemKind::Icache,
+        "icache-nosub" => SystemKind::IcacheNoSub,
+        "icache-subh" => SystemKind::IcacheSubH,
+        "oracle" => SystemKind::Oracle,
+        other => return Err(format!("unknown system `{other}`")),
+    })
+}
+
+fn storage_of(name: &str) -> Result<StorageKind, String> {
+    Ok(match name {
+        "orangefs" => StorageKind::OrangeFs,
+        "nfs" => StorageKind::Nfs,
+        "tmpfs" => StorageKind::Tmpfs,
+        "ssd" => StorageKind::NvmeSsd,
+        other => return Err(format!("unknown storage `{other}`")),
+    })
+}
+
+fn criterion_of(name: &str) -> Result<ImportanceCriterion, String> {
+    Ok(match name {
+        "loss" => ImportanceCriterion::Loss,
+        "gradnorm" => ImportanceCriterion::GradNorm,
+        "staleness" => ImportanceCriterion::Staleness,
+        other => return Err(format!("unknown criterion `{other}`")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let parse_f64 =
+        |k: &str, d: &str| get(k, d).parse::<f64>().map_err(|e| format!("--{k}: {e}"));
+    let parse_usize =
+        |k: &str, d: &str| get(k, d).parse::<usize>().map_err(|e| format!("--{k}: {e}"));
+
+    let system = system_of(&get("system", "icache"))?;
+    let model =
+        ModelProfile::by_name(&get("model", "shufflenet")).map_err(|e| e.to_string())?;
+    let base = match get("dataset", "cifar10").as_str() {
+        "cifar10" => Scenario::cifar10(system),
+        "imagenet" => Scenario::imagenet(system),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let seed = {
+        let raw = get("seed", "24301");
+        match raw.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).map_err(|e| format!("--seed: {e}"))?,
+            None => raw.parse::<u64>().map_err(|e| format!("--seed: {e}"))?,
+        }
+    };
+
+    let scenario = base
+        .model(model)
+        .storage(storage_of(&get("storage", "orangefs"))?)
+        .criterion(criterion_of(&get("criterion", "loss"))?)
+        .scale_dataset(parse_f64("scale", "0.1")?)
+        .map_err(|e| e.to_string())?
+        .cache_fraction(parse_f64("cache", "0.2")?)
+        .epochs(parse_usize("epochs", "5")? as u32)
+        .batch_size(parse_usize("batch", "256")?)
+        .workers(parse_usize("workers", "6")?)
+        .gpus(parse_usize("gpus", "1")?)
+        .seed(seed);
+
+    println!(
+        "running {} ({}) on {} ...\n",
+        system.label(),
+        get("model", "shufflenet"),
+        scenario.dataset_ref()
+    );
+    let metrics = scenario.run().map_err(|e| e.to_string())?;
+
+    let mut table = report::Table::with_columns(&[
+        "epoch", "wall", "stall", "compute", "fetched", "hit%", "p50", "p99", "top1", "top5",
+    ]);
+    for e in &metrics.epochs {
+        table.row(vec![
+            e.epoch.0.to_string(),
+            format!("{}", e.wall_time),
+            format!("{}", e.stall_time),
+            format!("{}", e.compute_time),
+            e.samples_fetched.to_string(),
+            format!("{:.1}", e.hit_ratio() * 100.0),
+            format!("{}", e.fetch_p50),
+            format!("{}", e.fetch_p99),
+            format!("{:.2}", e.top1),
+            format!("{:.2}", e.top5),
+        ]);
+        if args.contains_key("json") {
+            report::json_line("epoch", e);
+        }
+    }
+    println!("{}", table.render());
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, report::run_metrics_csv(&metrics))
+            .map_err(|e| format!("--csv {path}: {e}"))?;
+        println!("wrote per-epoch CSV to {path}");
+    }
+    println!();
+    println!(
+        "steady-state epoch: {}   stall: {}   hit ratio: {:.1}%   final top-1: {:.2}",
+        metrics.avg_epoch_time_steady(),
+        metrics.avg_stall_time_steady(),
+        metrics.avg_hit_ratio_steady() * 100.0,
+        metrics.final_top1()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run with no flags for defaults; see the module docs for the flag table");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Table II: ImageNet model accuracy under different cache schemes.
+//!
+//! Paper finding: on ImageNet the accuracy losses of iCache stay within
+//! 2 % of Default for all four models.
+
+use icache_bench::{banner, BenchEnv};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, SystemKind};
+use serde_json::json;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Table II — ImageNet accuracy",
+        "iCache within 2% top-1 of Default on all four ImageNet models",
+        &env,
+    );
+
+    let systems =
+        [SystemKind::Default, SystemKind::Quiver, SystemKind::CoorDl, SystemKind::Icache];
+    let mut table = report::Table::with_columns(&[
+        "model", "metric", "Default", "Quiver", "CoorDL", "iCache", "iCache-delta",
+    ]);
+
+    for model in ModelProfile::imagenet_models() {
+        let runs: Vec<_> = systems
+            .iter()
+            .map(|&sys| {
+                env.imagenet(sys)
+                    .model(model.clone())
+                    .epochs(env.acc_epochs)
+                    .run()
+                    .expect("scenario runs")
+            })
+            .collect();
+        let top1: Vec<f64> = runs.iter().map(|r| r.final_top1()).collect();
+        let top5: Vec<f64> = runs.iter().map(|r| r.final_top5()).collect();
+        table.row(vec![
+            model.name().to_string(),
+            "top1".into(),
+            format!("{:.2}", top1[0]),
+            format!("{:.2}", top1[1]),
+            format!("{:.2}", top1[2]),
+            format!("{:.2}", top1[3]),
+            format!("{:+.2}", top1[3] - top1[0]),
+        ]);
+        table.row(vec![
+            String::new(),
+            "top5".into(),
+            format!("{:.2}", top5[0]),
+            format!("{:.2}", top5[1]),
+            format!("{:.2}", top5[2]),
+            format!("{:.2}", top5[3]),
+            format!("{:+.2}", top5[3] - top5[0]),
+        ]);
+        report::json_line(
+            "table2",
+            &json!({"model": model.name(), "top1": top1, "top5": top5,
+                    "systems": ["default", "quiver", "coordl", "icache"]}),
+        );
+    }
+
+    println!("{}", table.render());
+    println!();
+    println!("shape check: iCache top-1 within ~2 points of Default on every model (paper ≤2%)");
+}

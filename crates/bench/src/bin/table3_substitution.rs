@@ -1,0 +1,73 @@
+//! Table III: impact of the sample-substitution policy on accuracy.
+//!
+//! Paper findings (CIFAR-10): relative to iCache without substitution
+//! (`Def`), substituting L-misses from L-cache (`ST_LC`) costs ~0.56
+//! top-1 points on ResNet18 while substituting from H-cache (`ST_HC`)
+//! costs ~0.81 — hence iCache adopts `ST_LC`.
+
+use icache_bench::{banner, BenchEnv};
+use icache_dnn::ModelProfile;
+use icache_sim::{report, SystemKind};
+use serde_json::json;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    banner(
+        "Table III — substitution-policy accuracy",
+        "Def >= ST_LC >= ST_HC in top-1; ST_LC loses ~0.5pt, ST_HC ~0.8pt (ResNet18)",
+        &env,
+    );
+
+    let policies = [SystemKind::IcacheNoSub, SystemKind::IcacheSubH, SystemKind::Icache];
+    let labels = ["Def", "ST_HC", "ST_LC"];
+
+    let mut table = report::Table::with_columns(&[
+        "model", "metric", "Def", "ST_HC", "ST_LC", "LC-delta", "HC-delta",
+    ]);
+
+    for model in [
+        ModelProfile::resnet18(),
+        ModelProfile::shufflenet(),
+        ModelProfile::resnet50(),
+        ModelProfile::mobilenet(),
+    ] {
+        let runs: Vec<_> = policies
+            .iter()
+            .map(|&sys| {
+                env.cifar(sys)
+                    .model(model.clone())
+                    .epochs(env.acc_epochs)
+                    .run()
+                    .expect("runs")
+            })
+            .collect();
+        let top1: Vec<f64> = runs.iter().map(|r| r.final_top1()).collect();
+        let top5: Vec<f64> = runs.iter().map(|r| r.final_top5()).collect();
+        table.row(vec![
+            model.name().to_string(),
+            "top1".into(),
+            format!("{:.2}", top1[0]),
+            format!("{:.2}", top1[1]),
+            format!("{:.2}", top1[2]),
+            format!("{:+.2}", top1[2] - top1[0]),
+            format!("{:+.2}", top1[1] - top1[0]),
+        ]);
+        table.row(vec![
+            String::new(),
+            "top5".into(),
+            format!("{:.2}", top5[0]),
+            format!("{:.2}", top5[1]),
+            format!("{:.2}", top5[2]),
+            format!("{:+.2}", top5[2] - top5[0]),
+            format!("{:+.2}", top5[1] - top5[0]),
+        ]);
+        report::json_line(
+            "table3",
+            &json!({"model": model.name(), "policies": labels, "top1": top1, "top5": top5}),
+        );
+    }
+
+    println!("{}", table.render());
+    println!();
+    println!("shape check: Def best, ST_LC close behind, ST_HC clearly worst — iCache picks ST_LC");
+}

@@ -1,0 +1,145 @@
+//! The iCache client module (§III-A, §IV).
+//!
+//! In the paper the client is a PyTorch `Dataset` subclass
+//! (`iCacheImageFolder`) that forwards reads to the iCache server over gRPC
+//! (`rpc_loader`) and pushes importance updates (`update_ipersample`).
+//! Here the client is an in-process object holding the job's H-list and
+//! forwarding batches through any [`CacheSystem`].
+
+use crate::{CacheSystem, Fetch};
+use icache_sampling::{HList, ImportanceTable};
+use icache_storage::StorageBackend;
+use icache_types::{Dataset, JobId, SampleId, SimTime};
+
+/// A training job's client module: owns the job identity and its H-list.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::{IcacheClient, IcacheConfig, IcacheManager};
+/// use icache_sampling::ImportanceTable;
+/// use icache_storage::LocalTier;
+/// use icache_types::{Dataset, JobId, SampleId, SimTime};
+///
+/// let ds = Dataset::cifar10();
+/// let mut cache = IcacheManager::new(IcacheConfig::for_dataset(&ds, 0.2)?, &ds)?;
+/// let mut storage = LocalTier::tmpfs();
+/// let mut client = IcacheClient::new(JobId(0), &ds);
+///
+/// // Build + push an H-list, then load a batch through the cache.
+/// let mut table = ImportanceTable::new(ds.len());
+/// table.record_loss(SampleId(3), 8.0);
+/// client.update_ipersample(&table, 0.1, &mut cache);
+/// let batch = client.rpc_loader(&[SampleId(3), SampleId(4)], SimTime::ZERO,
+///                               &mut cache, &mut storage);
+/// assert_eq!(batch.len(), 2);
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IcacheClient {
+    job: JobId,
+    dataset: Dataset,
+    hlist: HList,
+}
+
+impl IcacheClient {
+    /// A client for `job` training on `dataset`.
+    pub fn new(job: JobId, dataset: &Dataset) -> Self {
+        IcacheClient { job, dataset: dataset.clone(), hlist: HList::empty(dataset.len()) }
+    }
+
+    /// The job this client belongs to.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The client's current H-list.
+    pub fn hlist(&self) -> &HList {
+        &self.hlist
+    }
+
+    /// Rebuild the H-list from fresh importance values and push it to the
+    /// server (the paper's `update_ipersample` interface). `h_fraction` is
+    /// the fraction of the dataset treated as H-samples.
+    pub fn update_ipersample(
+        &mut self,
+        table: &ImportanceTable,
+        h_fraction: f64,
+        cache: &mut dyn CacheSystem,
+    ) -> &HList {
+        self.hlist = HList::top_fraction(table, h_fraction);
+        cache.update_hlist(self.job, &self.hlist);
+        &self.hlist
+    }
+
+    /// Fetch a batch of samples through the cache (the paper's
+    /// `rpc_loader` interface). Requests are issued back-to-back: each
+    /// request is submitted when the previous one completes, as a blocking
+    /// PyTorch worker would.
+    pub fn rpc_loader(
+        &self,
+        ids: &[SampleId],
+        start: SimTime,
+        cache: &mut dyn CacheSystem,
+        storage: &mut dyn StorageBackend,
+    ) -> Vec<Fetch> {
+        let mut now = start;
+        ids.iter()
+            .map(|&id| {
+                let f = cache.fetch(self.job, id, self.dataset.sample_size(id), now, storage);
+                now = f.ready_at;
+                f
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FetchOutcome, IcacheConfig, IcacheManager};
+    use icache_storage::LocalTier;
+    use icache_types::{ByteSize, DatasetBuilder, SizeModel};
+
+    fn setup() -> (Dataset, IcacheManager, LocalTier) {
+        let ds = DatasetBuilder::new("t", 500)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .unwrap();
+        let m = IcacheManager::new(IcacheConfig::for_dataset(&ds, 0.3).unwrap(), &ds).unwrap();
+        (ds, m, LocalTier::tmpfs())
+    }
+
+    #[test]
+    fn update_ipersample_builds_and_pushes_hlist() {
+        let (ds, mut cache, _st) = setup();
+        let mut client = IcacheClient::new(JobId(1), &ds);
+        let mut t = ImportanceTable::new(ds.len());
+        t.record_loss(SampleId(7), 99.0);
+        let hl = client.update_ipersample(&t, 0.02, &mut cache);
+        assert!(hl.contains(SampleId(7)));
+        assert_eq!(client.hlist().len(), 10);
+    }
+
+    #[test]
+    fn rpc_loader_issues_blocking_sequential_requests() {
+        let (ds, mut cache, mut st) = setup();
+        let mut client = IcacheClient::new(JobId(0), &ds);
+        let mut t = ImportanceTable::new(ds.len());
+        for i in 0..ds.len() {
+            t.record_loss(SampleId(i), if i < 50 { 50.0 } else { 0.01 });
+        }
+        client.update_ipersample(&t, 0.1, &mut cache);
+        let ids: Vec<SampleId> = (0..10).map(SampleId).collect();
+        let fetches = client.rpc_loader(&ids, SimTime::ZERO, &mut cache, &mut st);
+        assert_eq!(fetches.len(), 10);
+        for w in fetches.windows(2) {
+            assert!(w[1].ready_at >= w[0].ready_at, "requests are sequential");
+        }
+        // Cold cache: every H request was a miss the first time.
+        assert!(fetches.iter().all(|f| f.outcome == FetchOutcome::Miss));
+        // Second pass hits.
+        let again = client.rpc_loader(&ids, fetches[9].ready_at, &mut cache, &mut st);
+        assert!(again.iter().all(|f| f.outcome == FetchOutcome::HitH));
+    }
+}

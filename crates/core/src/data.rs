@@ -1,0 +1,98 @@
+//! Cached sample payloads.
+
+use bytes::Bytes;
+use icache_types::{splitmix64, ByteSize, SampleId};
+
+/// A sample as held by the cache: identity, size, and a digest standing in
+/// for the payload.
+///
+/// The simulator never needs the image bytes themselves — only their size
+/// (for capacity accounting and transfer timing) and a way to check that
+/// the right sample was produced. [`SampleData::materialize`] can generate
+/// the deterministic pseudo-payload when a test or example wants real
+/// bytes to flow.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::SampleData;
+/// use icache_types::{ByteSize, SampleId};
+///
+/// let a = SampleData::generate(SampleId(1), ByteSize::new(64));
+/// let b = SampleData::generate(SampleId(1), ByteSize::new(64));
+/// assert_eq!(a.digest(), b.digest());
+/// assert_eq!(a.materialize().len(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SampleData {
+    id: SampleId,
+    size: ByteSize,
+    digest: u64,
+}
+
+impl SampleData {
+    /// Create the canonical payload descriptor for `(id, size)`.
+    pub fn generate(id: SampleId, size: ByteSize) -> Self {
+        let digest = splitmix64(splitmix64(id.0) ^ size.as_u64().rotate_left(32));
+        SampleData { id, size, digest }
+    }
+
+    /// The sample this payload belongs to.
+    pub fn id(&self) -> SampleId {
+        self.id
+    }
+
+    /// Payload size.
+    pub fn size(&self) -> ByteSize {
+        self.size
+    }
+
+    /// Content digest (deterministic in `(id, size)`).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Produce the actual pseudo-random payload bytes.
+    ///
+    /// Intended for tests and examples; the simulation hot path never
+    /// materialises payloads.
+    pub fn materialize(&self) -> Bytes {
+        let n = self.size.as_u64() as usize;
+        let mut out = Vec::with_capacity(n);
+        let mut state = self.digest;
+        while out.len() < n {
+            state = splitmix64(state);
+            let chunk = state.to_le_bytes();
+            let take = chunk.len().min(n - out.len());
+            out.extend_from_slice(&chunk[..take]);
+        }
+        Bytes::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_depends_on_id_and_size() {
+        let base = SampleData::generate(SampleId(1), ByteSize::new(10));
+        assert_ne!(base.digest(), SampleData::generate(SampleId(2), ByteSize::new(10)).digest());
+        assert_ne!(base.digest(), SampleData::generate(SampleId(1), ByteSize::new(11)).digest());
+    }
+
+    #[test]
+    fn materialize_is_deterministic_and_sized() {
+        let d = SampleData::generate(SampleId(9), ByteSize::new(100));
+        let a = d.materialize();
+        let b = d.materialize();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn zero_size_materialises_empty() {
+        let d = SampleData::generate(SampleId(0), ByteSize::ZERO);
+        assert!(d.materialize().is_empty());
+    }
+}

@@ -1,0 +1,394 @@
+//! Distributed iCache (§III-E).
+
+use crate::{CacheStats, CacheSystem, Fetch, FetchOutcome, IcacheConfig, IcacheManager};
+use icache_sampling::HList;
+use icache_storage::StorageBackend;
+use icache_types::{
+    ByteSize, Dataset, Epoch, Error, JobId, NodeId, Result, SampleId, SimDuration, SimTime,
+};
+use std::collections::HashMap;
+
+/// The distributed key-value directory: which node caches which sample.
+///
+/// The paper shares one such store among all training nodes so that cached
+/// data is never duplicated: a sample cached anywhere is read from that
+/// node instead of storage.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::DirectoryKv;
+/// use icache_types::{NodeId, SampleId};
+///
+/// let mut dir = DirectoryKv::new();
+/// dir.insert(SampleId(5), NodeId(1));
+/// assert_eq!(dir.lookup(SampleId(5)), Some(NodeId(1)));
+/// dir.remove(SampleId(5));
+/// assert_eq!(dir.lookup(SampleId(5)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryKv {
+    map: HashMap<SampleId, NodeId>,
+}
+
+impl DirectoryKv {
+    /// An empty directory.
+    pub fn new() -> Self {
+        DirectoryKv::default()
+    }
+
+    /// Number of registered samples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no samples are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The node caching `id`, if any.
+    pub fn lookup(&self, id: SampleId) -> Option<NodeId> {
+        self.map.get(&id).copied()
+    }
+
+    /// Register `id` as cached on `node`; returns the previous owner.
+    pub fn insert(&mut self, id: SampleId, node: NodeId) -> Option<NodeId> {
+        self.map.insert(id, node)
+    }
+
+    /// Unregister `id`; returns the previous owner.
+    pub fn remove(&mut self, id: SampleId) -> Option<NodeId> {
+        self.map.remove(&id)
+    }
+}
+
+/// Where a distributed fetch was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteFetchKind {
+    /// The requesting node's own cache.
+    Local,
+    /// A peer node's cache over the interconnect.
+    RemoteCache,
+    /// The shared backing store.
+    Storage,
+}
+
+/// Configuration of the distributed cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedConfig {
+    /// Number of training nodes (each with a client, server, manager).
+    pub nodes: usize,
+    /// Per-node cache configuration.
+    pub node_config: IcacheConfig,
+    /// One-way latency of a peer-to-peer cache read.
+    pub remote_hop: SimDuration,
+    /// Interconnect bandwidth for peer reads, bytes/second.
+    pub interconnect_bandwidth: f64,
+}
+
+impl DistributedConfig {
+    /// A cluster of `nodes` nodes, each caching `per_node_fraction` of
+    /// `dataset` (the paper's distributed setup gives each node 20 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `nodes` is zero or the
+    /// per-node config is invalid.
+    pub fn for_dataset(dataset: &Dataset, nodes: usize, per_node_fraction: f64) -> Result<Self> {
+        if nodes == 0 {
+            return Err(Error::invalid_config("nodes", "must be at least 1"));
+        }
+        Ok(DistributedConfig {
+            nodes,
+            node_config: IcacheConfig::for_dataset(dataset, per_node_fraction)?,
+            remote_hop: SimDuration::from_micros(80),
+            interconnect_bandwidth: 1.25e9,
+        })
+    }
+}
+
+/// The multi-node iCache: per-node managers plus a shared directory.
+///
+/// Data-parallel training maps worker `JobId(k)` to node `k % nodes`. The
+/// fetch path follows §III-E: local cache → directory lookup → peer cache
+/// → shared storage, registering freshly cached samples in the directory
+/// so no sample is duplicated across nodes.
+#[derive(Debug)]
+pub struct DistributedCache {
+    config: DistributedConfig,
+    nodes: Vec<IcacheManager>,
+    directory: DirectoryKv,
+    remote_hits: u64,
+    remote_bytes: ByteSize,
+}
+
+impl DistributedCache {
+    /// Build the cluster for `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when any per-node manager cannot
+    /// be built.
+    pub fn new(config: DistributedConfig, dataset: &Dataset) -> Result<Self> {
+        let nodes = (0..config.nodes)
+            .map(|i| {
+                let mut c = config.node_config.clone();
+                c.seed = c.seed.wrapping_add(i as u64);
+                IcacheManager::new(c, dataset)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DistributedCache {
+            config,
+            nodes,
+            directory: DirectoryKv::new(),
+            remote_hits: 0,
+            remote_bytes: ByteSize::ZERO,
+        })
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared directory (read access for diagnostics).
+    pub fn directory(&self) -> &DirectoryKv {
+        &self.directory
+    }
+
+    /// Peer-cache hits served so far.
+    pub fn remote_hits(&self) -> u64 {
+        self.remote_hits
+    }
+
+    fn node_of(&self, job: JobId) -> usize {
+        job.0 as usize % self.nodes.len()
+    }
+
+    /// Classify where a fetch for `job`/`id` would be served from,
+    /// without performing it.
+    pub fn classify(&self, job: JobId, id: SampleId) -> RemoteFetchKind {
+        let local = self.node_of(job);
+        if self.nodes[local].contains_cached(id) {
+            return RemoteFetchKind::Local;
+        }
+        match self.directory.lookup(id) {
+            Some(owner)
+                if owner.0 as usize != local
+                    && self.nodes[owner.0 as usize].contains_cached(id) =>
+            {
+                RemoteFetchKind::RemoteCache
+            }
+            _ => RemoteFetchKind::Storage,
+        }
+    }
+}
+
+impl CacheSystem for DistributedCache {
+    fn name(&self) -> &str {
+        "icache-distributed"
+    }
+
+    fn fetch(
+        &mut self,
+        job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        let local = self.node_of(job);
+        match self.classify(job, id) {
+            RemoteFetchKind::RemoteCache => {
+                // Serve over the interconnect; do not duplicate locally.
+                let transfer = SimDuration::from_secs_f64(
+                    size.as_f64() / self.config.interconnect_bandwidth,
+                );
+                self.remote_hits += 1;
+                self.remote_bytes += size;
+                Fetch {
+                    ready_at: now + self.config.remote_hop + transfer,
+                    served_id: id,
+                    outcome: FetchOutcome::HitH,
+                }
+            }
+            RemoteFetchKind::Local | RemoteFetchKind::Storage => {
+                let fetch = self.nodes[local].fetch(job, id, size, now, storage);
+                // Register fresh residency; unregister when the sample is
+                // served from storage but was not admitted anywhere.
+                if self.nodes[local].contains_cached(id) {
+                    self.directory.insert(id, NodeId(local as u32));
+                } else if self.directory.lookup(id) == Some(NodeId(local as u32)) {
+                    self.directory.remove(id);
+                }
+                fetch
+            }
+        }
+    }
+
+    fn update_hlist(&mut self, job: JobId, hlist: &HList) {
+        // Every node needs the importance view to manage its region.
+        for node in &mut self.nodes {
+            node.update_hlist(job, hlist);
+        }
+    }
+
+    fn on_epoch_start(&mut self, job: JobId, epoch: Epoch) {
+        let local = self.node_of(job);
+        self.nodes[local].on_epoch_start(job, epoch);
+    }
+
+    fn on_epoch_end(&mut self, job: JobId, epoch: Epoch) {
+        let local = self.node_of(job);
+        self.nodes[local].on_epoch_end(job, epoch);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for n in &self.nodes {
+            let s = n.stats();
+            total.h_hits += s.h_hits;
+            total.l_hits += s.l_hits;
+            total.pm_hits += s.pm_hits;
+            total.substitutions += s.substitutions;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.rejections += s.rejections;
+            total.bytes_from_cache += s.bytes_from_cache;
+            total.bytes_from_storage += s.bytes_from_storage;
+        }
+        // Peer hits are cache hits of the cluster.
+        total.h_hits += self.remote_hits;
+        total.bytes_from_cache += self.remote_bytes;
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        for n in &mut self.nodes {
+            n.reset_stats();
+        }
+        self.remote_hits = 0;
+        self.remote_bytes = ByteSize::ZERO;
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.nodes.iter().map(|n| n.used_bytes()).sum()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.nodes.iter().map(|n| n.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_sampling::ImportanceTable;
+    use icache_storage::{Nfs, NfsConfig};
+    use icache_types::{DatasetBuilder, SizeModel};
+
+    fn dataset() -> Dataset {
+        DatasetBuilder::new("d", 1_000)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .unwrap()
+    }
+
+    fn cluster(ds: &Dataset, nodes: usize) -> DistributedCache {
+        DistributedCache::new(DistributedConfig::for_dataset(ds, nodes, 0.2).unwrap(), ds).unwrap()
+    }
+
+    fn hlist(ds: &Dataset) -> HList {
+        let mut t = ImportanceTable::new(ds.len());
+        for i in 0..200 {
+            t.record_loss(SampleId(i), 10.0);
+        }
+        HList::top_fraction(&t, 0.2)
+    }
+
+    #[test]
+    fn peer_cache_serves_without_duplication() {
+        let ds = dataset();
+        let mut dc = cluster(&ds, 2);
+        let mut st = Nfs::new(NfsConfig::cloud_default()).unwrap();
+        dc.update_hlist(JobId(0), &hlist(&ds));
+        dc.update_hlist(JobId(1), &hlist(&ds));
+
+        // Job 0 (node 0) faults sample 5 in from storage.
+        let sz = ds.sample_size(SampleId(5));
+        let f0 = dc.fetch(JobId(0), SampleId(5), sz, SimTime::ZERO, &mut st);
+        assert_eq!(f0.outcome, FetchOutcome::Miss);
+        assert_eq!(dc.directory().lookup(SampleId(5)), Some(NodeId(0)));
+
+        // Job 1 (node 1) now reads it from node 0, not storage.
+        assert_eq!(dc.classify(JobId(1), SampleId(5)), RemoteFetchKind::RemoteCache);
+        let before = st.stats().sample_reads;
+        let f1 = dc.fetch(JobId(1), SampleId(5), sz, f0.ready_at, &mut st);
+        assert!(f1.outcome.served_from_cache());
+        assert_eq!(st.stats().sample_reads, before, "no storage read");
+        assert_eq!(dc.remote_hits(), 1);
+    }
+
+    #[test]
+    fn remote_read_is_slower_than_local_but_faster_than_storage() {
+        let ds = dataset();
+        let mut dc = cluster(&ds, 2);
+        let mut st = Nfs::new(NfsConfig::cloud_default()).unwrap();
+        dc.update_hlist(JobId(0), &hlist(&ds));
+        dc.update_hlist(JobId(1), &hlist(&ds));
+        let sz = ds.sample_size(SampleId(7));
+
+        let miss = dc.fetch(JobId(0), SampleId(7), sz, SimTime::ZERO, &mut st);
+        let t_storage = miss.ready_at.saturating_since(SimTime::ZERO);
+
+        let local = dc.fetch(JobId(0), SampleId(7), sz, miss.ready_at, &mut st);
+        let t_local = local.ready_at.saturating_since(miss.ready_at);
+
+        let remote = dc.fetch(JobId(1), SampleId(7), sz, local.ready_at, &mut st);
+        let t_remote = remote.ready_at.saturating_since(local.ready_at);
+
+        assert!(t_local < t_remote, "local {t_local} vs remote {t_remote}");
+        assert!(t_remote < t_storage, "remote {t_remote} vs storage {t_storage}");
+    }
+
+    #[test]
+    fn jobs_map_to_nodes_round_robin() {
+        let ds = dataset();
+        let dc = cluster(&ds, 4);
+        assert_eq!(dc.node_of(JobId(0)), 0);
+        assert_eq!(dc.node_of(JobId(5)), 1);
+        assert_eq!(dc.node_count(), 4);
+    }
+
+    #[test]
+    fn cluster_capacity_sums_nodes() {
+        let ds = dataset();
+        let dc = cluster(&ds, 4);
+        assert_eq!(dc.capacity(), ds.total_bytes().scaled(0.2) * 4);
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        let ds = dataset();
+        assert!(DistributedConfig::for_dataset(&ds, 0, 0.2).is_err());
+    }
+
+    #[test]
+    fn stats_aggregate_across_nodes_and_remote_hits() {
+        let ds = dataset();
+        let mut dc = cluster(&ds, 2);
+        let mut st = Nfs::new(NfsConfig::cloud_default()).unwrap();
+        dc.update_hlist(JobId(0), &hlist(&ds));
+        dc.update_hlist(JobId(1), &hlist(&ds));
+        let sz = ds.sample_size(SampleId(1));
+        let f = dc.fetch(JobId(0), SampleId(1), sz, SimTime::ZERO, &mut st);
+        let _ = dc.fetch(JobId(1), SampleId(1), sz, f.ready_at, &mut st);
+        let s = dc.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.h_hits, 1, "remote hit counted");
+        dc.reset_stats();
+        assert_eq!(dc.stats().requests(), 0);
+    }
+}

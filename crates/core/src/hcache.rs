@@ -1,0 +1,370 @@
+//! The H-cache: the high-importance region.
+
+use crate::{SampleData, ShadowedHeap};
+use icache_types::{ByteSize, ImportanceValue, SampleId};
+use std::collections::HashMap;
+
+/// Result of offering a sample to the H-cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdmitResult {
+    /// Whether the incoming sample is now cached.
+    pub admitted: bool,
+    /// Samples that were evicted to make room (empty when rejected).
+    pub evicted: Vec<SampleId>,
+}
+
+/// The high-importance cache region (§III-B, Algorithm 1).
+///
+/// A key-value store of H-samples plus the shadowed H-heap. Admission
+/// follows the paper exactly: while the region is full, the incoming
+/// sample displaces top-of-heap victims only if its importance exceeds
+/// theirs; otherwise it is not admitted. Eviction is atomic — if the
+/// incoming sample ultimately cannot fit, any provisionally popped victims
+/// are restored.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::{HCache, SampleData};
+/// use icache_types::{ByteSize, ImportanceValue, SampleId};
+///
+/// let mut hc = HCache::new(ByteSize::new(100));
+/// let item = |id, sz| SampleData::generate(SampleId(id), ByteSize::new(sz));
+/// let iv = |v| ImportanceValue::new(v).unwrap();
+///
+/// assert!(hc.admit(item(1, 60), iv(1.0)).admitted);
+/// assert!(hc.admit(item(2, 60), iv(5.0)).admitted, "displaces #1");
+/// assert!(!hc.admit(item(3, 60), iv(0.5)).admitted, "below the bar");
+/// assert!(hc.contains(SampleId(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HCache {
+    capacity: ByteSize,
+    used: ByteSize,
+    items: HashMap<SampleId, SampleData>,
+    heap: ShadowedHeap,
+}
+
+impl HCache {
+    /// An empty H-cache with the given byte capacity.
+    pub fn new(capacity: ByteSize) -> Self {
+        HCache { capacity, ..Default::default() }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `id` is cached.
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    /// Read `id` from the region, if cached.
+    pub fn get(&self, id: SampleId) -> Option<&SampleData> {
+        self.items.get(&id)
+    }
+
+    /// The least importance currently protected by the region.
+    pub fn min_importance(&self) -> Option<ImportanceValue> {
+        self.heap.peek_evict_candidate().map(|(_, iv)| iv)
+    }
+
+    /// Offer `data` with importance `iv` (Algorithm 1 lines 9–16).
+    ///
+    /// If the sample is already cached its importance is refreshed. If it
+    /// can never fit (larger than the whole region) it is rejected.
+    pub fn admit(&mut self, data: SampleData, iv: ImportanceValue) -> AdmitResult {
+        let id = data.id();
+        if self.items.contains_key(&id) {
+            self.heap.update_key(id, iv);
+            return AdmitResult { admitted: true, evicted: Vec::new() };
+        }
+        if data.size() > self.capacity {
+            return AdmitResult::default();
+        }
+        // Fast path: free space available.
+        if self.used + data.size() <= self.capacity {
+            self.insert_unchecked(data, iv);
+            return AdmitResult { admitted: true, evicted: Vec::new() };
+        }
+        // Full: pop victims while they are strictly less important.
+        let mut popped: Vec<(SampleId, ImportanceValue)> = Vec::new();
+        let mut freed = ByteSize::ZERO;
+        let needed = data.size();
+        while self.used.saturating_sub(freed) + needed > self.capacity {
+            match self.heap.peek_evict_candidate() {
+                Some((vid, viv)) if viv < iv => {
+                    self.heap.pop_evict();
+                    freed += self.items[&vid].size();
+                    popped.push((vid, viv));
+                }
+                _ => {
+                    // Cannot make room: restore provisional victims.
+                    for (vid, viv) in popped {
+                        self.heap.insert(vid, viv);
+                    }
+                    return AdmitResult::default();
+                }
+            }
+        }
+        let evicted: Vec<SampleId> = popped
+            .into_iter()
+            .map(|(vid, _)| {
+                let item = self.items.remove(&vid).expect("victim is cached");
+                self.used -= item.size();
+                vid
+            })
+            .collect();
+        self.insert_unchecked(data, iv);
+        AdmitResult { admitted: true, evicted }
+    }
+
+    /// Remove `id` outright (used when a sample is demoted or the region
+    /// shrinks). Returns true if it was cached.
+    pub fn evict(&mut self, id: SampleId) -> bool {
+        match self.items.remove(&id) {
+            Some(item) => {
+                self.used -= item.size();
+                self.heap.remove(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shrink or grow the region to `new_capacity`, evicting
+    /// least-important samples as needed. Returns the evicted ids.
+    pub fn resize(&mut self, new_capacity: ByteSize) -> Vec<SampleId> {
+        self.capacity = new_capacity;
+        let mut evicted = Vec::new();
+        while self.used > self.capacity {
+            let (vid, _) = self.heap.pop_evict().expect("used > 0 implies nodes exist");
+            let item = self.items.remove(&vid).expect("heap and map agree");
+            self.used -= item.size();
+            evicted.push(vid);
+        }
+        evicted
+    }
+
+    /// Open a shadow-heap refresh window with new importance values.
+    /// Cached samples absent from `fresh` are re-keyed to zero — they are
+    /// no longer H-samples and become prime eviction candidates.
+    pub fn begin_refresh(&mut self, fresh: &HashMap<SampleId, ImportanceValue>) {
+        let pending: HashMap<SampleId, ImportanceValue> = self
+            .items
+            .keys()
+            .map(|&id| (id, fresh.get(&id).copied().unwrap_or(ImportanceValue::ZERO)))
+            .collect();
+        self.heap.begin_refresh(pending);
+    }
+
+    /// Close the refresh window (typically at the next epoch boundary).
+    pub fn finish_refresh(&mut self) {
+        self.heap.finish_refresh();
+    }
+
+    /// Whether a refresh window is open.
+    pub fn is_refreshing(&self) -> bool {
+        self.heap.is_refreshing()
+    }
+
+    /// Iterate over cached ids (unspecified order).
+    pub fn ids(&self) -> impl Iterator<Item = SampleId> + '_ {
+        self.items.keys().copied()
+    }
+
+    /// A uniformly random resident sample (used by the `ST_HC`
+    /// substitution-policy ablation of §V-E). Returns `None` when empty.
+    pub fn random_resident(&self, rng: &mut impl rand::Rng) -> Option<SampleId> {
+        if self.items.is_empty() {
+            return None;
+        }
+        self.heap.id_at(rng.gen_range(0..self.len()))
+    }
+
+    fn insert_unchecked(&mut self, data: SampleData, iv: ImportanceValue) {
+        self.used += data.size();
+        self.heap.insert(data.id(), iv);
+        self.items.insert(data.id(), data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: u64, sz: u64) -> SampleData {
+        SampleData::generate(SampleId(id), ByteSize::new(sz))
+    }
+
+    fn iv(v: f64) -> ImportanceValue {
+        ImportanceValue::new(v).unwrap()
+    }
+
+    #[test]
+    fn fills_free_space_without_eviction() {
+        let mut hc = HCache::new(ByteSize::new(100));
+        assert!(hc.admit(item(1, 40), iv(1.0)).admitted);
+        assert!(hc.admit(item(2, 40), iv(0.1)).admitted);
+        assert_eq!(hc.used(), ByteSize::new(80));
+        assert_eq!(hc.len(), 2);
+    }
+
+    #[test]
+    fn eviction_requires_strictly_higher_importance() {
+        let mut hc = HCache::new(ByteSize::new(100));
+        hc.admit(item(1, 100), iv(2.0));
+        let equal = hc.admit(item(2, 100), iv(2.0));
+        assert!(!equal.admitted, "equal importance does not displace");
+        let higher = hc.admit(item(3, 100), iv(2.1));
+        assert!(higher.admitted);
+        assert_eq!(higher.evicted, vec![SampleId(1)]);
+        assert!(hc.contains(SampleId(3)));
+        assert!(!hc.contains(SampleId(1)));
+    }
+
+    #[test]
+    fn multi_victim_eviction_is_atomic() {
+        let mut hc = HCache::new(ByteSize::new(100));
+        hc.admit(item(1, 50), iv(1.0));
+        hc.admit(item(2, 50), iv(5.0));
+        // Incoming 100-byte sample with iv 3: would need both victims but
+        // #2's importance (5) exceeds 3 -> reject, and #1 must survive.
+        let r = hc.admit(item(3, 100), iv(3.0));
+        assert!(!r.admitted);
+        assert!(hc.contains(SampleId(1)), "provisional victim restored");
+        assert!(hc.contains(SampleId(2)));
+        assert_eq!(hc.used(), ByteSize::new(100));
+        assert_eq!(hc.min_importance(), Some(iv(1.0)));
+    }
+
+    #[test]
+    fn oversized_items_are_rejected() {
+        let mut hc = HCache::new(ByteSize::new(10));
+        assert!(!hc.admit(item(1, 11), iv(100.0)).admitted);
+        assert!(hc.is_empty());
+    }
+
+    #[test]
+    fn readmitting_updates_importance() {
+        let mut hc = HCache::new(ByteSize::new(100));
+        hc.admit(item(1, 50), iv(1.0));
+        hc.admit(item(2, 50), iv(2.0));
+        // Refresh #1's importance upward, then a new sample must displace #2.
+        assert!(hc.admit(item(1, 50), iv(9.0)).admitted);
+        let r = hc.admit(item(3, 50), iv(3.0));
+        assert!(r.admitted);
+        assert_eq!(r.evicted, vec![SampleId(2)]);
+    }
+
+    #[test]
+    fn resize_shrinks_by_importance_order() {
+        let mut hc = HCache::new(ByteSize::new(300));
+        hc.admit(item(1, 100), iv(1.0));
+        hc.admit(item(2, 100), iv(3.0));
+        hc.admit(item(3, 100), iv(2.0));
+        let evicted = hc.resize(ByteSize::new(150));
+        assert_eq!(evicted, vec![SampleId(1), SampleId(3)]);
+        assert!(hc.contains(SampleId(2)));
+        assert_eq!(hc.capacity(), ByteSize::new(150));
+    }
+
+    #[test]
+    fn refresh_demotes_absent_samples_to_zero() {
+        let mut hc = HCache::new(ByteSize::new(200));
+        hc.admit(item(1, 100), iv(5.0));
+        hc.admit(item(2, 100), iv(1.0));
+        // New H-list only contains #2 (now very important).
+        let fresh: HashMap<_, _> = [(SampleId(2), iv(9.0))].into();
+        hc.begin_refresh(&fresh);
+        hc.finish_refresh();
+        // #1 was demoted to zero: any positive-importance sample displaces it.
+        let r = hc.admit(item(3, 100), iv(0.5));
+        assert!(r.admitted);
+        assert_eq!(r.evicted, vec![SampleId(1)]);
+    }
+
+    #[test]
+    fn explicit_evict_frees_space() {
+        let mut hc = HCache::new(ByteSize::new(100));
+        hc.admit(item(1, 100), iv(1.0));
+        assert!(hc.evict(SampleId(1)));
+        assert!(!hc.evict(SampleId(1)));
+        assert_eq!(hc.used(), ByteSize::ZERO);
+        assert!(hc.admit(item(2, 100), iv(0.1)).admitted);
+    }
+
+    #[test]
+    fn get_returns_cached_payload() {
+        let mut hc = HCache::new(ByteSize::new(100));
+        let d = item(4, 10);
+        hc.admit(d, iv(1.0));
+        assert_eq!(hc.get(SampleId(4)), Some(&d));
+        assert_eq!(hc.get(SampleId(5)), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Capacity accounting never breaks, whatever the admission
+        /// sequence: used <= capacity, and used equals the sum of cached
+        /// item sizes.
+        #[test]
+        fn capacity_invariants(ops in proptest::collection::vec(
+            (0u64..30, 1u64..40, 0u32..100), 1..300)) {
+            let mut hc = HCache::new(ByteSize::new(100));
+            for (id, sz, ivv) in ops {
+                let _ = hc.admit(
+                    SampleData::generate(SampleId(id), ByteSize::new(sz)),
+                    ImportanceValue::new(ivv as f64).unwrap(),
+                );
+                prop_assert!(hc.used() <= hc.capacity());
+                let sum: ByteSize = hc.ids().map(|i| hc.get(i).unwrap().size()).sum();
+                prop_assert_eq!(sum, hc.used());
+            }
+        }
+
+        /// After any admission sequence, the minimum importance protected
+        /// by the cache never decreases when a higher-importance item is
+        /// offered to a full cache.
+        #[test]
+        fn admission_bar_is_monotone_when_full(ivs in proptest::collection::vec(0u32..1000, 1..200)) {
+            let mut hc = HCache::new(ByteSize::new(50)); // 5 items of 10 bytes
+            let mut last_min: Option<f64> = None;
+            for (i, ivv) in ivs.into_iter().enumerate() {
+                hc.admit(
+                    SampleData::generate(SampleId(i as u64), ByteSize::new(10)),
+                    ImportanceValue::new(ivv as f64).unwrap(),
+                );
+                if hc.used() == hc.capacity() {
+                    let cur = hc.min_importance().unwrap().get();
+                    if let Some(prev) = last_min {
+                        prop_assert!(cur >= prev, "bar regressed: {} -> {}", prev, cur);
+                    }
+                    last_min = Some(cur);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The small-top heap (H-heap).
+
+use icache_types::{ImportanceValue, SampleId};
+use std::collections::HashMap;
+
+/// An indexed binary min-heap keyed by importance value.
+///
+/// This is the paper's *H-heap* (§III-B): heap objects are
+/// `(importance, sample)` pairs, the top node is the least-important cached
+/// H-sample — the eviction candidate. Beyond a plain binary heap it keeps a
+/// position map so that arbitrary samples can be re-keyed or removed in
+/// `O(log n)` when importance values change or samples are evicted through
+/// other paths.
+///
+/// Ordering ties break toward the lower sample id, making eviction order
+/// fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::HHeap;
+/// use icache_types::{ImportanceValue, SampleId};
+///
+/// let mut heap = HHeap::new();
+/// heap.insert(SampleId(1), ImportanceValue::new(5.0)?);
+/// heap.insert(SampleId(2), ImportanceValue::new(1.0)?);
+/// assert_eq!(heap.peek_min(), Some((SampleId(2), ImportanceValue::new(1.0)?)));
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HHeap {
+    nodes: Vec<(ImportanceValue, SampleId)>,
+    pos: HashMap<SampleId, usize>,
+}
+
+impl HHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        HHeap::default()
+    }
+
+    /// An empty heap with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        HHeap { nodes: Vec::with_capacity(cap), pos: HashMap::with_capacity(cap) }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the heap has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` has a node in the heap.
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.pos.contains_key(&id)
+    }
+
+    /// The current key of `id`, if present.
+    pub fn key_of(&self, id: SampleId) -> Option<ImportanceValue> {
+        self.pos.get(&id).map(|&i| self.nodes[i].0)
+    }
+
+    /// The top node: the least important `(id, importance)` pair.
+    pub fn peek_min(&self) -> Option<(SampleId, ImportanceValue)> {
+        self.nodes.first().map(|&(iv, id)| (id, iv))
+    }
+
+    /// Insert `id` with key `iv`, or re-key it if already present.
+    /// Returns true when the id was newly inserted.
+    pub fn insert(&mut self, id: SampleId, iv: ImportanceValue) -> bool {
+        if let Some(&i) = self.pos.get(&id) {
+            self.rekey_at(i, iv);
+            return false;
+        }
+        self.nodes.push((iv, id));
+        let i = self.nodes.len() - 1;
+        self.pos.insert(id, i);
+        self.sift_up(i);
+        true
+    }
+
+    /// Remove and return the top (least important) node.
+    pub fn pop_min(&mut self) -> Option<(SampleId, ImportanceValue)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let (iv, id) = self.nodes[0];
+        self.remove_at(0);
+        Some((id, iv))
+    }
+
+    /// Remove `id`'s node. Returns its key if it was present.
+    pub fn remove(&mut self, id: SampleId) -> Option<ImportanceValue> {
+        let i = *self.pos.get(&id)?;
+        let key = self.nodes[i].0;
+        self.remove_at(i);
+        Some(key)
+    }
+
+    /// Change `id`'s key. Returns false when `id` is not in the heap.
+    pub fn update_key(&mut self, id: SampleId, iv: ImportanceValue) -> bool {
+        match self.pos.get(&id) {
+            Some(&i) => {
+                self.rekey_at(i, iv);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterate over all `(id, importance)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (SampleId, ImportanceValue)> + '_ {
+        self.nodes.iter().map(|&(iv, id)| (id, iv))
+    }
+
+    /// The id stored at dense slot `index` (heap order, unspecified).
+    /// Enables O(1) uniform random selection of a resident sample.
+    pub fn id_at(&self, index: usize) -> Option<SampleId> {
+        self.nodes.get(index).map(|&(_, id)| id)
+    }
+
+    /// Drain the heap into an unordered vector of `(id, importance)`.
+    pub fn drain(&mut self) -> Vec<(SampleId, ImportanceValue)> {
+        self.pos.clear();
+        self.nodes.drain(..).map(|(iv, id)| (id, iv)).collect()
+    }
+
+    /// Internal consistency check (used by tests): heap order holds and
+    /// the position map is exact.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        for i in 1..self.nodes.len() {
+            let parent = (i - 1) / 2;
+            if Self::less(&self.nodes[i], &self.nodes[parent]) {
+                return false;
+            }
+        }
+        self.pos.len() == self.nodes.len()
+            && self.pos.iter().all(|(&id, &i)| self.nodes.get(i).map(|n| n.1) == Some(id))
+    }
+
+    #[inline]
+    fn less(a: &(ImportanceValue, SampleId), b: &(ImportanceValue, SampleId)) -> bool {
+        (a.0, a.1) < (b.0, b.1)
+    }
+
+    fn rekey_at(&mut self, i: usize, iv: ImportanceValue) {
+        let old = self.nodes[i].0;
+        self.nodes[i].0 = iv;
+        if iv < old {
+            self.sift_up(i);
+        } else {
+            self.sift_down(i);
+        }
+    }
+
+    fn remove_at(&mut self, i: usize) {
+        let last = self.nodes.len() - 1;
+        self.pos.remove(&self.nodes[i].1);
+        if i != last {
+            self.nodes.swap(i, last);
+            self.pos.insert(self.nodes[i].1, i);
+            self.nodes.pop();
+            // The moved node may need to travel either direction.
+            self.sift_up(i);
+            self.sift_down(i);
+        } else {
+            self.nodes.pop();
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(&self.nodes[i], &self.nodes[parent]) {
+                self.nodes.swap(i, parent);
+                self.pos.insert(self.nodes[i].1, i);
+                self.pos.insert(self.nodes[parent].1, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.nodes.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && Self::less(&self.nodes[l], &self.nodes[smallest]) {
+                smallest = l;
+            }
+            if r < n && Self::less(&self.nodes[r], &self.nodes[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.nodes.swap(i, smallest);
+            self.pos.insert(self.nodes[i].1, i);
+            self.pos.insert(self.nodes[smallest].1, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(v: f64) -> ImportanceValue {
+        ImportanceValue::new(v).unwrap()
+    }
+
+    #[test]
+    fn pop_min_yields_ascending_keys() {
+        let mut h = HHeap::new();
+        for (i, v) in [5.0, 1.0, 3.0, 2.0, 4.0].iter().enumerate() {
+            h.insert(SampleId(i as u64), iv(*v));
+        }
+        let mut out = Vec::new();
+        while let Some((_, k)) = h.pop_min() {
+            out.push(k.get());
+        }
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_id() {
+        let mut h = HHeap::new();
+        h.insert(SampleId(9), iv(1.0));
+        h.insert(SampleId(2), iv(1.0));
+        assert_eq!(h.pop_min().unwrap().0, SampleId(2));
+        assert_eq!(h.pop_min().unwrap().0, SampleId(9));
+    }
+
+    #[test]
+    fn insert_existing_rekeys() {
+        let mut h = HHeap::new();
+        assert!(h.insert(SampleId(1), iv(5.0)));
+        assert!(!h.insert(SampleId(1), iv(0.5)));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.key_of(SampleId(1)), Some(iv(0.5)));
+    }
+
+    #[test]
+    fn update_key_moves_node_both_directions() {
+        let mut h = HHeap::new();
+        for i in 0..10u64 {
+            h.insert(SampleId(i), iv(1.0 + i as f64));
+        }
+        assert!(h.update_key(SampleId(9), iv(0.1)));
+        assert_eq!(h.peek_min().unwrap().0, SampleId(9));
+        assert!(h.update_key(SampleId(9), iv(100.0)));
+        assert_eq!(h.peek_min().unwrap().0, SampleId(0));
+        assert!(!h.update_key(SampleId(77), iv(1.0)));
+        assert!(h.check_invariants());
+    }
+
+    #[test]
+    fn remove_arbitrary_nodes_keeps_invariants() {
+        let mut h = HHeap::new();
+        for i in 0..50u64 {
+            h.insert(SampleId(i), iv(((i * 37) % 50) as f64));
+        }
+        for i in (0..50u64).step_by(3) {
+            assert!(h.remove(SampleId(i)).is_some());
+            assert!(h.check_invariants());
+        }
+        assert!(h.remove(SampleId(0)).is_none(), "already removed");
+        assert_eq!(h.len(), 50 - 17);
+    }
+
+    #[test]
+    fn drain_empties_heap() {
+        let mut h = HHeap::new();
+        h.insert(SampleId(0), iv(1.0));
+        h.insert(SampleId(1), iv(2.0));
+        let all = h.drain();
+        assert_eq!(all.len(), 2);
+        assert!(h.is_empty());
+        assert!(!h.contains(SampleId(0)));
+    }
+
+    #[test]
+    fn contains_and_key_of_agree() {
+        let mut h = HHeap::new();
+        h.insert(SampleId(3), iv(7.0));
+        assert!(h.contains(SampleId(3)));
+        assert_eq!(h.key_of(SampleId(3)), Some(iv(7.0)));
+        assert!(!h.contains(SampleId(4)));
+        assert_eq!(h.key_of(SampleId(4)), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u64, u32),
+        PopMin,
+        Remove(u64),
+        Update(u64, u32),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..40, any::<u32>()).prop_map(|(id, v)| Op::Insert(id, v)),
+            Just(Op::PopMin),
+            (0u64..40).prop_map(Op::Remove),
+            (0u64..40, any::<u32>()).prop_map(|(id, v)| Op::Update(id, v)),
+        ]
+    }
+
+    proptest! {
+        /// The indexed heap behaves exactly like a sorted reference map
+        /// under arbitrary operation sequences.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut heap = HHeap::new();
+            let mut model: std::collections::BTreeMap<u64, u32> = Default::default();
+            for op in ops {
+                match op {
+                    Op::Insert(id, v) => {
+                        heap.insert(SampleId(id), ImportanceValue::new(v as f64).unwrap());
+                        model.insert(id, v);
+                    }
+                    Op::PopMin => {
+                        let got = heap.pop_min();
+                        let want = model
+                            .iter()
+                            .map(|(&id, &v)| (v, id))
+                            .min()
+                            .map(|(v, id)| (id, v));
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some((gid, giv)), Some((wid, wv))) => {
+                                prop_assert_eq!(gid.0, wid);
+                                prop_assert_eq!(giv.get(), wv as f64);
+                                model.remove(&wid);
+                            }
+                            other => prop_assert!(false, "mismatch: {:?}", other),
+                        }
+                    }
+                    Op::Remove(id) => {
+                        let got = heap.remove(SampleId(id));
+                        let want = model.remove(&id);
+                        prop_assert_eq!(got.map(|k| k.get()), want.map(|v| v as f64));
+                    }
+                    Op::Update(id, v) => {
+                        let did = heap.update_key(SampleId(id), ImportanceValue::new(v as f64).unwrap());
+                        if model.contains_key(&id) {
+                            prop_assert!(did);
+                            model.insert(id, v);
+                        } else {
+                            prop_assert!(!did);
+                        }
+                    }
+                }
+                prop_assert!(heap.check_invariants());
+                prop_assert_eq!(heap.len(), model.len());
+            }
+        }
+    }
+}

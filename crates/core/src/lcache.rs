@@ -1,0 +1,684 @@
+//! The L-cache: dynamic packaging and substitutability (§III-C).
+
+use crate::SampleData;
+use icache_types::{ByteSize, Error, IdSet, Result, SampleId, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+
+/// Identity of a package built by dynamic packaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PackageId(pub u64);
+
+/// A package: a contiguous bundle of L-samples written and read as one
+/// large sequential I/O (≥ 1 MB in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Package {
+    id: PackageId,
+    samples: Vec<SampleData>,
+    total: ByteSize,
+}
+
+impl Package {
+    /// Build a package from its samples.
+    pub fn new(id: PackageId, samples: Vec<SampleData>) -> Self {
+        let total = samples.iter().map(|s| s.size()).sum();
+        Package { id, samples, total }
+    }
+
+    /// Package identity.
+    pub fn id(&self) -> PackageId {
+        self.id
+    }
+
+    /// The samples bundled in this package.
+    pub fn samples(&self) -> &[SampleData] {
+        &self.samples
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.total
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the package is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Builds packages for the L-cache's loading thread.
+///
+/// Re-packing policy (§III-C): samples that recently *missed* in the
+/// L-cache are packed first ("to increase sample diversity"), and the rest
+/// of the package is filled with L-samples drawn randomly from the pool.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::Packager;
+/// use icache_types::{ByteSize, SampleId, SeedSequence};
+///
+/// let mut packager = Packager::new(ByteSize::mib(1), 7)?;
+/// let pool: Vec<SampleId> = (0..10_000).map(SampleId).collect();
+/// let pkg = packager.build(&[SampleId(5)], &pool, |_| ByteSize::kib(3));
+/// assert_eq!(pkg.samples()[0].id(), SampleId(5), "missed samples pack first");
+/// // Filled to the target without overshooting it.
+/// assert!(pkg.total_bytes() <= ByteSize::mib(1));
+/// assert!(pkg.total_bytes() >= ByteSize::mib(1) - ByteSize::kib(3));
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Packager {
+    target_size: ByteSize,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl Packager {
+    /// A packager producing packages of at least `target_size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `target_size` is zero.
+    pub fn new(target_size: ByteSize, seed: u64) -> Result<Self> {
+        if target_size.is_zero() {
+            return Err(Error::invalid_config("target_size", "package size must be non-zero"));
+        }
+        use rand::SeedableRng;
+        Ok(Packager { target_size, rng: StdRng::seed_from_u64(seed), next_id: 0 })
+    }
+
+    /// Target package size.
+    pub fn target_size(&self) -> ByteSize {
+        self.target_size
+    }
+
+    /// Number of packages built so far.
+    pub fn packages_built(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Build the next package: `missed` samples first, then random fill
+    /// from `pool` until the target size is reached (or the pool offers no
+    /// more distinct samples). `size_of` maps each id to its payload size.
+    pub fn build(
+        &mut self,
+        missed: &[SampleId],
+        pool: &[SampleId],
+        size_of: impl Fn(SampleId) -> ByteSize,
+    ) -> Package {
+        self.build_with_target(missed, pool, size_of, self.target_size)
+    }
+
+    /// Like [`Packager::build`] but with an explicit target size, used when
+    /// the L-region is currently smaller than the configured package size.
+    pub fn build_with_target(
+        &mut self,
+        missed: &[SampleId],
+        pool: &[SampleId],
+        size_of: impl Fn(SampleId) -> ByteSize,
+        target: ByteSize,
+    ) -> Package {
+        let saved = self.target_size;
+        self.target_size = target.max(ByteSize::new(1));
+        let pkg = self.build_inner(missed, pool, size_of);
+        self.target_size = saved;
+        pkg
+    }
+
+    fn build_inner(
+        &mut self,
+        missed: &[SampleId],
+        pool: &[SampleId],
+        size_of: impl Fn(SampleId) -> ByteSize,
+    ) -> Package {
+        let mut chosen: Vec<SampleId> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut total = ByteSize::ZERO;
+        // Packages never overshoot the target (the L-region is sized in
+        // package units); only the very first sample may exceed it.
+        let try_add = |id: SampleId, total: &mut ByteSize, chosen: &mut Vec<SampleId>| {
+            let size = size_of(id);
+            if !chosen.is_empty() && *total + size > self.target_size {
+                return false;
+            }
+            *total += size;
+            chosen.push(id);
+            true
+        };
+        for &id in missed {
+            if total >= self.target_size {
+                break;
+            }
+            if seen.insert(id) {
+                try_add(id, &mut total, &mut chosen);
+            }
+        }
+        // Random fill. Bounded attempts so degenerate pools terminate.
+        if !pool.is_empty() {
+            let mut attempts = 0usize;
+            let max_attempts = pool.len() * 4;
+            while total < self.target_size && attempts < max_attempts {
+                attempts += 1;
+                let id = pool[self.rng.gen_range(0..pool.len())];
+                if seen.insert(id) && !try_add(id, &mut total, &mut chosen) {
+                    break;
+                }
+            }
+        }
+        let id = PackageId(self.next_id);
+        self.next_id += 1;
+        Package::new(id, chosen.into_iter().map(|i| SampleData::generate(i, size_of(i))).collect())
+    }
+}
+
+/// Configuration of the L-cache region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LCacheConfig {
+    /// Region capacity in bytes.
+    pub capacity: ByteSize,
+    /// Number of samples in the dataset (universe of the accessed-set).
+    pub num_samples: u64,
+}
+
+/// Result of an L-cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LFetch {
+    /// The requested sample is resident: serve it.
+    Hit,
+    /// The requested sample is missing: serve this resident, not-yet-
+    /// accessed substitute instead (§III-C substitutability).
+    Substitute(SampleId),
+    /// Nothing suitable is resident; the caller must go to storage.
+    Empty,
+}
+
+/// The low-importance cache region (§III-C).
+///
+/// Samples arrive in whole [`Package`]s loaded asynchronously; lookups
+/// that miss are served by substituting a random resident L-sample that
+/// has not been accessed in the current epoch; missed ids are logged so
+/// the next re-packing round includes them.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::{LCache, LCacheConfig, LFetch, Package, PackageId, SampleData};
+/// use icache_types::{ByteSize, SampleId, SeedSequence, SimTime};
+///
+/// let mut lc = LCache::new(LCacheConfig { capacity: ByteSize::mib(4), num_samples: 100 });
+/// let pkg = Package::new(
+///     PackageId(0),
+///     (0..10).map(|i| SampleData::generate(SampleId(i), ByteSize::kib(3))).collect(),
+/// );
+/// lc.install_package(pkg, SimTime::ZERO);
+/// lc.integrate(SimTime::ZERO);
+///
+/// let mut rng = SeedSequence::new(1).rng("l");
+/// assert_eq!(lc.lookup(SampleId(5), &mut rng), LFetch::Hit);
+/// assert!(matches!(lc.lookup(SampleId(99), &mut rng), LFetch::Substitute(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LCache {
+    config: LCacheConfig,
+    used: ByteSize,
+    resident: HashMap<SampleId, SampleData>,
+    /// Loaded packages in FIFO order, with the ids each one *added* (a
+    /// sample re-packed later is owned by its first resident package).
+    package_fifo: VecDeque<(PackageId, Vec<SampleId>, ByteSize)>,
+    /// Resident samples not yet accessed this epoch, with O(1) random
+    /// removal.
+    fresh: Vec<SampleId>,
+    fresh_pos: HashMap<SampleId, usize>,
+    accessed: IdSet,
+    missed_log: VecDeque<SampleId>,
+    pending: VecDeque<(Package, SimTime)>,
+}
+
+impl LCache {
+    /// An empty L-cache.
+    pub fn new(config: LCacheConfig) -> Self {
+        LCache {
+            config,
+            used: ByteSize::ZERO,
+            resident: HashMap::new(),
+            package_fifo: VecDeque::new(),
+            fresh: Vec::new(),
+            fresh_pos: HashMap::new(),
+            accessed: IdSet::new(config.num_samples),
+            missed_log: VecDeque::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Region capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.config.capacity
+    }
+
+    /// Grow or shrink the region (evicting oldest packages as needed).
+    pub fn set_capacity(&mut self, capacity: ByteSize) {
+        self.config.capacity = capacity;
+        self.evict_to_fit();
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Number of resident samples.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Whether `id` is resident.
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    /// Number of resident samples not yet accessed this epoch.
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// Whether a package load is already in flight.
+    pub fn has_pending_load(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Whether the loading thread should fetch another package now:
+    /// either there is spare capacity, or every resident sample has been
+    /// accessed this epoch (the paper's trigger for reading new packages).
+    pub fn wants_load(&self) -> bool {
+        if self.has_pending_load() {
+            return false;
+        }
+        self.used < self.config.capacity || self.fresh.is_empty()
+    }
+
+    /// Queue a package that will arrive from storage at `ready_at`.
+    pub fn install_package(&mut self, pkg: Package, ready_at: SimTime) {
+        self.pending.push_back((pkg, ready_at));
+    }
+
+    /// Integrate every pending package whose arrival time has passed.
+    pub fn integrate(&mut self, now: SimTime) {
+        while let Some((_, ready)) = self.pending.front() {
+            if *ready > now {
+                break;
+            }
+            let (pkg, _) = self.pending.pop_front().expect("checked front");
+            self.add_package(pkg);
+        }
+    }
+
+    /// Look up `id`; on a miss, pick a substitute and log the miss.
+    pub fn lookup(&mut self, id: SampleId, rng: &mut StdRng) -> LFetch {
+        if self.resident.contains_key(&id) {
+            self.mark_accessed(id);
+            return LFetch::Hit;
+        }
+        self.record_miss(id);
+        match self.pick_substitute(rng) {
+            Some(sub) => LFetch::Substitute(sub),
+            None => LFetch::Empty,
+        }
+    }
+
+    /// Look up `id` without drawing a substitute on miss: returns true on
+    /// a hit (marking the sample accessed), false on a miss (logging it).
+    /// Used by the `Def` substitution policy and the warm-up pass.
+    pub fn lookup_no_substitute(&mut self, id: SampleId) -> bool {
+        if self.resident.contains_key(&id) {
+            self.mark_accessed(id);
+            true
+        } else {
+            self.record_miss(id);
+            false
+        }
+    }
+
+    /// Drain up to `max` logged missed ids (for the next re-packing).
+    pub fn take_missed(&mut self, max: usize) -> Vec<SampleId> {
+        let take = max.min(self.missed_log.len());
+        self.missed_log.drain(..take).collect()
+    }
+
+    /// Start a new epoch: every resident sample becomes fresh again.
+    pub fn on_epoch_start(&mut self) {
+        self.accessed.clear();
+        self.fresh.clear();
+        self.fresh_pos.clear();
+        // Sorted so the fresh pool (and thus substitution draws) are
+        // independent of HashMap iteration order — runs stay deterministic.
+        let mut ids: Vec<SampleId> = self.resident.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.push_fresh(id);
+        }
+    }
+
+    fn record_miss(&mut self, id: SampleId) {
+        // Bound the log so a pathological epoch cannot grow it without limit.
+        if self.missed_log.len() > 1_000_000 {
+            self.missed_log.pop_front();
+        }
+        self.missed_log.push_back(id);
+    }
+
+    fn pick_substitute(&mut self, rng: &mut StdRng) -> Option<SampleId> {
+        if self.fresh.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.fresh.len());
+        let id = self.fresh[idx];
+        self.mark_accessed(id);
+        Some(id)
+    }
+
+    fn mark_accessed(&mut self, id: SampleId) {
+        if id.0 < self.accessed.universe() {
+            self.accessed.insert(id);
+        }
+        if let Some(&pos) = self.fresh_pos.get(&id) {
+            let last = self.fresh.len() - 1;
+            self.fresh.swap(pos, last);
+            self.fresh_pos.insert(self.fresh[pos], pos);
+            self.fresh.pop();
+            self.fresh_pos.remove(&id);
+        }
+    }
+
+    fn push_fresh(&mut self, id: SampleId) {
+        if !self.fresh_pos.contains_key(&id) && !self.accessed.contains(id) {
+            self.fresh_pos.insert(id, self.fresh.len());
+            self.fresh.push(id);
+        }
+    }
+
+    fn add_package(&mut self, pkg: Package) {
+        let pkg_id = pkg.id();
+        let mut owned = Vec::new();
+        let mut owned_bytes = ByteSize::ZERO;
+        for s in pkg.samples() {
+            if self.resident.contains_key(&s.id()) {
+                continue;
+            }
+            self.resident.insert(s.id(), *s);
+            self.used += s.size();
+            owned_bytes += s.size();
+            owned.push(s.id());
+            self.push_fresh(s.id());
+        }
+        self.package_fifo.push_back((pkg_id, owned, owned_bytes));
+        self.evict_to_fit();
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used > self.config.capacity && self.package_fifo.len() > 1 {
+            let (_, ids, bytes) = self.package_fifo.pop_front().expect("len > 1");
+            for id in ids {
+                if self.resident.remove(&id).is_some() {
+                    // Remove from fresh if present.
+                    if let Some(&pos) = self.fresh_pos.get(&id) {
+                        let last = self.fresh.len() - 1;
+                        self.fresh.swap(pos, last);
+                        self.fresh_pos.insert(self.fresh[pos], pos);
+                        self.fresh.pop();
+                        self.fresh_pos.remove(&id);
+                    }
+                }
+            }
+            self.used -= bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_types::SeedSequence;
+
+    fn pkg(id: u64, ids: std::ops::Range<u64>, sz: u64) -> Package {
+        Package::new(
+            PackageId(id),
+            ids.map(|i| SampleData::generate(SampleId(i), ByteSize::new(sz))).collect(),
+        )
+    }
+
+    fn lc(capacity: u64) -> LCache {
+        LCache::new(LCacheConfig { capacity: ByteSize::new(capacity), num_samples: 1_000 })
+    }
+
+    #[test]
+    fn hit_marks_sample_accessed() {
+        let mut c = lc(10_000);
+        c.install_package(pkg(0, 0..10, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        assert_eq!(c.fresh_count(), 10);
+        let mut rng = SeedSequence::new(0).rng("t");
+        assert_eq!(c.lookup(SampleId(3), &mut rng), LFetch::Hit);
+        assert_eq!(c.fresh_count(), 9);
+    }
+
+    #[test]
+    fn miss_substitutes_unaccessed_resident() {
+        let mut c = lc(10_000);
+        c.install_package(pkg(0, 0..5, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        let mut rng = SeedSequence::new(0).rng("t");
+        match c.lookup(SampleId(900), &mut rng) {
+            LFetch::Substitute(sub) => {
+                assert!(sub.0 < 5, "substitute must be resident");
+            }
+            other => panic!("expected substitution, got {other:?}"),
+        }
+        assert_eq!(c.take_missed(10), vec![SampleId(900)]);
+    }
+
+    #[test]
+    fn substitutes_are_never_repeated_within_an_epoch() {
+        let mut c = lc(10_000);
+        c.install_package(pkg(0, 0..5, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        let mut rng = SeedSequence::new(0).rng("t");
+        let mut served = Vec::new();
+        for miss in 100..105 {
+            if let LFetch::Substitute(s) = c.lookup(SampleId(miss), &mut rng) {
+                served.push(s);
+            }
+        }
+        served.sort_unstable();
+        served.dedup();
+        assert_eq!(served.len(), 5, "each fresh sample substituted at most once");
+        // All fresh exhausted: next miss has nothing to offer.
+        assert_eq!(c.lookup(SampleId(105), &mut rng), LFetch::Empty);
+        assert!(c.wants_load(), "exhausted cache asks for a new package");
+    }
+
+    #[test]
+    fn epoch_start_refreshes_accessed_set() {
+        let mut c = lc(10_000);
+        c.install_package(pkg(0, 0..3, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        let mut rng = SeedSequence::new(0).rng("t");
+        for i in 0..3 {
+            c.lookup(SampleId(i), &mut rng);
+        }
+        assert_eq!(c.fresh_count(), 0);
+        c.on_epoch_start();
+        assert_eq!(c.fresh_count(), 3);
+    }
+
+    #[test]
+    fn pending_packages_arrive_on_time() {
+        let mut c = lc(10_000);
+        c.install_package(pkg(0, 0..4, 100), SimTime::from_nanos(500));
+        assert!(c.has_pending_load());
+        c.integrate(SimTime::from_nanos(400));
+        assert!(c.is_empty(), "not yet arrived");
+        c.integrate(SimTime::from_nanos(500));
+        assert_eq!(c.len(), 4);
+        assert!(!c.has_pending_load());
+    }
+
+    #[test]
+    fn oldest_package_evicts_when_over_capacity() {
+        let mut c = lc(1_000); // room for one 10x100 package
+        c.install_package(pkg(0, 0..10, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        c.install_package(pkg(1, 10..20, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        assert_eq!(c.len(), 10, "old package evicted");
+        assert!(!c.contains(SampleId(0)));
+        assert!(c.contains(SampleId(15)));
+        assert!(c.used() <= c.capacity());
+    }
+
+    #[test]
+    fn duplicate_samples_across_packages_are_not_double_counted() {
+        let mut c = lc(10_000);
+        c.install_package(pkg(0, 0..5, 100), SimTime::ZERO);
+        c.install_package(pkg(1, 3..8, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.used(), ByteSize::new(800));
+    }
+
+    #[test]
+    fn wants_load_respects_pending_and_capacity() {
+        let mut c = lc(1_000);
+        assert!(c.wants_load(), "empty cache wants data");
+        c.install_package(pkg(0, 0..10, 100), SimTime::from_nanos(99));
+        assert!(!c.wants_load(), "load already in flight");
+        c.integrate(SimTime::from_nanos(99));
+        assert!(!c.wants_load(), "full and fresh");
+    }
+
+    #[test]
+    fn packager_prioritises_missed_then_fills_randomly() {
+        let mut p = Packager::new(ByteSize::new(1_000), 1).unwrap();
+        let pool: Vec<SampleId> = (0..100).map(SampleId).collect();
+        let pkg = p.build(&[SampleId(42), SampleId(42), SampleId(7)], &pool, |_| ByteSize::new(100));
+        let ids: Vec<u64> = pkg.samples().iter().map(|s| s.id().0).collect();
+        assert_eq!(&ids[..2], &[42, 7], "deduplicated missed ids first");
+        assert_eq!(pkg.len(), 10, "filled to target size");
+        assert_eq!(pkg.total_bytes(), ByteSize::new(1_000));
+        let unique: std::collections::HashSet<u64> = ids.into_iter().collect();
+        assert_eq!(unique.len(), 10, "no duplicates");
+    }
+
+    #[test]
+    fn packager_handles_small_pools() {
+        let mut p = Packager::new(ByteSize::mib(1), 1).unwrap();
+        let pool: Vec<SampleId> = (0..3).map(SampleId).collect();
+        let pkg = p.build(&[], &pool, |_| ByteSize::new(10));
+        assert!(pkg.len() <= 3, "cannot exceed pool");
+        assert!(!pkg.is_empty());
+    }
+
+    #[test]
+    fn packager_rejects_zero_target() {
+        assert!(Packager::new(ByteSize::ZERO, 1).is_err());
+    }
+
+    #[test]
+    fn set_capacity_shrinks_immediately() {
+        let mut c = lc(2_000);
+        c.install_package(pkg(0, 0..10, 100), SimTime::ZERO);
+        c.install_package(pkg(1, 10..20, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        assert_eq!(c.len(), 20);
+        c.set_capacity(ByteSize::new(1_000));
+        assert_eq!(c.len(), 10);
+        assert!(c.used() <= c.capacity());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use icache_types::SeedSequence;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Lookup(u64),
+        InstallPackage(u64, u8),
+        EpochStart,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..200).prop_map(Op::Lookup),
+            (0u64..200, 1u8..20).prop_map(|(start, n)| Op::InstallPackage(start, n)),
+            Just(Op::EpochStart),
+        ]
+    }
+
+    proptest! {
+        /// Whatever the operation sequence: capacity within one package,
+        /// substitutes are always resident and never repeat within an
+        /// epoch, and hits only happen for resident samples.
+        #[test]
+        fn lcache_invariants(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+            let mut lc = LCache::new(LCacheConfig {
+                capacity: ByteSize::new(1_000),
+                num_samples: 200,
+            });
+            let mut rng = SeedSequence::new(1).rng("prop");
+            let mut next_pkg = 0u64;
+            let mut served_this_epoch: std::collections::HashSet<SampleId> = Default::default();
+            for op in ops {
+                match op {
+                    Op::Lookup(raw) => {
+                        let id = SampleId(raw);
+                        match lc.lookup(id, &mut rng) {
+                            LFetch::Hit => prop_assert!(lc.contains(id)),
+                            LFetch::Substitute(sub) => {
+                                prop_assert!(lc.contains(sub), "substitute must be resident");
+                                prop_assert_ne!(sub, id);
+                                prop_assert!(
+                                    served_this_epoch.insert(sub),
+                                    "substitute repeated within an epoch"
+                                );
+                            }
+                            LFetch::Empty => {}
+                        }
+                    }
+                    Op::InstallPackage(start, n) => {
+                        let samples: Vec<SampleData> = (0..n as u64)
+                            .map(|k| SampleData::generate(
+                                SampleId((start + k) % 200),
+                                ByteSize::new(50),
+                            ))
+                            .collect();
+                        lc.install_package(Package::new(PackageId(next_pkg), samples), SimTime::ZERO);
+                        next_pkg += 1;
+                        lc.integrate(SimTime::ZERO);
+                    }
+                    Op::EpochStart => {
+                        lc.on_epoch_start();
+                        served_this_epoch.clear();
+                    }
+                }
+                // One package of tolerance: a single resident package may
+                // exceed a shrunken capacity, never more.
+                prop_assert!(lc.used() <= lc.capacity() + ByteSize::new(50 * 20));
+                prop_assert!(lc.fresh_count() <= lc.len());
+            }
+        }
+    }
+}

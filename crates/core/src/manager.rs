@@ -1,0 +1,831 @@
+//! The iCache cache manager (system overview, §III-A; Algorithm 1).
+
+use crate::{
+    CacheStats, CacheSystem, Fetch, FetchOutcome, HCache, LCache, LCacheConfig, LFetch,
+    MultiJobCoordinator, Packager, PmTierConfig, SampleData, VictimCache,
+};
+use icache_sampling::HList;
+use icache_storage::StorageBackend;
+use icache_types::{
+    ByteSize, Dataset, Epoch, Error, ImportanceValue, JobId, Result, SampleId, SimDuration,
+    SimTime,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// What to do when a requested L-sample is missing from the L-cache
+/// (the §V-E substitution-policy study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Substitution {
+    /// `Def`: no substitution — read the missed sample from storage.
+    None,
+    /// `ST_HC`: substitute with a random H-cache resident (hurts accuracy
+    /// by over-training important samples; shown inferior in Table III).
+    FromH,
+    /// `ST_LC`: substitute with an un-accessed L-cache resident — the
+    /// policy iCache adopts.
+    #[default]
+    FromL,
+}
+
+/// Configuration of an [`IcacheManager`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcacheConfig {
+    /// Total cache capacity (H-cache + L-cache).
+    pub capacity: ByteSize,
+    /// Initial fraction of capacity given to the H-region (the paper's
+    /// default split is 9:1).
+    pub initial_h_fraction: f64,
+    /// Package size used by dynamic packaging (≥ 1 MB in the paper).
+    pub package_size: ByteSize,
+    /// Cost of one client↔server RPC round trip.
+    pub rpc_overhead: SimDuration,
+    /// DRAM copy bandwidth for serving hits, bytes/second.
+    pub dram_bandwidth: f64,
+    /// Enable the multi-job module (benefit probing + AIV aggregation).
+    pub multi_job: bool,
+    /// Benefit threshold above which a job is cache-eligible (paper: 1.5).
+    pub benefit_threshold: f64,
+    /// Samples per probe phase (the paper's 20 mini-batches of 256).
+    pub probe_samples: u64,
+    /// Seed for substitution and packaging randomness.
+    pub seed: u64,
+    /// Sustained throughput of the asynchronous loading thread
+    /// (bytes/second), covering re-packing CPU and its polite, background-
+    /// priority storage reads. Limits how fast the L-cache refreshes.
+    pub loader_bandwidth: f64,
+    /// L-cache miss policy (§V-E; default `ST_LC`).
+    pub substitution: Substitution,
+    /// Disable the L-cache entirely (the Fig. 10 `+HC` ablation: all
+    /// capacity goes to the H-region, L misses always hit storage).
+    pub enable_lcache: bool,
+    /// Manage the cache with H-lists from this job only (the Fig. 14
+    /// `INDA`/`INDB` schemes); updates from other jobs are dropped.
+    pub hlist_filter: Option<JobId>,
+    /// Optional persistent-memory victim tier behind the H-region (§VI
+    /// extension): DRAM evictions spill to PM, and H-misses check PM
+    /// before paying for remote storage.
+    pub pm_tier: Option<PmTierConfig>,
+}
+
+impl IcacheConfig {
+    /// The paper's defaults for a cache holding `cache_fraction` of
+    /// `dataset` (§V-A: 20 % cache, 9:1 split, 1 MB packages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `cache_fraction` is not in
+    /// `(0, 1]`.
+    pub fn for_dataset(dataset: &Dataset, cache_fraction: f64) -> Result<Self> {
+        if !(cache_fraction > 0.0 && cache_fraction <= 1.0) {
+            return Err(Error::invalid_config("cache_fraction", "must be in (0, 1]"));
+        }
+        Ok(IcacheConfig {
+            capacity: dataset.total_bytes().scaled(cache_fraction),
+            initial_h_fraction: 0.9,
+            package_size: ByteSize::mib(1),
+            rpc_overhead: SimDuration::from_micros(50),
+            dram_bandwidth: 10.0e9,
+            multi_job: false,
+            benefit_threshold: 1.5,
+            probe_samples: 20 * 256,
+            seed: 0x1CAC4E,
+            loader_bandwidth: 2.5e6,
+            substitution: Substitution::FromL,
+            enable_lcache: true,
+            hlist_filter: None,
+            pm_tier: None,
+        })
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.capacity.is_zero() {
+            return Err(Error::invalid_config("capacity", "must be non-zero"));
+        }
+        if !(self.initial_h_fraction >= 0.0 && self.initial_h_fraction <= 1.0) {
+            return Err(Error::invalid_config("initial_h_fraction", "must be in [0, 1]"));
+        }
+        if self.package_size.is_zero() {
+            return Err(Error::invalid_config("package_size", "must be non-zero"));
+        }
+        if !(self.dram_bandwidth > 0.0 && self.dram_bandwidth.is_finite()) {
+            return Err(Error::invalid_config("dram_bandwidth", "must be positive and finite"));
+        }
+        if !(self.loader_bandwidth > 0.0 && self.loader_bandwidth.is_finite()) {
+            return Err(Error::invalid_config("loader_bandwidth", "must be positive and finite"));
+        }
+        Ok(())
+    }
+}
+
+/// The iCache server + manager: a two-region importance-informed cache.
+///
+/// * Requests for samples on the requesting job's H-list go to the
+///   [`HCache`]; misses there are fetched from storage and admitted by
+///   importance (Algorithm 1).
+/// * Other requests go to the [`LCache`]; misses there are substituted
+///   with an un-accessed resident L-sample, and an asynchronous loading
+///   thread streams in dynamically re-packed packages.
+/// * Region sizes are re-balanced each epoch from observed access
+///   frequencies: `Size_hcache = Size_cache · f_H / (f_H + f_L)`.
+/// * With [`IcacheConfig::multi_job`] enabled, the embedded
+///   [`MultiJobCoordinator`] probes each job's caching benefit and manages
+///   the heap with aggregated importance values.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct IcacheManager {
+    config: IcacheConfig,
+    dataset: Dataset,
+    hcache: HCache,
+    lcache: LCache,
+    packager: Packager,
+    coordinator: MultiJobCoordinator,
+    effective_iv: HashMap<SampleId, ImportanceValue>,
+    l_pool: Vec<SampleId>,
+    loader_busy: SimTime,
+    rng: StdRng,
+    stats: CacheStats,
+    /// Per-job views of the same counters (multi-tenant observability,
+    /// Fig. 14's per-job hit ratios).
+    job_stats: HashMap<JobId, CacheStats>,
+    h_accesses: u64,
+    l_accesses: u64,
+    /// H-cache residents already used as substitutes this epoch (ST_HC).
+    h_sub_used: std::collections::HashSet<SampleId>,
+    victim: Option<VictimCache>,
+    primary_job: Option<JobId>,
+}
+
+impl IcacheManager {
+    /// Build a manager for `dataset` with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for invalid capacities, fractions,
+    /// or bandwidths.
+    pub fn new(config: IcacheConfig, dataset: &Dataset) -> Result<Self> {
+        config.validate()?;
+        // L-cache floor: one package, but never more than half the cache
+        // (tiny caches would otherwise leave the H-region empty).
+        let min_l = config.package_size.min(config.capacity / 2);
+        let l_capacity = if config.enable_lcache {
+            config
+                .capacity
+                .saturating_sub(config.capacity.scaled(config.initial_h_fraction))
+                .max(min_l)
+        } else {
+            ByteSize::ZERO
+        };
+        let h_capacity = config.capacity.saturating_sub(l_capacity);
+        let coordinator =
+            MultiJobCoordinator::new(dataset.len(), config.benefit_threshold, config.probe_samples)?;
+        let victim = config.pm_tier.clone().map(VictimCache::new).transpose()?;
+        Ok(IcacheManager {
+            victim,
+            hcache: HCache::new(h_capacity),
+            lcache: LCache::new(LCacheConfig { capacity: l_capacity, num_samples: dataset.len() }),
+            packager: Packager::new(config.package_size, config.seed ^ 0xFACC)?,
+            coordinator,
+            effective_iv: HashMap::new(),
+            l_pool: dataset.ids().collect(),
+            loader_busy: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: CacheStats::default(),
+            job_stats: HashMap::new(),
+            h_accesses: 0,
+            l_accesses: 0,
+            h_sub_used: std::collections::HashSet::new(),
+            primary_job: None,
+            dataset: dataset.clone(),
+            config,
+        })
+    }
+
+    /// The embedded multi-job coordinator (read access for reports).
+    pub fn coordinator(&self) -> &MultiJobCoordinator {
+        &self.coordinator
+    }
+
+    /// Current H-region capacity.
+    pub fn h_capacity(&self) -> ByteSize {
+        self.hcache.capacity()
+    }
+
+    /// Current L-region capacity.
+    pub fn l_capacity(&self) -> ByteSize {
+        self.lcache.capacity()
+    }
+
+    /// Number of samples resident in the H-region.
+    pub fn h_len(&self) -> usize {
+        self.hcache.len()
+    }
+
+    /// Number of samples resident in the L-region.
+    pub fn l_len(&self) -> usize {
+        self.lcache.len()
+    }
+
+    /// Whether `id` currently resides in either region (used by the
+    /// distributed cache's directory lookups).
+    pub fn contains_cached(&self, id: SampleId) -> bool {
+        self.hcache.contains(id) || self.lcache.contains(id)
+    }
+
+    /// The PM victim tier, when configured.
+    pub fn pm_tier(&self) -> Option<&VictimCache> {
+        self.victim.as_ref()
+    }
+
+    /// This job's view of the cache counters (Fig. 14's per-job hit
+    /// ratios). Zeroed stats for jobs that never fetched.
+    pub fn stats_for(&self, job: JobId) -> CacheStats {
+        self.job_stats.get(&job).copied().unwrap_or_default()
+    }
+
+    /// Spill evicted H-samples into the PM tier.
+    fn spill_to_pm(&mut self, evicted: &[SampleId]) {
+        if let Some(pm) = &mut self.victim {
+            for &id in evicted {
+                pm.insert(id, self.dataset.sample_size(id));
+            }
+        }
+    }
+
+    fn hit_service(&self, size: ByteSize) -> SimDuration {
+        self.config.rpc_overhead
+            + SimDuration::from_secs_f64(size.as_f64() / self.config.dram_bandwidth)
+    }
+
+    fn admission_value(&self, job: JobId, id: SampleId) -> ImportanceValue {
+        self.effective_iv.get(&id).copied().unwrap_or_else(|| {
+            self.coordinator
+                .hlist(job)
+                .and_then(|h| h.importance(id))
+                .unwrap_or(ImportanceValue::ZERO)
+        })
+    }
+
+    fn maybe_trigger_load(&mut self, now: SimTime, storage: &mut dyn StorageBackend) {
+        if !self.config.enable_lcache
+            || self.lcache.capacity().is_zero()
+            || !self.lcache.wants_load()
+            || self.l_pool.is_empty()
+            // The loading thread issues work only when virtual time has
+            // reached its pacing horizon; submitting future-dated reads
+            // would jump the storage queues past in-flight demand reads.
+            || now < self.loader_busy
+        {
+            return;
+        }
+        let missed = self.lcache.take_missed(4 * 1024);
+        let sizes = |id: SampleId| self.dataset.sample_size(id);
+        // Never build a package larger than the L-region itself.
+        let target = self.config.package_size.min(self.lcache.capacity());
+        let pkg = self.packager.build_with_target(&missed, &self.l_pool, sizes, target);
+        if pkg.is_empty() {
+            return;
+        }
+        let ready = storage.read_package(pkg.total_bytes(), now);
+        // The loading thread also pays its re-packing/decode budget: it
+        // cannot start the next package before its own bandwidth allows.
+        let pacing =
+            SimDuration::from_secs_f64(pkg.total_bytes().as_f64() / self.config.loader_bandwidth);
+        self.loader_busy = ready.max(now + pacing);
+        self.lcache.install_package(pkg, ready);
+    }
+
+    fn rebuild_l_pool(&mut self) {
+        self.l_pool =
+            self.dataset.ids().filter(|&id| !self.coordinator.is_h_for_any(id)).collect();
+    }
+
+    fn fetch_h(
+        &mut self,
+        job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        self.h_accesses += 1;
+        if self.hcache.contains(id) {
+            self.stats.h_hits += 1;
+            self.stats.bytes_from_cache += size;
+            return Fetch {
+                ready_at: now + self.hit_service(size),
+                served_id: id,
+                outcome: FetchOutcome::HitH,
+            };
+        }
+        // PM victim tier: promoted back into DRAM on a hit (§VI).
+        if let Some(pm) = &mut self.victim {
+            if pm.promote(id).is_some() {
+                self.stats.pm_hits += 1;
+                self.stats.bytes_from_cache += size;
+                let ready = now + self.config.rpc_overhead + pm.read_cost(size);
+                let iv = self.admission_value(job, id);
+                let result = self.hcache.admit(SampleData::generate(id, size), iv);
+                if result.admitted {
+                    self.stats.insertions += 1;
+                    self.stats.evictions += result.evicted.len() as u64;
+                }
+                let evicted = result.evicted;
+                self.spill_to_pm(&evicted);
+                return Fetch { ready_at: ready, served_id: id, outcome: FetchOutcome::HitH };
+            }
+        }
+        // Miss: read from storage and decide admission (Alg. 1 lines 8–16).
+        let done = storage.read_sample(id, size, now);
+        self.stats.misses += 1;
+        self.stats.bytes_from_storage += size;
+        let iv = self.admission_value(job, id);
+        let result = self.hcache.admit(SampleData::generate(id, size), iv);
+        if result.admitted {
+            self.stats.insertions += 1;
+            self.stats.evictions += result.evicted.len() as u64;
+        } else {
+            self.stats.rejections += 1;
+        }
+        self.spill_to_pm(&result.evicted);
+        Fetch {
+            ready_at: done + self.config.rpc_overhead,
+            served_id: id,
+            outcome: FetchOutcome::Miss,
+        }
+    }
+
+    fn fetch_l(
+        &mut self,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+        allow_substitute: bool,
+    ) -> Fetch {
+        self.l_accesses += 1;
+        if !self.config.enable_lcache {
+            return self.storage_miss(id, size, now, storage);
+        }
+        if !allow_substitute || self.config.substitution == Substitution::None {
+            return if self.lcache.lookup_no_substitute(id) {
+                self.stats.l_hits += 1;
+                self.stats.bytes_from_cache += size;
+                Fetch {
+                    ready_at: now + self.hit_service(size),
+                    served_id: id,
+                    outcome: FetchOutcome::HitL,
+                }
+            } else {
+                self.storage_miss(id, size, now, storage)
+            };
+        }
+        match self.lcache.lookup(id, &mut self.rng) {
+            LFetch::Hit => {
+                self.stats.l_hits += 1;
+                self.stats.bytes_from_cache += size;
+                Fetch {
+                    ready_at: now + self.hit_service(size),
+                    served_id: id,
+                    outcome: FetchOutcome::HitL,
+                }
+            }
+            // The L-cache proposes an un-accessed L resident; the final
+            // decision follows the configured §V-E policy.
+            LFetch::Substitute(sub) => match self.config.substitution {
+                Substitution::FromL => {
+                    self.stats.substitutions += 1;
+                    let sub_size = self.dataset.sample_size(sub);
+                    self.stats.bytes_from_cache += sub_size;
+                    Fetch {
+                        ready_at: now + self.hit_service(sub_size),
+                        served_id: sub,
+                        outcome: FetchOutcome::Substituted { by: sub, from_h: false },
+                    }
+                }
+                Substitution::FromH => self.substitute_from_h(id, size, now, storage),
+                Substitution::None => self.storage_miss(id, size, now, storage),
+            },
+            LFetch::Empty => match self.config.substitution {
+                Substitution::FromH => self.substitute_from_h(id, size, now, storage),
+                _ => self.storage_miss(id, size, now, storage),
+            },
+        }
+    }
+
+    fn substitute_from_h(
+        &mut self,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        // Substitutes must not repeat within an epoch (the same freshness
+        // rule the L-cache applies); bounded retries keep the draw O(1).
+        let mut pick = None;
+        for _ in 0..8 {
+            match self.hcache.random_resident(&mut self.rng) {
+                Some(c) if !self.h_sub_used.contains(&c) => {
+                    pick = Some(c);
+                    break;
+                }
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        match pick {
+            Some(sub) => {
+                self.h_sub_used.insert(sub);
+                self.stats.substitutions += 1;
+                let sub_size = self.dataset.sample_size(sub);
+                self.stats.bytes_from_cache += sub_size;
+                Fetch {
+                    ready_at: now + self.hit_service(sub_size),
+                    served_id: sub,
+                    outcome: FetchOutcome::Substituted { by: sub, from_h: true },
+                }
+            }
+            None => self.storage_miss(id, size, now, storage),
+        }
+    }
+
+    fn storage_miss(
+        &mut self,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        let done = storage.read_sample(id, size, now);
+        self.stats.misses += 1;
+        self.stats.bytes_from_storage += size;
+        Fetch {
+            ready_at: done + self.config.rpc_overhead,
+            served_id: id,
+            outcome: FetchOutcome::Miss,
+        }
+    }
+}
+
+impl CacheSystem for IcacheManager {
+    fn name(&self) -> &str {
+        "icache"
+    }
+
+    fn fetch(
+        &mut self,
+        job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        if self.primary_job.is_none() {
+            self.primary_job = Some(job);
+        }
+        self.lcache.integrate(now);
+
+        // Benefit probe, phase 1: bypass the cache entirely (§III-D).
+        if self.config.multi_job {
+            self.coordinator.register_job(job);
+            if self.coordinator.should_bypass(job) {
+                let done = storage.read_sample(id, size, now) + self.config.rpc_overhead;
+                self.stats.misses += 1;
+                self.stats.bytes_from_storage += size;
+                let per_job = self.job_stats.entry(job).or_default();
+                per_job.misses += 1;
+                per_job.bytes_from_storage += size;
+                self.coordinator.record_fetch(job, done.saturating_since(now));
+                return Fetch { ready_at: done, served_id: id, outcome: FetchOutcome::Miss };
+            }
+        }
+
+        // Before the first H-list arrives (the warm-up epoch) there is no
+        // importance information: serve as a plain pass-through + fill,
+        // without substitution — warm-up must remain a clean full pass.
+        let have_hlist = self.coordinator.hlist(job).is_some();
+        let is_h = self.coordinator.hlist(job).is_some_and(|h| h.contains(id));
+        let before = self.stats;
+        let fetch = if is_h {
+            self.fetch_h(job, id, size, now, storage)
+        } else {
+            self.fetch_l(id, size, now, storage, have_hlist)
+        };
+        // Attribute this fetch's counter movement to the requesting job.
+        let delta = self.stats.delta_since(&before);
+        let per_job = self.job_stats.entry(job).or_default();
+        per_job.h_hits += delta.h_hits;
+        per_job.l_hits += delta.l_hits;
+        per_job.pm_hits += delta.pm_hits;
+        per_job.substitutions += delta.substitutions;
+        per_job.misses += delta.misses;
+        per_job.insertions += delta.insertions;
+        per_job.evictions += delta.evictions;
+        per_job.rejections += delta.rejections;
+        per_job.bytes_from_cache += delta.bytes_from_cache;
+        per_job.bytes_from_storage += delta.bytes_from_storage;
+
+        if self.config.multi_job {
+            self.coordinator.record_fetch(job, fetch.ready_at.saturating_since(now));
+        }
+        self.maybe_trigger_load(now, storage);
+        fetch
+    }
+
+    fn update_hlist(&mut self, job: JobId, hlist: &HList) {
+        if self.config.hlist_filter.is_some_and(|only| only != job) {
+            return;
+        }
+        self.coordinator.set_hlist(job, hlist.clone());
+        self.effective_iv = if self.config.multi_job && self.coordinator.job_count() > 1 {
+            self.coordinator.aggregate()
+        } else {
+            hlist.entries().iter().map(|e| (e.id, e.iv)).collect()
+        };
+        self.hcache.begin_refresh(&self.effective_iv);
+        self.rebuild_l_pool();
+    }
+
+    fn on_epoch_start(&mut self, job: JobId, _epoch: Epoch) {
+        if self.config.multi_job {
+            self.coordinator.register_job(job);
+            self.coordinator.on_epoch_start(job);
+        }
+        if self.primary_job.is_none() {
+            self.primary_job = Some(job);
+        }
+        if self.primary_job == Some(job) {
+            self.lcache.on_epoch_start();
+            self.h_sub_used.clear();
+        }
+    }
+
+    fn on_epoch_end(&mut self, job: JobId, _epoch: Epoch) {
+        if self.primary_job != Some(job) {
+            return;
+        }
+        self.hcache.finish_refresh();
+        // Frequency-driven region re-balancing (§III-A). Warm-up accesses
+        // carry no H/L classification, so rebalancing waits for the first
+        // H-list.
+        let total = self.h_accesses + self.l_accesses;
+        if total > 0 && self.config.enable_lcache && self.coordinator.any_hlist() {
+            let h_frac = self.h_accesses as f64 / total as f64;
+            let min_l = self.config.package_size.min(self.config.capacity / 2);
+            let h_cap = self
+                .config
+                .capacity
+                .scaled(h_frac)
+                .min(self.config.capacity.saturating_sub(min_l));
+            let evicted = self.hcache.resize(h_cap);
+            self.stats.evictions += evicted.len() as u64;
+            self.spill_to_pm(&evicted);
+            self.lcache.set_capacity(self.config.capacity.saturating_sub(h_cap));
+        }
+        self.h_accesses = 0;
+        self.l_accesses = 0;
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        self.job_stats.clear();
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.hcache.used() + self.lcache.used()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.config.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_sampling::ImportanceTable;
+    use icache_storage::{LocalTier, Pfs, PfsConfig};
+    use icache_types::DatasetBuilder;
+
+    fn tiny_dataset() -> Dataset {
+        DatasetBuilder::new("tiny", 1_000)
+            .size_model(icache_types::SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .unwrap()
+    }
+
+    fn manager(ds: &Dataset, frac: f64) -> IcacheManager {
+        IcacheManager::new(IcacheConfig::for_dataset(ds, frac).unwrap(), ds).unwrap()
+    }
+
+    fn hlist(ds: &Dataset, hot: u64, frac: f64) -> HList {
+        let mut t = ImportanceTable::new(ds.len());
+        for i in 0..ds.len() {
+            t.record_loss(SampleId(i), if i < hot { 10.0 + i as f64 } else { 0.01 });
+        }
+        HList::top_fraction(&t, frac)
+    }
+
+    #[test]
+    fn config_for_dataset_sizes_regions() {
+        let ds = tiny_dataset();
+        let m = manager(&ds, 0.2);
+        assert_eq!(m.capacity(), ds.total_bytes().scaled(0.2));
+        assert!(m.l_capacity() >= ByteSize::mib(1).min(m.capacity() / 2));
+        assert_eq!(m.h_capacity() + m.l_capacity(), m.capacity());
+    }
+
+    #[test]
+    fn h_sample_miss_then_hit() {
+        let ds = tiny_dataset();
+        let mut m = manager(&ds, 0.2);
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hlist(&ds, 100, 0.1));
+
+        let id = SampleId(0);
+        let sz = ds.sample_size(id);
+        let first = m.fetch(JobId(0), id, sz, SimTime::ZERO, &mut st);
+        assert_eq!(first.outcome, FetchOutcome::Miss);
+        let second = m.fetch(JobId(0), id, sz, first.ready_at, &mut st);
+        assert_eq!(second.outcome, FetchOutcome::HitH);
+        assert_eq!(m.stats().h_hits, 1);
+        assert_eq!(m.stats().misses, 1);
+    }
+
+    #[test]
+    fn l_sample_requests_trigger_package_loads_and_substitution() {
+        let ds = tiny_dataset();
+        let mut m = manager(&ds, 0.2);
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hlist(&ds, 100, 0.1));
+        m.on_epoch_start(JobId(0), Epoch(0));
+
+        // First L request misses (cache cold) and kicks the loader.
+        let f0 = m.fetch(JobId(0), SampleId(999), ds.sample_size(SampleId(999)), SimTime::ZERO, &mut st);
+        assert_eq!(f0.outcome, FetchOutcome::Miss);
+        // Give the loader time to land packages, then request more L samples.
+        let mut now = SimTime::from_nanos(50_000_000);
+        let mut served_from_cache = 0;
+        for i in 900..999u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+            if f.outcome.served_from_cache() {
+                served_from_cache += 1;
+            }
+        }
+        assert!(served_from_cache > 50, "only {served_from_cache} L requests served from cache");
+        assert!(m.l_len() > 0);
+    }
+
+    #[test]
+    fn hlist_update_refreshes_admission_values() {
+        let ds = tiny_dataset();
+        let mut m = manager(&ds, 0.05);
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hlist(&ds, 50, 0.05));
+        // Fill H-cache with hot samples.
+        let mut now = SimTime::ZERO;
+        for i in 0..50u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+        assert!(m.h_len() > 0);
+        // New H-list with different hot set: old residents demote to zero.
+        m.update_hlist(JobId(0), &hlist(&ds, 100, 0.05));
+        assert!(m.h_len() > 0);
+    }
+
+    #[test]
+    fn epoch_end_rebalances_regions_by_frequency() {
+        let ds = tiny_dataset();
+        let mut m = manager(&ds, 0.2);
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hlist(&ds, 100, 0.1));
+        m.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        // 90% of accesses go to H samples.
+        for rep in 0..9 {
+            for i in 0..100u64 {
+                let _ = rep;
+                let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+                now = f.ready_at;
+            }
+        }
+        for i in 900..1000u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+        let h_before = m.h_capacity();
+        m.on_epoch_end(JobId(0), Epoch(0));
+        assert!(m.h_capacity() >= h_before, "9:1 access ratio keeps H large");
+        assert_eq!(m.h_capacity() + m.l_capacity(), m.capacity());
+    }
+
+    #[test]
+    fn multi_job_probe_bypasses_then_uses_cache() {
+        let ds = tiny_dataset();
+        let mut cfg = IcacheConfig::for_dataset(&ds, 0.2).unwrap();
+        cfg.multi_job = true;
+        cfg.probe_samples = 5;
+        let mut m = IcacheManager::new(cfg, &ds).unwrap();
+        let mut st = Pfs::new(PfsConfig::orangefs_default()).unwrap();
+        m.update_hlist(JobId(0), &hlist(&ds, 100, 0.1));
+        m.on_epoch_start(JobId(0), Epoch(0));
+
+        let mut now = SimTime::ZERO;
+        for i in 0..5u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            assert_eq!(f.outcome, FetchOutcome::Miss, "probe phase 1 bypasses");
+            now = f.ready_at;
+        }
+        // Phase 2: H hits now count (samples 0..5 were NOT admitted during
+        // bypass, so fetch them again: misses first, then hits).
+        for i in 0..5u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+        assert!(m.coordinator().benefit(JobId(0)).is_some());
+    }
+
+    #[test]
+    fn capacity_accounting_spans_both_regions() {
+        let ds = tiny_dataset();
+        let mut m = manager(&ds, 0.2);
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hlist(&ds, 100, 0.1));
+        m.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        for i in 0..1000u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+        assert!(m.used_bytes() <= m.capacity());
+        assert!(m.used_bytes() > ByteSize::ZERO);
+    }
+
+    #[test]
+    fn per_job_stats_partition_the_global_counters() {
+        let ds = tiny_dataset();
+        let mut m = manager(&ds, 0.2);
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hlist(&ds, 200, 0.3));
+        m.update_hlist(JobId(1), &hlist(&ds, 200, 0.3));
+        m.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        for i in 0..60u64 {
+            let job = JobId((i % 2) as u32);
+            let f = m.fetch(job, SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+        let s0 = m.stats_for(JobId(0));
+        let s1 = m.stats_for(JobId(1));
+        let total = m.stats();
+        assert_eq!(s0.requests() + s1.requests(), total.requests());
+        assert_eq!(s0.requests(), 30);
+        assert_eq!(s1.requests(), 30);
+        assert_eq!(m.stats_for(JobId(9)).requests(), 0, "unknown jobs are zeroed");
+    }
+
+    #[test]
+    fn pm_tier_catches_dram_evictions() {
+        let ds = tiny_dataset();
+        // Tiny DRAM cache so evictions flow; PM large enough to hold them.
+        let mut cfg = IcacheConfig::for_dataset(&ds, 0.05).unwrap();
+        cfg.pm_tier = Some(crate::PmTierConfig::optane(ds.total_bytes()));
+        let mut m = IcacheManager::new(cfg, &ds).unwrap();
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hlist(&ds, 500, 0.5));
+        m.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        // Sweep enough H-samples to overflow DRAM into PM…
+        for pass in 0..2 {
+            for i in 0..500u64 {
+                let _ = pass;
+                let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+                now = f.ready_at;
+            }
+        }
+        let s = m.stats();
+        assert!(s.evictions > 0, "DRAM must have spilled");
+        assert!(s.pm_hits > 0, "re-reads of spilled samples must hit PM");
+        assert_eq!(m.pm_tier().unwrap().hits(), s.pm_hits);
+        // PM hits are cache hits in the paper's metric.
+        assert!(s.hit_ratio() > s.strict_hit_ratio() - 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let ds = tiny_dataset();
+        assert!(IcacheConfig::for_dataset(&ds, 0.0).is_err());
+        assert!(IcacheConfig::for_dataset(&ds, 1.5).is_err());
+        let mut cfg = IcacheConfig::for_dataset(&ds, 0.2).unwrap();
+        cfg.dram_bandwidth = -1.0;
+        assert!(IcacheManager::new(cfg, &ds).is_err());
+    }
+}

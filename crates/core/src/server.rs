@@ -1,0 +1,241 @@
+//! Request/response server facade (§IV API parity).
+//!
+//! The paper's server is a Go process speaking gRPC: clients call
+//! `rpc_loader` to fetch batches and `update_ipersample` to push
+//! importance updates. This module reproduces that wire-level shape — a
+//! typed request/response envelope over the in-process manager — so that
+//! a downstream user porting the design to a real transport has the exact
+//! message vocabulary and dispatch loop to lift out.
+
+use crate::{CacheStats, CacheSystem, Fetch};
+use icache_sampling::HList;
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, Dataset, Epoch, JobId, SampleId, SimTime};
+
+/// A request a client can send to the iCache server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `rpc_loader`: fetch a batch of samples for a job.
+    Load {
+        /// The requesting job.
+        job: JobId,
+        /// Samples to fetch, in batch order.
+        ids: Vec<SampleId>,
+        /// Virtual submission time of the batch.
+        now: SimTime,
+    },
+    /// `update_ipersample`: push the job's fresh H-list.
+    UpdateImportance {
+        /// The publishing job.
+        job: JobId,
+        /// The new H-list.
+        hlist: HList,
+    },
+    /// Epoch boundary notification (start).
+    EpochStart {
+        /// The job whose epoch begins.
+        job: JobId,
+        /// Which epoch begins.
+        epoch: Epoch,
+    },
+    /// Epoch boundary notification (end).
+    EpochEnd {
+        /// The job whose epoch ended.
+        job: JobId,
+        /// Which epoch ended.
+        epoch: Epoch,
+    },
+    /// Fetch the server's counters.
+    Stats,
+}
+
+/// The server's reply to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Load`]: one [`Fetch`] per requested id.
+    Batch(Vec<Fetch>),
+    /// Acknowledgement of a state-changing request.
+    Ack,
+    /// Reply to [`Request::Stats`].
+    Stats(CacheStats),
+    /// The request referenced a sample outside the dataset.
+    UnknownSample(SampleId),
+}
+
+/// The iCache server: dispatches [`Request`]s onto any [`CacheSystem`].
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::{IcacheConfig, IcacheManager, IcacheServer, Request, Response};
+/// use icache_storage::LocalTier;
+/// use icache_types::{Dataset, JobId, SampleId, SimTime};
+///
+/// let ds = Dataset::cifar10();
+/// let manager = IcacheManager::new(IcacheConfig::for_dataset(&ds, 0.2)?, &ds)?;
+/// let mut server = IcacheServer::new(manager, ds);
+/// let mut storage = LocalTier::tmpfs();
+///
+/// let reply = server.handle(
+///     Request::Load { job: JobId(0), ids: vec![SampleId(1), SampleId(2)], now: SimTime::ZERO },
+///     &mut storage,
+/// );
+/// match reply {
+///     Response::Batch(fetches) => assert_eq!(fetches.len(), 2),
+///     other => panic!("unexpected reply {other:?}"),
+/// }
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct IcacheServer<C> {
+    cache: C,
+    dataset: Dataset,
+    requests_served: u64,
+}
+
+impl<C: CacheSystem> IcacheServer<C> {
+    /// Wrap `cache` (serving `dataset`) behind the request interface.
+    pub fn new(cache: C, dataset: Dataset) -> Self {
+        IcacheServer { cache, dataset, requests_served: 0 }
+    }
+
+    /// The wrapped cache (read access).
+    pub fn cache(&self) -> &C {
+        &self.cache
+    }
+
+    /// Total requests dispatched.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Unwrap the server back into its cache.
+    pub fn into_cache(self) -> C {
+        self.cache
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&mut self, request: Request, storage: &mut dyn StorageBackend) -> Response {
+        self.requests_served += 1;
+        match request {
+            Request::Load { job, ids, now } => {
+                let mut out = Vec::with_capacity(ids.len());
+                let mut t = now;
+                for id in ids {
+                    if !self.dataset.contains(id) {
+                        return Response::UnknownSample(id);
+                    }
+                    let f = self.cache.fetch(job, id, self.dataset.sample_size(id), t, storage);
+                    t = f.ready_at;
+                    out.push(f);
+                }
+                Response::Batch(out)
+            }
+            Request::UpdateImportance { job, hlist } => {
+                self.cache.update_hlist(job, &hlist);
+                Response::Ack
+            }
+            Request::EpochStart { job, epoch } => {
+                self.cache.on_epoch_start(job, epoch);
+                Response::Ack
+            }
+            Request::EpochEnd { job, epoch } => {
+                self.cache.on_epoch_end(job, epoch);
+                Response::Ack
+            }
+            Request::Stats => Response::Stats(self.cache.stats()),
+        }
+    }
+
+    /// Current cache occupancy (diagnostics).
+    pub fn used_bytes(&self) -> ByteSize {
+        self.cache.used_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IcacheConfig, IcacheManager};
+    use icache_sampling::ImportanceTable;
+    use icache_storage::LocalTier;
+    use icache_types::{ByteSize, DatasetBuilder, SizeModel};
+
+    fn server() -> (IcacheServer<IcacheManager>, LocalTier, Dataset) {
+        let ds = DatasetBuilder::new("srv", 500)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .unwrap();
+        let mgr = IcacheManager::new(IcacheConfig::for_dataset(&ds, 0.3).unwrap(), &ds).unwrap();
+        (IcacheServer::new(mgr, ds.clone()), LocalTier::tmpfs(), ds)
+    }
+
+    #[test]
+    fn load_then_stats_roundtrip() {
+        let (mut srv, mut st, _ds) = server();
+        let r = srv.handle(
+            Request::Load { job: JobId(0), ids: (0..8).map(SampleId).collect(), now: SimTime::ZERO },
+            &mut st,
+        );
+        let Response::Batch(fetches) = r else { panic!("expected batch") };
+        assert_eq!(fetches.len(), 8);
+        let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else {
+            panic!("expected stats")
+        };
+        assert_eq!(stats.requests(), 8);
+        assert_eq!(srv.requests_served(), 2);
+    }
+
+    #[test]
+    fn importance_update_changes_routing() {
+        let (mut srv, mut st, ds) = server();
+        let mut t = ImportanceTable::new(ds.len());
+        for id in ds.ids() {
+            t.record_loss(id, if id.0 < 100 { 90.0 } else { 0.01 });
+        }
+        let ack = srv.handle(
+            Request::UpdateImportance {
+                job: JobId(0),
+                hlist: icache_sampling::HList::top_fraction(&t, 0.2),
+            },
+            &mut st,
+        );
+        assert_eq!(ack, Response::Ack);
+        // An H-sample loads, then hits the H-region.
+        for _ in 0..2 {
+            srv.handle(
+                Request::Load { job: JobId(0), ids: vec![SampleId(5)], now: SimTime::ZERO },
+                &mut st,
+            );
+        }
+        let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else { panic!() };
+        assert_eq!(stats.h_hits, 1);
+    }
+
+    #[test]
+    fn unknown_samples_are_rejected_without_side_effects() {
+        let (mut srv, mut st, _ds) = server();
+        let r = srv.handle(
+            Request::Load { job: JobId(0), ids: vec![SampleId(9_999)], now: SimTime::ZERO },
+            &mut st,
+        );
+        assert_eq!(r, Response::UnknownSample(SampleId(9_999)));
+        let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else { panic!() };
+        assert_eq!(stats.requests(), 0);
+    }
+
+    #[test]
+    fn epoch_notifications_ack() {
+        let (mut srv, mut st, _ds) = server();
+        assert_eq!(
+            srv.handle(Request::EpochStart { job: JobId(0), epoch: Epoch(0) }, &mut st),
+            Response::Ack
+        );
+        assert_eq!(
+            srv.handle(Request::EpochEnd { job: JobId(0), epoch: Epoch(0) }, &mut st),
+            Response::Ack
+        );
+        let cache = srv.into_cache();
+        assert_eq!(cache.name(), "icache");
+    }
+}

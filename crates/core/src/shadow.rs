@@ -1,0 +1,573 @@
+//! The shadow-heap refresh mechanism.
+
+use crate::HHeap;
+use icache_types::{ImportanceValue, SampleId};
+use std::collections::HashMap;
+
+/// An H-heap with the paper's *shadow heap* refresh protocol (§III-B).
+///
+/// Importance values change between epochs. Rebuilding the whole heap with
+/// fresh keys would block the fetch path for `O(n log n)`; instead, when new
+/// values arrive ([`ShadowedHeap::begin_refresh`]):
+///
+/// * the current heap is **frozen** — it becomes read-only and is *used
+///   only for item eviction* (its stale keys still identify reasonable
+///   victims, because importance is strongly autocorrelated across
+///   epochs);
+/// * all changes — insertions, evictions, value updates — are **recorded
+///   in the shadow heap** under the new keys;
+/// * nodes migrate lazily from frozen to shadow as they are touched, and
+///   whatever remains migrates in bulk on [`ShadowedHeap::finish_refresh`]
+///   (or automatically once the frozen heap drains).
+///
+/// Outside a refresh window the type behaves exactly like [`HHeap`].
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::ShadowedHeap;
+/// use icache_types::{ImportanceValue, SampleId};
+/// use std::collections::HashMap;
+///
+/// let mut heap = ShadowedHeap::new();
+/// heap.insert(SampleId(1), ImportanceValue::new(1.0)?);
+/// heap.insert(SampleId(2), ImportanceValue::new(2.0)?);
+///
+/// // New epoch: sample 1 became very important.
+/// let mut fresh = HashMap::new();
+/// fresh.insert(SampleId(1), ImportanceValue::new(9.0)?);
+/// heap.begin_refresh(fresh);
+///
+/// // Eviction still serves from the frozen heap's (old) order…
+/// assert_eq!(heap.peek_evict_candidate().map(|(id, _)| id), Some(SampleId(1)));
+/// heap.finish_refresh();
+/// // …but after the refresh the new key is in force.
+/// assert_eq!(heap.key_of(SampleId(1)), Some(ImportanceValue::new(9.0)?));
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShadowedHeap {
+    active: HHeap,
+    refresh: Option<RefreshState>,
+}
+
+#[derive(Debug, Clone)]
+struct RefreshState {
+    /// The pre-refresh heap: stale keys, eviction source.
+    frozen: HHeap,
+    /// The post-refresh heap under construction: fresh keys.
+    shadow: HHeap,
+    /// New keys not yet applied to nodes still sitting in `frozen`.
+    pending: HashMap<SampleId, ImportanceValue>,
+}
+
+impl ShadowedHeap {
+    /// An empty heap, not refreshing.
+    pub fn new() -> Self {
+        ShadowedHeap::default()
+    }
+
+    /// Whether a refresh window is open.
+    pub fn is_refreshing(&self) -> bool {
+        self.refresh.is_some()
+    }
+
+    /// Total number of tracked samples.
+    pub fn len(&self) -> usize {
+        match &self.refresh {
+            Some(r) => r.frozen.len() + r.shadow.len(),
+            None => self.active.len(),
+        }
+    }
+
+    /// True when no samples are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` is tracked (in whichever heap).
+    pub fn contains(&self, id: SampleId) -> bool {
+        match &self.refresh {
+            Some(r) => r.frozen.contains(id) || r.shadow.contains(id),
+            None => self.active.contains(id),
+        }
+    }
+
+    /// The key currently associated with `id`. During a refresh this is
+    /// the *new* key when one is known (shadow or pending), otherwise the
+    /// frozen key.
+    pub fn key_of(&self, id: SampleId) -> Option<ImportanceValue> {
+        match &self.refresh {
+            Some(r) => r
+                .shadow
+                .key_of(id)
+                .or_else(|| r.pending.get(&id).copied().filter(|_| r.frozen.contains(id)))
+                .or_else(|| r.frozen.key_of(id)),
+            None => self.active.key_of(id),
+        }
+    }
+
+    /// Open a refresh window: freeze the current heap and record `fresh`
+    /// as the new keys to apply. If a window is already open it is first
+    /// finished.
+    pub fn begin_refresh(&mut self, fresh: HashMap<SampleId, ImportanceValue>) {
+        if self.refresh.is_some() {
+            self.finish_refresh();
+        }
+        let frozen = std::mem::take(&mut self.active);
+        self.refresh = Some(RefreshState { frozen, shadow: HHeap::new(), pending: fresh });
+    }
+
+    /// Close the refresh window: migrate every remaining frozen node into
+    /// the shadow heap (applying its pending key if one exists) and make
+    /// the shadow heap active. A no-op when no window is open.
+    pub fn finish_refresh(&mut self) {
+        if let Some(mut r) = self.refresh.take() {
+            for (id, old_key) in r.frozen.drain() {
+                let key = r.pending.get(&id).copied().unwrap_or(old_key);
+                r.shadow.insert(id, key);
+            }
+            self.active = r.shadow;
+        }
+    }
+
+    /// Insert `id` (or re-key it). During a refresh the change is recorded
+    /// in the shadow heap; a node still in the frozen heap migrates.
+    /// Returns true when `id` was not previously tracked.
+    pub fn insert(&mut self, id: SampleId, iv: ImportanceValue) -> bool {
+        match &mut self.refresh {
+            Some(r) => {
+                let was_frozen = r.frozen.remove(id).is_some();
+                r.pending.remove(&id);
+                let newly = r.shadow.insert(id, iv);
+                let result = newly && !was_frozen;
+                self.auto_finish();
+                result
+            }
+            None => self.active.insert(id, iv),
+        }
+    }
+
+    /// Remove `id` from whichever heap currently tracks it.
+    pub fn remove(&mut self, id: SampleId) -> Option<ImportanceValue> {
+        match &mut self.refresh {
+            Some(r) => {
+                let out = r.frozen.remove(id).or_else(|| r.shadow.remove(id));
+                r.pending.remove(&id);
+                self.auto_finish();
+                out
+            }
+            None => self.active.remove(id),
+        }
+    }
+
+    /// Re-key `id`. Returns false when it is not tracked.
+    pub fn update_key(&mut self, id: SampleId, iv: ImportanceValue) -> bool {
+        match &mut self.refresh {
+            Some(r) => {
+                if r.frozen.remove(id).is_some() {
+                    r.pending.remove(&id);
+                    r.shadow.insert(id, iv);
+                    self.auto_finish();
+                    true
+                } else {
+                    r.shadow.update_key(id, iv)
+                }
+            }
+            None => self.active.update_key(id, iv),
+        }
+    }
+
+    /// The current eviction candidate. During a refresh this is the frozen
+    /// heap's top node (the paper's "read-only, used only for item
+    /// eviction"); once the frozen heap drains, the shadow's.
+    pub fn peek_evict_candidate(&self) -> Option<(SampleId, ImportanceValue)> {
+        match &self.refresh {
+            Some(r) => r.frozen.peek_min().or_else(|| r.shadow.peek_min()),
+            None => self.active.peek_min(),
+        }
+    }
+
+    /// Pop the eviction candidate.
+    pub fn pop_evict(&mut self) -> Option<(SampleId, ImportanceValue)> {
+        match &mut self.refresh {
+            Some(r) => {
+                let out = r.frozen.pop_min().or_else(|| r.shadow.pop_min());
+                if let Some((id, _)) = out {
+                    r.pending.remove(&id);
+                }
+                self.auto_finish();
+                out
+            }
+            None => self.active.pop_min(),
+        }
+    }
+
+    /// The id at dense slot `index` across whichever heaps are live
+    /// (frozen first, then shadow). Enables O(1) random resident picks.
+    pub fn id_at(&self, index: usize) -> Option<SampleId> {
+        match &self.refresh {
+            Some(r) => {
+                if index < r.frozen.len() {
+                    r.frozen.id_at(index)
+                } else {
+                    r.shadow.id_at(index - r.frozen.len())
+                }
+            }
+            None => self.active.id_at(index),
+        }
+    }
+
+    fn auto_finish(&mut self) {
+        if self.refresh.as_ref().is_some_and(|r| r.frozen.is_empty()) {
+            self.finish_refresh();
+        }
+    }
+
+    /// Naive alternative to the shadow protocol: rebuild the entire heap
+    /// with `fresh` keys at once. Exposed for the ablation benchmark that
+    /// compares refresh costs.
+    pub fn rebuild_naive(&mut self, fresh: &HashMap<SampleId, ImportanceValue>) {
+        self.finish_refresh();
+        let nodes = self.active.drain();
+        let mut rebuilt = HHeap::with_capacity(nodes.len());
+        for (id, old) in nodes {
+            rebuilt.insert(id, fresh.get(&id).copied().unwrap_or(old));
+        }
+        self.active = rebuilt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(v: f64) -> ImportanceValue {
+        ImportanceValue::new(v).unwrap()
+    }
+
+    fn heap_with(vals: &[(u64, f64)]) -> ShadowedHeap {
+        let mut h = ShadowedHeap::new();
+        for &(id, v) in vals {
+            h.insert(SampleId(id), iv(v));
+        }
+        h
+    }
+
+    #[test]
+    fn behaves_like_plain_heap_outside_refresh() {
+        let mut h = heap_with(&[(1, 3.0), (2, 1.0), (3, 2.0)]);
+        assert_eq!(h.pop_evict().unwrap().0, SampleId(2));
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_refreshing());
+    }
+
+    #[test]
+    fn eviction_during_refresh_uses_frozen_order() {
+        let mut h = heap_with(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        // New values invert the order, but evictions still follow the old.
+        let fresh: HashMap<_, _> =
+            [(SampleId(1), iv(30.0)), (SampleId(2), iv(20.0)), (SampleId(3), iv(10.0))].into();
+        h.begin_refresh(fresh);
+        assert!(h.is_refreshing());
+        assert_eq!(h.pop_evict().unwrap().0, SampleId(1), "frozen min, stale key");
+    }
+
+    #[test]
+    fn finish_refresh_applies_pending_keys() {
+        let mut h = heap_with(&[(1, 1.0), (2, 2.0)]);
+        h.begin_refresh([(SampleId(1), iv(9.0))].into());
+        h.finish_refresh();
+        assert!(!h.is_refreshing());
+        assert_eq!(h.key_of(SampleId(1)), Some(iv(9.0)));
+        assert_eq!(h.key_of(SampleId(2)), Some(iv(2.0)), "no pending key keeps old");
+        assert_eq!(h.peek_evict_candidate().unwrap().0, SampleId(2));
+    }
+
+    #[test]
+    fn touched_nodes_migrate_to_shadow() {
+        let mut h = heap_with(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        h.begin_refresh(HashMap::new());
+        assert!(h.update_key(SampleId(1), iv(50.0)));
+        // id 1 left the frozen heap: the eviction candidate is now id 2.
+        assert_eq!(h.peek_evict_candidate().unwrap().0, SampleId(2));
+        assert_eq!(h.key_of(SampleId(1)), Some(iv(50.0)));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn inserts_during_refresh_land_in_shadow() {
+        let mut h = heap_with(&[(1, 5.0)]);
+        h.begin_refresh(HashMap::new());
+        assert!(h.insert(SampleId(9), iv(0.1)));
+        // Frozen still nonempty: candidate comes from frozen despite the
+        // shadow holding a smaller key.
+        assert_eq!(h.peek_evict_candidate().unwrap().0, SampleId(1));
+        h.pop_evict();
+        // Frozen drained -> refresh auto-finishes, shadow takes over.
+        assert!(!h.is_refreshing());
+        assert_eq!(h.peek_evict_candidate().unwrap().0, SampleId(9));
+    }
+
+    #[test]
+    fn reinserting_frozen_node_does_not_double_count() {
+        let mut h = heap_with(&[(1, 5.0), (2, 6.0)]);
+        h.begin_refresh(HashMap::new());
+        assert!(!h.insert(SampleId(1), iv(7.0)), "already tracked");
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn remove_reaches_both_heaps() {
+        let mut h = heap_with(&[(1, 1.0), (2, 2.0)]);
+        h.begin_refresh(HashMap::new());
+        h.insert(SampleId(3), iv(3.0));
+        assert_eq!(h.remove(SampleId(3)), Some(iv(3.0)), "from shadow");
+        assert_eq!(h.remove(SampleId(1)), Some(iv(1.0)), "from frozen");
+        assert_eq!(h.remove(SampleId(42)), None);
+    }
+
+    #[test]
+    fn begin_refresh_twice_finishes_first_window() {
+        let mut h = heap_with(&[(1, 1.0)]);
+        h.begin_refresh([(SampleId(1), iv(4.0))].into());
+        h.begin_refresh(HashMap::new());
+        // First window's pending key must have been applied.
+        assert_eq!(h.key_of(SampleId(1)), Some(iv(4.0)));
+    }
+
+    #[test]
+    fn rebuild_naive_matches_finish_refresh_result() {
+        let vals: Vec<(u64, f64)> = (0..30).map(|i| (i, (i * 7 % 30) as f64)).collect();
+        let fresh: HashMap<SampleId, ImportanceValue> =
+            (0..30).map(|i| (SampleId(i), iv(((i * 13) % 30) as f64))).collect();
+
+        let mut a = heap_with(&vals);
+        a.begin_refresh(fresh.clone());
+        a.finish_refresh();
+
+        let mut b = heap_with(&vals);
+        b.rebuild_naive(&fresh);
+
+        let mut out_a = Vec::new();
+        while let Some(x) = a.pop_evict() {
+            out_a.push(x);
+        }
+        let mut out_b = Vec::new();
+        while let Some(x) = b.pop_evict() {
+            out_b.push(x);
+        }
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn key_of_prefers_new_keys_during_refresh() {
+        let mut h = heap_with(&[(1, 1.0)]);
+        h.begin_refresh([(SampleId(1), iv(8.0))].into());
+        assert_eq!(h.key_of(SampleId(1)), Some(iv(8.0)), "pending key visible");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// A naive map-based re-implementation of the shadow protocol used as
+    /// the reference model.
+    #[derive(Default)]
+    struct Model {
+        active: BTreeMap<u64, u32>,
+        refresh: Option<(BTreeMap<u64, u32>, BTreeMap<u64, u32>, HashMap<u64, u32>)>,
+    }
+
+    impl Model {
+        fn len(&self) -> usize {
+            match &self.refresh {
+                Some((frozen, shadow, _)) => frozen.len() + shadow.len(),
+                None => self.active.len(),
+            }
+        }
+
+        fn min_of(map: &BTreeMap<u64, u32>) -> Option<(u64, u32)> {
+            map.iter().map(|(&id, &k)| (k, id)).min().map(|(k, id)| (id, k))
+        }
+
+        fn auto_finish(&mut self) {
+            if self.refresh.as_ref().is_some_and(|(f, _, _)| f.is_empty()) {
+                self.finish();
+            }
+        }
+
+        fn insert(&mut self, id: u64, key: u32) {
+            match &mut self.refresh {
+                Some((frozen, shadow, pending)) => {
+                    frozen.remove(&id);
+                    pending.remove(&id);
+                    shadow.insert(id, key);
+                    self.auto_finish();
+                }
+                None => {
+                    self.active.insert(id, key);
+                }
+            }
+        }
+
+        fn remove(&mut self, id: u64) {
+            match &mut self.refresh {
+                Some((frozen, shadow, pending)) => {
+                    if frozen.remove(&id).is_none() {
+                        shadow.remove(&id);
+                    }
+                    pending.remove(&id);
+                    self.auto_finish();
+                }
+                None => {
+                    self.active.remove(&id);
+                }
+            }
+        }
+
+        fn update(&mut self, id: u64, key: u32) {
+            match &mut self.refresh {
+                Some((frozen, shadow, pending)) => {
+                    if frozen.remove(&id).is_some() {
+                        pending.remove(&id);
+                        shadow.insert(id, key);
+                        self.auto_finish();
+                    } else if shadow.contains_key(&id) {
+                        shadow.insert(id, key);
+                    }
+                }
+                None => {
+                    if self.active.contains_key(&id) {
+                        self.active.insert(id, key);
+                    }
+                }
+            }
+        }
+
+        fn pop_evict(&mut self) -> Option<(u64, u32)> {
+            let out = match &mut self.refresh {
+                Some((frozen, shadow, pending)) => {
+                    let pick = Self::min_of(frozen).or_else(|| Self::min_of(shadow));
+                    if let Some((id, _)) = pick {
+                        if frozen.remove(&id).is_none() {
+                            shadow.remove(&id);
+                        }
+                        pending.remove(&id);
+                    }
+                    pick
+                }
+                None => {
+                    let pick = Self::min_of(&self.active);
+                    if let Some((id, _)) = pick {
+                        self.active.remove(&id);
+                    }
+                    pick
+                }
+            };
+            self.auto_finish();
+            out
+        }
+
+        fn begin_refresh(&mut self, fresh: HashMap<u64, u32>) {
+            self.finish();
+            let frozen = std::mem::take(&mut self.active);
+            self.refresh = Some((frozen, BTreeMap::new(), fresh));
+        }
+
+        fn finish(&mut self) {
+            if let Some((frozen, mut shadow, pending)) = self.refresh.take() {
+                for (id, old) in frozen {
+                    shadow.insert(id, pending.get(&id).copied().unwrap_or(old));
+                }
+                self.active = shadow;
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u64, u32),
+        Remove(u64),
+        Update(u64, u32),
+        PopEvict,
+        BeginRefresh(Vec<(u64, u32)>),
+        FinishRefresh,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..24, 0u32..1000).prop_map(|(id, k)| Op::Insert(id, k)),
+            (0u64..24).prop_map(Op::Remove),
+            (0u64..24, 0u32..1000).prop_map(|(id, k)| Op::Update(id, k)),
+            Just(Op::PopEvict),
+            proptest::collection::vec((0u64..24, 0u32..1000), 0..8).prop_map(Op::BeginRefresh),
+            Just(Op::FinishRefresh),
+        ]
+    }
+
+    fn iv(k: u32) -> ImportanceValue {
+        ImportanceValue::saturating(k as f64)
+    }
+
+    proptest! {
+        /// The shadowed heap matches a naive map-based model of the
+        /// protocol under arbitrary operation sequences.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let mut heap = ShadowedHeap::new();
+            let mut model = Model::default();
+            for op in ops {
+                match op {
+                    Op::Insert(id, k) => {
+                        heap.insert(SampleId(id), iv(k));
+                        model.insert(id, k);
+                    }
+                    Op::Remove(id) => {
+                        heap.remove(SampleId(id));
+                        model.remove(id);
+                    }
+                    Op::Update(id, k) => {
+                        heap.update_key(SampleId(id), iv(k));
+                        model.update(id, k);
+                    }
+                    Op::PopEvict => {
+                        let got = heap.pop_evict();
+                        let want = model.pop_evict();
+                        prop_assert_eq!(
+                            got.map(|(id, v)| (id.0, v.get() as u32)),
+                            want
+                        );
+                    }
+                    Op::BeginRefresh(pairs) => {
+                        let fresh_heap: HashMap<SampleId, ImportanceValue> =
+                            pairs.iter().map(|&(id, k)| (SampleId(id), iv(k))).collect();
+                        let fresh_model: HashMap<u64, u32> =
+                            pairs.iter().copied().collect();
+                        heap.begin_refresh(fresh_heap);
+                        model.begin_refresh(fresh_model);
+                    }
+                    Op::FinishRefresh => {
+                        heap.finish_refresh();
+                        model.finish();
+                    }
+                }
+                prop_assert_eq!(heap.len(), model.len());
+                prop_assert_eq!(heap.is_refreshing(), model.refresh.is_some());
+            }
+            // Drain both and compare the full eviction order.
+            let mut got = Vec::new();
+            while let Some((id, v)) = heap.pop_evict() {
+                got.push((id.0, v.get() as u32));
+            }
+            let mut want = Vec::new();
+            while let Some(x) = model.pop_evict() {
+                want.push(x);
+            }
+            prop_assert_eq!(got, want);
+        }
+    }
+}

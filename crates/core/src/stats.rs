@@ -1,0 +1,110 @@
+//! Cache statistics.
+
+use icache_types::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how a cache system served requests.
+///
+/// The paper's "cache hit ratio" (Figures 11, 14, 16) counts substitution
+/// as a hit — the request was served from memory — which
+/// [`CacheStats::hit_ratio`] reproduces; [`CacheStats::strict_hit_ratio`]
+/// excludes substitutions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests served from the H-region (or the single region of a
+    /// baseline cache) with the requested sample.
+    pub h_hits: u64,
+    /// Requests served from the L-region with the requested sample.
+    pub l_hits: u64,
+    /// Requests served from the PM victim tier (§VI extension; zero when
+    /// no PM tier is configured).
+    pub pm_hits: u64,
+    /// Requests served by substituting a different cached sample.
+    pub substitutions: u64,
+    /// Requests that went to storage.
+    pub misses: u64,
+    /// Samples admitted into the cache.
+    pub insertions: u64,
+    /// Samples evicted to make room.
+    pub evictions: u64,
+    /// Samples that were denied admission (importance below the bar).
+    pub rejections: u64,
+    /// Bytes served from cache (hits + substitutions).
+    pub bytes_from_cache: ByteSize,
+    /// Bytes fetched from storage on misses (packages excluded).
+    pub bytes_from_storage: ByteSize,
+}
+
+impl CacheStats {
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.h_hits + self.l_hits + self.pm_hits + self.substitutions + self.misses
+    }
+
+    /// Hits including substitutions over total requests (the paper's
+    /// definition). Returns 0.0 when no requests were observed.
+    pub fn hit_ratio(&self) -> f64 {
+        let req = self.requests();
+        if req == 0 {
+            0.0
+        } else {
+            (self.h_hits + self.l_hits + self.pm_hits + self.substitutions) as f64 / req as f64
+        }
+    }
+
+    /// Hits excluding substitutions over total requests.
+    pub fn strict_hit_ratio(&self) -> f64 {
+        let req = self.requests();
+        if req == 0 {
+            0.0
+        } else {
+            (self.h_hits + self.l_hits + self.pm_hits) as f64 / req as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (per-epoch deltas).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            h_hits: self.h_hits - earlier.h_hits,
+            l_hits: self.l_hits - earlier.l_hits,
+            pm_hits: self.pm_hits - earlier.pm_hits,
+            substitutions: self.substitutions - earlier.substitutions,
+            misses: self.misses - earlier.misses,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+            rejections: self.rejections - earlier.rejections,
+            bytes_from_cache: self.bytes_from_cache - earlier.bytes_from_cache,
+            bytes_from_storage: self.bytes_from_storage - earlier.bytes_from_storage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_requests() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.strict_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn substitutions_count_as_paper_hits_only() {
+        let s = CacheStats { h_hits: 2, l_hits: 1, substitutions: 3, misses: 4, ..Default::default() };
+        assert_eq!(s.requests(), 10);
+        assert!((s.hit_ratio() - 0.6).abs() < 1e-12);
+        assert!((s.strict_hit_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_is_counterwise() {
+        let early = CacheStats { h_hits: 1, misses: 2, ..Default::default() };
+        let late = CacheStats { h_hits: 5, misses: 7, evictions: 1, ..Default::default() };
+        let d = late.delta_since(&early);
+        assert_eq!(d.h_hits, 4);
+        assert_eq!(d.misses, 5);
+        assert_eq!(d.evictions, 1);
+    }
+}

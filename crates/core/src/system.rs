@@ -1,0 +1,108 @@
+//! The common cache-system interface.
+
+use crate::CacheStats;
+use icache_sampling::HList;
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, Epoch, JobId, SampleId, SimTime};
+
+/// What happened to a fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Served the requested sample from the H-region (or a baseline's
+    /// single region).
+    HitH,
+    /// Served the requested sample from the L-region.
+    HitL,
+    /// Served from storage (possibly admitted into the cache afterwards).
+    Miss,
+    /// Served a *different* cached sample via substitutability.
+    Substituted {
+        /// The sample actually delivered.
+        by: SampleId,
+        /// Whether the substitute came from the H-region.
+        from_h: bool,
+    },
+}
+
+impl FetchOutcome {
+    /// True for any outcome served from memory (hit or substitution).
+    pub fn served_from_cache(self) -> bool {
+        !matches!(self, FetchOutcome::Miss)
+    }
+}
+
+/// The result of fetching one sample through a cache system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fetch {
+    /// Virtual time at which the data is in host memory.
+    pub ready_at: SimTime,
+    /// The sample actually delivered (differs from the request under
+    /// substitution).
+    pub served_id: SampleId,
+    /// Classification of the fetch.
+    pub outcome: FetchOutcome,
+}
+
+/// A cache system sitting between data loaders and a storage backend.
+///
+/// Implemented by [`crate::IcacheManager`] and by every baseline in
+/// `icache-baselines`; the training simulator drives all systems through
+/// this one interface. The storage backend is passed per call so several
+/// jobs (and the cache's own loading thread) can share one backend owned
+/// by the simulator.
+pub trait CacheSystem {
+    /// System name for reports (`"icache"`, `"lru"`, `"quiver"`, …).
+    fn name(&self) -> &str;
+
+    /// Fetch `id` (of `size` bytes) for `job` at virtual time `now`.
+    fn fetch(
+        &mut self,
+        job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch;
+
+    /// Deliver a fresh H-list from `job`'s client (periodic pull, §III-A).
+    /// Baselines that ignore importance simply drop it.
+    fn update_hlist(&mut self, job: JobId, hlist: &HList) {
+        let _ = (job, hlist);
+    }
+
+    /// Notify the start of an epoch (resets per-epoch structures such as
+    /// the L-cache accessed-set).
+    fn on_epoch_start(&mut self, job: JobId, epoch: Epoch) {
+        let _ = (job, epoch);
+    }
+
+    /// Notify the end of an epoch (region resizing, repacking).
+    fn on_epoch_end(&mut self, job: JobId, epoch: Epoch) {
+        let _ = (job, epoch);
+    }
+
+    /// Accumulated statistics.
+    fn stats(&self) -> CacheStats;
+
+    /// Reset accumulated statistics.
+    fn reset_stats(&mut self);
+
+    /// Current cache occupancy in bytes (diagnostics).
+    fn used_bytes(&self) -> ByteSize;
+
+    /// Configured capacity in bytes.
+    fn capacity(&self) -> ByteSize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        assert!(FetchOutcome::HitH.served_from_cache());
+        assert!(FetchOutcome::HitL.served_from_cache());
+        assert!(FetchOutcome::Substituted { by: SampleId(1), from_h: false }.served_from_cache());
+        assert!(!FetchOutcome::Miss.served_from_cache());
+    }
+}

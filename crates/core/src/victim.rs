@@ -1,0 +1,231 @@
+//! Persistent-memory victim tier (§VI, "PM-based cache").
+//!
+//! The paper builds its cache in DRAM and defers a persistent-memory tier
+//! to future work: "emerging large-capacity persistent memory (PM) is
+//! another option … it has relatively lower performance than DRAM". This
+//! module implements that extension: a second-level *victim cache* that
+//! catches samples evicted from the DRAM H-region. An H-miss then checks
+//! PM before paying for remote storage, and a PM hit re-promotes the
+//! sample into DRAM.
+
+use icache_types::{ByteSize, Error, Result, SampleId, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of the PM victim tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PmTierConfig {
+    /// PM capacity (typically several times DRAM).
+    pub capacity: ByteSize,
+    /// Software + media latency of one PM read.
+    pub read_latency: SimDuration,
+    /// PM read bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl PmTierConfig {
+    /// Optane-class defaults: ~5 µs software read path, ~2.5 GB/s reads.
+    pub fn optane(capacity: ByteSize) -> Self {
+        PmTierConfig {
+            capacity,
+            read_latency: SimDuration::from_micros(5),
+            bandwidth: 2.5e9,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.capacity.is_zero() {
+            return Err(Error::invalid_config("pm capacity", "must be non-zero"));
+        }
+        if !(self.bandwidth > 0.0 && self.bandwidth.is_finite()) {
+            return Err(Error::invalid_config("pm bandwidth", "must be positive and finite"));
+        }
+        Ok(())
+    }
+}
+
+/// A FIFO victim cache over sample ids.
+///
+/// Victim tiers see already-filtered traffic (only DRAM evictions land
+/// here), so FIFO replacement captures most of the value at minimal
+/// bookkeeping — the classic victim-cache design point.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::{PmTierConfig, VictimCache};
+/// use icache_types::{ByteSize, SampleId};
+///
+/// let mut pm = VictimCache::new(PmTierConfig::optane(ByteSize::kib(8)))?;
+/// pm.insert(SampleId(1), ByteSize::kib(3));
+/// assert!(pm.contains(SampleId(1)));
+/// assert_eq!(pm.promote(SampleId(1)), Some(ByteSize::kib(3)));
+/// assert!(!pm.contains(SampleId(1)), "promotion removes from PM");
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VictimCache {
+    config: PmTierConfig,
+    used: ByteSize,
+    items: HashMap<SampleId, ByteSize>,
+    order: VecDeque<SampleId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl VictimCache {
+    /// An empty victim tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero capacity or
+    /// non-positive bandwidth.
+    pub fn new(config: PmTierConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(VictimCache {
+            config,
+            used: ByteSize::ZERO,
+            items: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.config.capacity
+    }
+
+    /// Bytes resident.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Number of resident samples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// PM hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// PM lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whether `id` resides in PM (no counter side effects).
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    /// Service time of reading `size` bytes out of PM.
+    pub fn read_cost(&self, size: ByteSize) -> SimDuration {
+        self.config.read_latency
+            + SimDuration::from_secs_f64(size.as_f64() / self.config.bandwidth)
+    }
+
+    /// Accept a DRAM eviction. Items larger than the tier are dropped;
+    /// oldest victims are displaced FIFO. Returns the displaced ids.
+    pub fn insert(&mut self, id: SampleId, size: ByteSize) -> Vec<SampleId> {
+        if self.items.contains_key(&id) || size > self.config.capacity {
+            return Vec::new();
+        }
+        let mut displaced = Vec::new();
+        while self.used + size > self.config.capacity {
+            let victim = self.order.pop_front().expect("used > 0 implies entries");
+            let vsize = self.items.remove(&victim).expect("order and items agree");
+            self.used -= vsize;
+            displaced.push(victim);
+        }
+        self.items.insert(id, size);
+        self.order.push_back(id);
+        self.used += size;
+        displaced
+    }
+
+    /// Look up `id`, removing it on a hit (the caller re-promotes it into
+    /// DRAM). Returns its size when present.
+    pub fn promote(&mut self, id: SampleId) -> Option<ByteSize> {
+        match self.items.remove(&id) {
+            Some(size) => {
+                self.used -= size;
+                self.order.retain(|&x| x != id);
+                self.hits += 1;
+                Some(size)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm(cap_kib: u64) -> VictimCache {
+        VictimCache::new(PmTierConfig::optane(ByteSize::kib(cap_kib))).unwrap()
+    }
+
+    #[test]
+    fn fifo_displacement() {
+        let mut v = pm(9); // three 3 KiB items
+        for i in 0..3 {
+            assert!(v.insert(SampleId(i), ByteSize::kib(3)).is_empty());
+        }
+        let displaced = v.insert(SampleId(3), ByteSize::kib(3));
+        assert_eq!(displaced, vec![SampleId(0)], "oldest victim leaves first");
+        assert_eq!(v.len(), 3);
+        assert!(v.used() <= v.capacity());
+    }
+
+    #[test]
+    fn promote_removes_and_counts() {
+        let mut v = pm(9);
+        v.insert(SampleId(7), ByteSize::kib(3));
+        assert_eq!(v.promote(SampleId(7)), Some(ByteSize::kib(3)));
+        assert_eq!(v.promote(SampleId(7)), None);
+        assert_eq!(v.hits(), 1);
+        assert_eq!(v.misses(), 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_oversized_inserts_are_noops() {
+        let mut v = pm(9);
+        v.insert(SampleId(1), ByteSize::kib(3));
+        assert!(v.insert(SampleId(1), ByteSize::kib(3)).is_empty());
+        assert_eq!(v.len(), 1);
+        assert!(v.insert(SampleId(2), ByteSize::kib(100)).is_empty());
+        assert!(!v.contains(SampleId(2)));
+    }
+
+    #[test]
+    fn read_cost_is_slower_than_dram_faster_than_storage() {
+        let v = pm(1024);
+        let cost = v.read_cost(ByteSize::kib(3));
+        // ~5 us + ~1.2 us transfer: far above DRAM (~0.3 us) and far
+        // below a remote random read (~600 us).
+        assert!(cost > SimDuration::from_micros(4));
+        assert!(cost < SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(VictimCache::new(PmTierConfig::optane(ByteSize::ZERO)).is_err());
+        let mut cfg = PmTierConfig::optane(ByteSize::kib(1));
+        cfg.bandwidth = f64::NAN;
+        assert!(VictimCache::new(cfg).is_err());
+    }
+}

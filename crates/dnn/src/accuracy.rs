@@ -1,0 +1,289 @@
+//! Accuracy-convergence model.
+
+use crate::ModelProfile;
+use icache_types::{splitmix64, Epoch};
+use serde::{Deserialize, Serialize};
+
+/// A summary of how *good* one epoch's effective training set was.
+///
+/// The training simulator fills this in at the end of each epoch; the
+/// accuracy model converts it into accuracy movement. All fields are in
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochQuality {
+    /// Fraction of the dataset's current *loss mass* covered by the
+    /// samples actually trained. Skipping low-loss samples (IIS) barely
+    /// lowers this; skipping high-loss samples would crater it.
+    pub loss_mass_coverage: f64,
+    /// Distinct trained samples over total trained samples; duplicates
+    /// introduced by substitution lower it.
+    pub distinct_fraction: f64,
+    /// Fraction of trained samples that were substituted with *H-cache*
+    /// residents (distribution-skewing, §V-E's `ST_HC`).
+    pub h_substitution_fraction: f64,
+    /// Fraction of trained samples that were substituted with *L-cache*
+    /// residents (diversity-preserving, `ST_LC`).
+    pub l_substitution_fraction: f64,
+}
+
+impl EpochQuality {
+    /// The quality of a full conventional epoch: everything trained,
+    /// nothing substituted.
+    pub fn ideal() -> Self {
+        EpochQuality {
+            loss_mass_coverage: 1.0,
+            distinct_fraction: 1.0,
+            h_substitution_fraction: 0.0,
+            l_substitution_fraction: 0.0,
+        }
+    }
+
+    /// The scalar effective-quality factor `q` of the epoch.
+    pub fn q(&self) -> f64 {
+        let cov = self.loss_mass_coverage.clamp(0.0, 1.0);
+        let div = self.distinct_fraction.clamp(0.0, 1.0);
+        let h = self.h_substitution_fraction.clamp(0.0, 1.0);
+        let l = self.l_substitution_fraction.clamp(0.0, 1.0);
+        // Substituting with already-over-trained H-samples skews the
+        // distribution chosen by the IS algorithm (penalty 0.5 per unit);
+        // substituting within L-cache preserves diversity (penalty 0.35).
+        // Coverage and diversity enter with mild exponents: skipped
+        // low-loss samples and repeated samples still carry gradient
+        // signal, just less marginal information.
+        (cov.powf(0.25) * div.powf(0.25) * (1.0 - 0.5 * h) * (1.0 - 0.3 * l)).clamp(0.0, 1.0)
+    }
+}
+
+/// Accuracy at the end of an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySnapshot {
+    /// The epoch this snapshot closes.
+    pub epoch: Epoch,
+    /// Top-1 validation accuracy, percent.
+    pub top1: f64,
+    /// Top-5 validation accuracy, percent.
+    pub top5: f64,
+}
+
+/// Maps per-epoch training quality to top-1/top-5 accuracy.
+///
+/// The curve is the standard saturating exponential in *effective epochs*
+/// `Q = Σ q_e`, with an asymptotic penalty proportional to the average
+/// quality shortfall. The penalty term is what separates the systems in
+/// the paper's Tables I–III: Default has `q = 1` every epoch and pays
+/// nothing; iCache's IIS + L-substitution costs well under 1 % (CIFAR-10);
+/// substituting from H-cache costs measurably more.
+///
+/// # Examples
+///
+/// ```
+/// use icache_dnn::{AccuracyModel, EpochQuality, ModelProfile};
+///
+/// let mut ideal = AccuracyModel::new(&ModelProfile::resnet18(), 1);
+/// let mut skewed = AccuracyModel::new(&ModelProfile::resnet18(), 1);
+/// for _ in 0..90 {
+///     ideal.record_epoch(EpochQuality::ideal());
+///     skewed.record_epoch(EpochQuality {
+///         loss_mass_coverage: 0.95,
+///         distinct_fraction: 0.97,
+///         h_substitution_fraction: 0.05,
+///         l_substitution_fraction: 0.0,
+///     });
+/// }
+/// assert!(ideal.top1() > skewed.top1());
+/// assert!(ideal.top1() - skewed.top1() < 2.0, "within the paper's band");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccuracyModel {
+    top1_max: f64,
+    top5_max: f64,
+    rate: f64,
+    /// Percentage points of top-1 lost per unit of average quality
+    /// shortfall.
+    penalty_coeff_top1: f64,
+    penalty_coeff_top5: f64,
+    /// Fraction of max accuracy reached before the first epoch.
+    warm_start: f64,
+    effective_epochs: f64,
+    sum_q: f64,
+    epochs: u32,
+    noise_seed: u64,
+    history: Vec<AccuracySnapshot>,
+}
+
+impl AccuracyModel {
+    /// Build the accuracy model for `profile`, with noise stream `seed`.
+    pub fn new(profile: &ModelProfile, seed: u64) -> Self {
+        AccuracyModel {
+            top1_max: profile.top1_max(),
+            top5_max: profile.top5_max(),
+            rate: profile.convergence_rate(),
+            penalty_coeff_top1: 3.2,
+            penalty_coeff_top5: 0.9,
+            warm_start: 0.35,
+            effective_epochs: 0.0,
+            sum_q: 0.0,
+            epochs: 0,
+            noise_seed: splitmix64(seed ^ 0xACC),
+            history: Vec::new(),
+        }
+    }
+
+    /// Number of epochs recorded.
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Mean per-epoch quality so far (1.0 before any epoch).
+    pub fn mean_quality(&self) -> f64 {
+        if self.epochs == 0 {
+            1.0
+        } else {
+            self.sum_q / self.epochs as f64
+        }
+    }
+
+    fn curve(&self, ceiling: f64) -> f64 {
+        ceiling * (1.0 - (1.0 - self.warm_start) * (-self.rate * self.effective_epochs).exp())
+    }
+
+    fn epoch_noise(&self) -> f64 {
+        let h = splitmix64(self.noise_seed ^ splitmix64(self.epochs as u64));
+        // +-0.12 percentage points of deterministic measurement noise.
+        (((h >> 11) as f64) / (1u64 << 53) as f64 - 0.5) * 0.24
+    }
+
+    /// Current top-1 accuracy (%).
+    pub fn top1(&self) -> f64 {
+        let pen = self.penalty_coeff_top1 * (1.0 - self.mean_quality());
+        (self.curve(self.top1_max - pen) + self.epoch_noise()).clamp(0.0, 100.0)
+    }
+
+    /// Current top-5 accuracy (%).
+    pub fn top5(&self) -> f64 {
+        let pen = self.penalty_coeff_top5 * (1.0 - self.mean_quality());
+        (self.curve(self.top5_max - pen) + self.epoch_noise()).clamp(0.0, 100.0)
+    }
+
+    /// Close an epoch with the given quality; returns the new snapshot.
+    pub fn record_epoch(&mut self, quality: EpochQuality) -> AccuracySnapshot {
+        let q = quality.q();
+        self.effective_epochs += q;
+        self.sum_q += q;
+        self.epochs += 1;
+        let snap = AccuracySnapshot {
+            epoch: Epoch(self.epochs - 1),
+            top1: self.top1(),
+            top5: self.top5(),
+        };
+        self.history.push(snap);
+        snap
+    }
+
+    /// The per-epoch accuracy trace (the paper's Fig. 7 curves).
+    pub fn history(&self) -> &[AccuracySnapshot] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(model: &ModelProfile, quality: EpochQuality, epochs: u32) -> AccuracyModel {
+        let mut am = AccuracyModel::new(model, 3);
+        for _ in 0..epochs {
+            am.record_epoch(quality);
+        }
+        am
+    }
+
+    #[test]
+    fn ideal_training_approaches_model_max() {
+        let am = run(&ModelProfile::resnet18(), EpochQuality::ideal(), 90);
+        assert!(am.top1() > 94.0 && am.top1() <= 95.5, "top1 {}", am.top1());
+        assert!(am.top5() > 99.0, "top5 {}", am.top5());
+    }
+
+    #[test]
+    fn accuracy_increases_monotonically_up_to_noise() {
+        let am = run(&ModelProfile::shufflenet(), EpochQuality::ideal(), 60);
+        let hist = am.history();
+        for w in hist.windows(2) {
+            assert!(w[1].top1 > w[0].top1 - 0.3, "non-noise regression at {:?}", w[1].epoch);
+        }
+    }
+
+    #[test]
+    fn iis_style_quality_costs_less_than_one_percent_cifar() {
+        let ideal = run(&ModelProfile::resnet18(), EpochQuality::ideal(), 90);
+        let icache_q = EpochQuality {
+            loss_mass_coverage: 0.96,
+            distinct_fraction: 0.98,
+            h_substitution_fraction: 0.0,
+            l_substitution_fraction: 0.04,
+        };
+        let ic = run(&ModelProfile::resnet18(), icache_q, 90);
+        let delta = ideal.top1() - ic.top1();
+        assert!((0.05..1.2).contains(&delta), "top1 delta {delta}");
+        let d5 = ideal.top5() - ic.top5();
+        assert!(d5 < 0.6, "top5 delta {d5}");
+    }
+
+    #[test]
+    fn h_substitution_hurts_more_than_l_substitution() {
+        let base = EpochQuality {
+            loss_mass_coverage: 0.96,
+            distinct_fraction: 0.97,
+            h_substitution_fraction: 0.0,
+            l_substitution_fraction: 0.0,
+        };
+        let st_lc = EpochQuality { l_substitution_fraction: 0.06, ..base };
+        let st_hc =
+            EpochQuality { h_substitution_fraction: 0.06, distinct_fraction: 0.93, ..base };
+        let m = ModelProfile::resnet18();
+        let a_def = run(&m, base, 90).top1();
+        let a_lc = run(&m, st_lc, 90).top1();
+        let a_hc = run(&m, st_hc, 90).top1();
+        assert!(a_def > a_lc, "def {a_def} vs lc {a_lc}");
+        assert!(a_lc > a_hc, "lc {a_lc} vs hc {a_hc}");
+    }
+
+    #[test]
+    fn quality_factor_penalises_each_component() {
+        let ideal = EpochQuality::ideal().q();
+        assert!((ideal - 1.0).abs() < 1e-12);
+        let low_cov = EpochQuality { loss_mass_coverage: 0.5, ..EpochQuality::ideal() };
+        assert!(low_cov.q() < 0.9);
+        let h_sub = EpochQuality { h_substitution_fraction: 0.5, ..EpochQuality::ideal() };
+        let l_sub = EpochQuality { l_substitution_fraction: 0.5, ..EpochQuality::ideal() };
+        assert!(h_sub.q() < l_sub.q());
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped() {
+        let weird = EpochQuality {
+            loss_mass_coverage: 7.0,
+            distinct_fraction: -2.0,
+            h_substitution_fraction: 9.0,
+            l_substitution_fraction: -1.0,
+        };
+        let q = weird.q();
+        assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn history_records_every_epoch() {
+        let am = run(&ModelProfile::mobilenet(), EpochQuality::ideal(), 10);
+        assert_eq!(am.history().len(), 10);
+        assert_eq!(am.history()[9].epoch, Epoch(9));
+        assert_eq!(am.epochs(), 10);
+    }
+
+    #[test]
+    fn convergence_is_deterministic() {
+        let a = run(&ModelProfile::vgg11(), EpochQuality::ideal(), 30).top1();
+        let b = run(&ModelProfile::vgg11(), EpochQuality::ideal(), 30).top1();
+        assert_eq!(a, b);
+    }
+}

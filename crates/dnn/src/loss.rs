@@ -1,0 +1,251 @@
+//! Per-sample loss dynamics.
+
+use icache_types::{splitmix64, SampleId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the loss-dynamics model.
+///
+/// The model follows the empirical behaviour that motivates loss-based
+/// importance sampling \[18\] and the paper's Figure 3:
+///
+/// * every sample has an intrinsic *difficulty* (log-normal across the
+///   dataset) — hard samples keep high losses for many epochs;
+/// * losses decay globally as the model matures, and per-sample as a
+///   sample is trained repeatedly;
+/// * individual observations carry multiplicative noise, so a sample's
+///   importance value drifts between selections.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossModelConfig {
+    /// Initial mean loss (≈ ln(num_classes) for cross-entropy).
+    pub base_loss: f64,
+    /// Log-normal sigma of per-sample difficulty.
+    pub difficulty_sigma: f64,
+    /// Loss decay per global effective epoch.
+    pub global_decay: f64,
+    /// Additional decay per time a specific sample is trained.
+    pub personal_decay: f64,
+    /// Log-normal sigma of per-observation noise.
+    pub noise_sigma: f64,
+    /// Loss floor that training never crosses.
+    pub floor: f64,
+}
+
+impl Default for LossModelConfig {
+    fn default() -> Self {
+        LossModelConfig {
+            base_loss: 2.3,
+            difficulty_sigma: 0.6,
+            global_decay: 0.045,
+            personal_decay: 0.015,
+            noise_sigma: 0.25,
+            floor: 0.02,
+        }
+    }
+}
+
+/// Deterministic standard normal from a hash (Box–Muller).
+fn hash_normal(h: u64) -> f64 {
+    let h2 = splitmix64(h);
+    let u1 = ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    let u2 = ((h2 >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The loss-dynamics model: produces the training loss observed each time
+/// a sample passes through the GPU.
+///
+/// # Examples
+///
+/// ```
+/// use icache_dnn::LossModel;
+/// use icache_types::SampleId;
+///
+/// let mut lm = LossModel::new(1_000, Default::default(), 42);
+/// let first = lm.observe(SampleId(7));
+/// // Train the same sample many times; its loss trends down.
+/// let late = (0..200).map(|_| lm.observe(SampleId(7))).last().unwrap();
+/// assert!(late < first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossModel {
+    config: LossModelConfig,
+    difficulty: Vec<f64>,
+    train_counts: Vec<u32>,
+    total_observations: u64,
+    num_samples: u64,
+    seed: u64,
+}
+
+impl LossModel {
+    /// Build a model for `num_samples` samples.
+    pub fn new(num_samples: u64, config: LossModelConfig, seed: u64) -> Self {
+        let difficulty = (0..num_samples)
+            .map(|i| {
+                let z = hash_normal(splitmix64(seed ^ splitmix64(i)));
+                (config.difficulty_sigma * z).exp()
+            })
+            .collect();
+        LossModel {
+            config,
+            difficulty,
+            train_counts: vec![0; num_samples as usize],
+            total_observations: 0,
+            num_samples,
+            seed,
+        }
+    }
+
+    /// Number of samples the model tracks.
+    pub fn len(&self) -> u64 {
+        self.num_samples
+    }
+
+    /// True when the model tracks no samples.
+    pub fn is_empty(&self) -> bool {
+        self.num_samples == 0
+    }
+
+    /// Intrinsic difficulty of `id` (unitless, mean ≈ 1).
+    pub fn difficulty(&self, id: SampleId) -> f64 {
+        self.difficulty[id.index()]
+    }
+
+    /// How many times `id` has been trained.
+    pub fn train_count(&self, id: SampleId) -> u32 {
+        self.train_counts[id.index()]
+    }
+
+    /// Global progress in units of effective epochs (total observations
+    /// divided by the dataset size).
+    pub fn global_epochs(&self) -> f64 {
+        self.total_observations as f64 / self.num_samples as f64
+    }
+
+    /// Sum of the *expected* current losses of every sample (no noise,
+    /// no state change). Used for loss-mass coverage accounting.
+    pub fn expected_loss_mass(&self) -> f64 {
+        (0..self.num_samples).map(|i| self.expected_loss(SampleId(i))).sum()
+    }
+
+    /// Expected current loss of `id` (no noise, no state change).
+    pub fn expected_loss(&self, id: SampleId) -> f64 {
+        let c = &self.config;
+        let i = id.index();
+        let decay = (-c.global_decay * self.global_epochs()
+            - c.personal_decay * self.train_counts[i] as f64)
+            .exp();
+        c.floor + self.difficulty[i] * c.base_loss * decay
+    }
+
+    /// Train `id` once: returns the observed (noisy) loss and advances the
+    /// model state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn observe(&mut self, id: SampleId) -> f64 {
+        let expected = self.expected_loss(id);
+        let i = id.index();
+        let obs_hash = splitmix64(
+            self.seed ^ splitmix64(id.0).rotate_left(17) ^ splitmix64(self.train_counts[i] as u64 + 1),
+        );
+        let noise = (self.config.noise_sigma * hash_normal(obs_hash)).exp();
+        self.train_counts[i] += 1;
+        self.total_observations += 1;
+        (expected * noise).max(self.config.floor * 0.5)
+    }
+
+    /// Train a whole batch; returns the per-sample losses in order.
+    pub fn observe_batch(&mut self, ids: &[SampleId]) -> Vec<f64> {
+        ids.iter().map(|&id| self.observe(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: u64) -> LossModel {
+        LossModel::new(n, LossModelConfig::default(), 7)
+    }
+
+    #[test]
+    fn difficulties_are_lognormal_ish() {
+        let m = model(10_000);
+        let mean: f64 = (0..10_000).map(|i| m.difficulty(SampleId(i))).sum::<f64>() / 10_000.0;
+        // E[lognormal(0, 0.6)] = exp(0.18) ~= 1.2
+        assert!((1.0..1.4).contains(&mean), "mean difficulty {mean}");
+        let min = (0..10_000).map(|i| m.difficulty(SampleId(i))).fold(f64::MAX, f64::min);
+        assert!(min > 0.0);
+    }
+
+    #[test]
+    fn losses_decay_with_repeated_training() {
+        let mut m = model(100);
+        let early: f64 = (0..5).map(|_| m.observe(SampleId(0))).sum::<f64>() / 5.0;
+        for _ in 0..500 {
+            m.observe(SampleId(0));
+        }
+        let late: f64 = (0..5).map(|_| m.observe(SampleId(0))).sum::<f64>() / 5.0;
+        assert!(late < early * 0.5, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn global_progress_decays_untrained_samples_too() {
+        let mut m = model(100);
+        let before = m.expected_loss(SampleId(99));
+        // Train everything except #99 for several effective epochs.
+        for _ in 0..10 {
+            for i in 0..99 {
+                m.observe(SampleId(i));
+            }
+        }
+        let after = m.expected_loss(SampleId(99));
+        assert!(after < before, "generalisation lowers all losses");
+        assert_eq!(m.train_count(SampleId(99)), 0);
+    }
+
+    #[test]
+    fn observations_are_noisy_but_deterministic() {
+        let mut a = model(10);
+        let mut b = model(10);
+        let la: Vec<f64> = (0..10).map(|_| a.observe(SampleId(3))).collect();
+        let lb: Vec<f64> = (0..10).map(|_| b.observe(SampleId(3))).collect();
+        assert_eq!(la, lb, "same seed, same trajectory");
+        // Consecutive observations differ (noise drifts the IV, Fig. 3).
+        assert!(la.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn losses_never_cross_below_half_floor() {
+        let mut m = model(4);
+        for _ in 0..5_000 {
+            let l = m.observe(SampleId(1));
+            assert!(l >= LossModelConfig::default().floor * 0.5);
+        }
+    }
+
+    #[test]
+    fn batch_observation_matches_sequential() {
+        let mut a = model(10);
+        let mut b = model(10);
+        let ids: Vec<SampleId> = (0..5).map(SampleId).collect();
+        let batch = a.observe_batch(&ids);
+        let seq: Vec<f64> = ids.iter().map(|&id| b.observe(id)).collect();
+        assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn expected_loss_mass_shrinks_with_training() {
+        let mut m = model(50);
+        let initial = m.expected_loss_mass();
+        for e in 0..5 {
+            let _ = e;
+            for i in 0..50 {
+                m.observe(SampleId(i));
+            }
+        }
+        assert!(m.expected_loss_mass() < initial);
+        assert!((m.global_epochs() - 5.0).abs() < 1e-12);
+    }
+}

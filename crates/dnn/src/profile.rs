@@ -1,0 +1,313 @@
+//! Compute-time profiles of the paper's eight evaluated models.
+
+use icache_types::{Dataset, Error, Result, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Which dataset family a model is trained on in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetFamily {
+    /// CIFAR-10 (ShuffleNet, ResNet18, MobileNet, ResNet50).
+    Cifar10,
+    /// ImageNet-1K (VGG11, MnasNet, SqueezeNet, DenseNet121).
+    ImageNet,
+}
+
+impl DatasetFamily {
+    /// The dataset descriptor this family trains on.
+    pub fn dataset(self) -> Dataset {
+        match self {
+            DatasetFamily::Cifar10 => Dataset::cifar10(),
+            DatasetFamily::ImageNet => Dataset::imagenet_1k(),
+        }
+    }
+}
+
+/// Compute-time and accuracy-ceiling profile of one DNN model.
+///
+/// GPU times are for one A100 at the paper's default batch size of 256 and
+/// scale sublinearly in batch size (larger batches amortise kernel launch
+/// and improve utilisation) and near-linearly down in GPU count with a
+/// communication overhead (paper Fig. 12 shows Default barely improves with
+/// more GPUs because I/O dominates — the comm model keeps compute from
+/// shrinking perfectly).
+///
+/// # Examples
+///
+/// ```
+/// use icache_dnn::ModelProfile;
+///
+/// let shuffle = ModelProfile::shufflenet();
+/// let r50 = ModelProfile::resnet50();
+/// // ShuffleNet needs far less GPU time than ResNet50 -> it is the most
+/// // I/O-bound model, which is why it shows the paper's best speedups.
+/// assert!(shuffle.batch_compute_time(256, 1)? < r50.batch_compute_time(256, 1)?);
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    name: String,
+    family: DatasetFamily,
+    /// GPU milliseconds for one batch of 256 on a single A100.
+    gpu_ms_batch256: f64,
+    /// Batch-size scaling exponent (1.0 = perfectly linear).
+    batch_exponent: f64,
+    /// CPU milliseconds to decode + augment one sample on one worker core.
+    preprocess_ms_per_sample: f64,
+    /// Per-GPU communication overhead factor per extra GPU.
+    comm_overhead: f64,
+    /// Asymptotic top-1 accuracy (%) under ideal (Default) training.
+    top1_max: f64,
+    /// Asymptotic top-5 accuracy (%) under ideal training.
+    top5_max: f64,
+    /// Convergence rate constant of the accuracy curve (per epoch).
+    convergence_rate: f64,
+}
+
+macro_rules! preset {
+    ($fn_name:ident, $name:literal, $family:expr, $gpu:expr, $pre:expr,
+     $t1:expr, $t5:expr, $rate:expr, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $fn_name() -> ModelProfile {
+            ModelProfile {
+                name: $name.to_string(),
+                family: $family,
+                gpu_ms_batch256: $gpu,
+                batch_exponent: 0.9,
+                preprocess_ms_per_sample: $pre,
+                comm_overhead: 0.06,
+                top1_max: $t1,
+                top5_max: $t5,
+                convergence_rate: $rate,
+            }
+        }
+    };
+}
+
+impl ModelProfile {
+    preset!(shufflenet, "shufflenet", DatasetFamily::Cifar10, 10.0, 0.15, 92.6, 99.66, 0.055,
+        "ShuffleNet on CIFAR-10: the lightest model, hence the most I/O-bound.");
+    preset!(resnet18, "resnet18", DatasetFamily::Cifar10, 22.0, 0.15, 95.3, 99.78, 0.060,
+        "ResNet18 on CIFAR-10.");
+    preset!(mobilenet, "mobilenet", DatasetFamily::Cifar10, 16.0, 0.15, 93.4, 99.70, 0.055,
+        "MobileNet on CIFAR-10.");
+    preset!(resnet50, "resnet50", DatasetFamily::Cifar10, 55.0, 0.15, 95.7, 99.80, 0.050,
+        "ResNet50 on CIFAR-10: the heaviest CIFAR model.");
+    preset!(vgg11, "vgg11", DatasetFamily::ImageNet, 260.0, 2.2, 70.4, 89.8, 0.050,
+        "VGG11 on ImageNet-1K: compute-heavy; the paper observes iCache ~= Oracle here.");
+    preset!(mnasnet, "mnasnet", DatasetFamily::ImageNet, 105.0, 2.2, 73.5, 91.5, 0.050,
+        "MnasNet on ImageNet-1K.");
+    preset!(squeezenet, "squeezenet", DatasetFamily::ImageNet, 85.0, 2.2, 58.1, 80.6, 0.055,
+        "SqueezeNet on ImageNet-1K: the lightest ImageNet model.");
+    preset!(densenet121, "densenet121", DatasetFamily::ImageNet, 240.0, 2.2, 76.5, 93.2, 0.045,
+        "DenseNet121 on ImageNet-1K: compute-heavy; the paper observes iCache ~= Oracle here.");
+
+    /// The four CIFAR-10 models in the paper's order.
+    pub fn cifar_models() -> Vec<ModelProfile> {
+        vec![Self::shufflenet(), Self::resnet18(), Self::mobilenet(), Self::resnet50()]
+    }
+
+    /// The four ImageNet models in the paper's order.
+    pub fn imagenet_models() -> Vec<ModelProfile> {
+        vec![Self::vgg11(), Self::mnasnet(), Self::squeezenet(), Self::densenet121()]
+    }
+
+    /// All eight evaluated models.
+    pub fn all_models() -> Vec<ModelProfile> {
+        let mut v = Self::cifar_models();
+        v.extend(Self::imagenet_models());
+        v
+    }
+
+    /// Look up a preset by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an unknown model name.
+    pub fn by_name(name: &str) -> Result<ModelProfile> {
+        Self::all_models()
+            .into_iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| Error::invalid_config("model", format!("unknown model `{name}`")))
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which dataset family the model trains on.
+    pub fn family(&self) -> DatasetFamily {
+        self.family
+    }
+
+    /// Asymptotic top-1 accuracy under ideal training (%).
+    pub fn top1_max(&self) -> f64 {
+        self.top1_max
+    }
+
+    /// Asymptotic top-5 accuracy under ideal training (%).
+    pub fn top5_max(&self) -> f64 {
+        self.top5_max
+    }
+
+    /// Convergence rate constant of the accuracy curve.
+    pub fn convergence_rate(&self) -> f64 {
+        self.convergence_rate
+    }
+
+    /// GPU time to train one batch of `batch_size` samples on `gpus`
+    /// data-parallel GPUs (gradient all-reduce overhead included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `batch_size` or `gpus` is zero.
+    pub fn batch_compute_time(&self, batch_size: usize, gpus: usize) -> Result<SimDuration> {
+        if batch_size == 0 {
+            return Err(Error::invalid_config("batch_size", "must be at least 1"));
+        }
+        if gpus == 0 {
+            return Err(Error::invalid_config("gpus", "must be at least 1"));
+        }
+        let scale = (batch_size as f64 / 256.0).powf(self.batch_exponent);
+        let comm = 1.0 + self.comm_overhead * (gpus as f64 - 1.0).sqrt();
+        let ms = self.gpu_ms_batch256 * scale / gpus as f64 * comm;
+        Ok(SimDuration::from_secs_f64(ms / 1e3))
+    }
+
+    /// CPU time for one data-loader worker to decode and augment one
+    /// sample.
+    pub fn preprocess_time_per_sample(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.preprocess_ms_per_sample / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_models_with_unique_names() {
+        let all = ModelProfile::all_models();
+        assert_eq!(all.len(), 8);
+        let mut names: Vec<&str> = all.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn by_name_finds_presets_and_rejects_unknown() {
+        assert_eq!(ModelProfile::by_name("resnet18").unwrap().name(), "resnet18");
+        assert!(ModelProfile::by_name("bert").is_err());
+    }
+
+    #[test]
+    fn compute_time_scales_sublinearly_in_batch() {
+        let m = ModelProfile::resnet18();
+        let t256 = m.batch_compute_time(256, 1).unwrap();
+        let t2048 = m.batch_compute_time(2048, 1).unwrap();
+        let ratio = t2048.as_secs_f64() / t256.as_secs_f64();
+        assert!(ratio > 6.0 && ratio < 8.0, "8x batch -> {ratio:.2}x time");
+    }
+
+    #[test]
+    fn more_gpus_reduce_compute_with_comm_overhead() {
+        let m = ModelProfile::resnet50();
+        let t1 = m.batch_compute_time(256, 1).unwrap();
+        let t4 = m.batch_compute_time(256, 4).unwrap();
+        let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+        assert!(speedup > 3.0 && speedup < 4.0, "4 GPUs -> {speedup:.2}x");
+    }
+
+    #[test]
+    fn zero_arguments_are_rejected() {
+        let m = ModelProfile::shufflenet();
+        assert!(m.batch_compute_time(0, 1).is_err());
+        assert!(m.batch_compute_time(256, 0).is_err());
+    }
+
+    #[test]
+    fn imagenet_preprocessing_costs_more_than_cifar() {
+        assert!(
+            ModelProfile::vgg11().preprocess_time_per_sample()
+                > ModelProfile::resnet18().preprocess_time_per_sample()
+        );
+    }
+
+    #[test]
+    fn shufflenet_is_lightest_cifar_model() {
+        let light = ModelProfile::shufflenet().batch_compute_time(256, 1).unwrap();
+        for m in ModelProfile::cifar_models() {
+            assert!(m.batch_compute_time(256, 1).unwrap() >= light, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn families_map_to_their_datasets() {
+        assert_eq!(DatasetFamily::Cifar10.dataset().len(), 50_000);
+        assert_eq!(DatasetFamily::ImageNet.dataset().len(), 1_281_167);
+        for m in ModelProfile::cifar_models() {
+            assert_eq!(m.family(), DatasetFamily::Cifar10);
+        }
+    }
+}
+
+#[cfg(test)]
+mod preset_tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_ceilings_are_ordered_like_the_literature() {
+        // CIFAR: ResNet50 >= ResNet18 > MobileNet > ShuffleNet (top-1).
+        assert!(ModelProfile::resnet50().top1_max() >= ModelProfile::resnet18().top1_max());
+        assert!(ModelProfile::resnet18().top1_max() > ModelProfile::mobilenet().top1_max());
+        assert!(ModelProfile::mobilenet().top1_max() > ModelProfile::shufflenet().top1_max());
+        // ImageNet: DenseNet121 > MnasNet > VGG11 > SqueezeNet (top-1).
+        assert!(ModelProfile::densenet121().top1_max() > ModelProfile::mnasnet().top1_max());
+        assert!(ModelProfile::mnasnet().top1_max() > ModelProfile::vgg11().top1_max());
+        assert!(ModelProfile::vgg11().top1_max() > ModelProfile::squeezenet().top1_max());
+    }
+
+    #[test]
+    fn top5_always_exceeds_top1() {
+        for m in ModelProfile::all_models() {
+            assert!(m.top5_max() > m.top1_max(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn imagenet_models_cost_more_gpu_time_than_cifar_models() {
+        let max_cifar = ModelProfile::cifar_models()
+            .iter()
+            .map(|m| m.batch_compute_time(256, 1).unwrap())
+            .max()
+            .unwrap();
+        let min_imagenet = ModelProfile::imagenet_models()
+            .iter()
+            .map(|m| m.batch_compute_time(256, 1).unwrap())
+            .min()
+            .unwrap();
+        assert!(min_imagenet > max_cifar);
+    }
+
+    #[test]
+    fn compute_heavy_imagenet_models_are_vgg_and_densenet() {
+        // The paper observes iCache ~= Oracle exactly for these two.
+        let heavy = |name: &str| {
+            ModelProfile::by_name(name).unwrap().batch_compute_time(256, 1).unwrap()
+        };
+        assert!(heavy("vgg11") > heavy("mnasnet"));
+        assert!(heavy("densenet121") > heavy("mnasnet"));
+        assert!(heavy("mnasnet") > heavy("squeezenet"));
+    }
+
+    #[test]
+    fn batch_one_is_cheap_but_not_free() {
+        for m in ModelProfile::all_models() {
+            let t1 = m.batch_compute_time(1, 1).unwrap();
+            let t256 = m.batch_compute_time(256, 1).unwrap();
+            assert!(t1.as_nanos() > 0, "{}", m.name());
+            assert!(t256 > t1 * 50, "{}: batching must amortise", m.name());
+        }
+    }
+}

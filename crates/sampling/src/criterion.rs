@@ -1,0 +1,225 @@
+//! Importance criteria beyond raw loss (§VI, "Other importance sampling
+//! methods").
+//!
+//! The paper adopts the loss-based criterion \[18\] but notes that other
+//! estimators "can also be modified and integrated into iCACHE". This
+//! module provides the pluggable criterion abstraction and three
+//! published estimators expressed over the quantities our training
+//! substrate exposes:
+//!
+//! * [`ImportanceCriterion::Loss`] — the paper's default: importance is
+//!   the (EMA-smoothed) training loss.
+//! * [`ImportanceCriterion::GradNorm`] — an upper-bound-of-gradient-norm
+//!   estimator in the spirit of Katharopoulos & Fleuret \[24\]; for
+//!   cross-entropy the last-layer gradient norm grows super-linearly in
+//!   the loss, modelled here as `loss^2`.
+//! * [`ImportanceCriterion::Staleness`] — loss weighted by how long ago
+//!   the sample was last trained; hedges against stale estimates the way
+//!   the auxiliary-model approaches \[49\] hedge with fresh predictions.
+
+use crate::ImportanceTable;
+use icache_types::{Epoch, ImportanceValue, SampleId};
+use serde::{Deserialize, Serialize};
+
+/// A pluggable mapping from observed training signals to importance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ImportanceCriterion {
+    /// Importance = smoothed loss (the paper's choice, \[18\]).
+    #[default]
+    Loss,
+    /// Importance = smoothed loss squared (gradient-norm upper bound
+    /// proxy, \[24\]). Sharpens the ranking toward the hardest samples.
+    GradNorm,
+    /// Importance = smoothed loss × (1 + staleness · epochs-since-seen).
+    /// Boosts samples whose estimate is old, improving exploration.
+    Staleness,
+}
+
+impl ImportanceCriterion {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImportanceCriterion::Loss => "loss",
+            ImportanceCriterion::GradNorm => "gradnorm",
+            ImportanceCriterion::Staleness => "staleness",
+        }
+    }
+
+    /// All provided criteria (for sweeps).
+    pub fn all() -> [ImportanceCriterion; 3] {
+        [
+            ImportanceCriterion::Loss,
+            ImportanceCriterion::GradNorm,
+            ImportanceCriterion::Staleness,
+        ]
+    }
+}
+
+/// An importance view that applies a [`ImportanceCriterion`] on top of a
+/// raw loss table.
+///
+/// The criterion only *re-scores*; observation bookkeeping stays in the
+/// underlying [`ImportanceTable`], so criteria can be swapped mid-training
+/// or compared on identical histories.
+///
+/// # Examples
+///
+/// ```
+/// use icache_sampling::{CriterionTable, ImportanceCriterion, ImportanceTable};
+/// use icache_types::{Epoch, SampleId};
+///
+/// let mut t = CriterionTable::new(ImportanceTable::new(10), ImportanceCriterion::GradNorm);
+/// t.record_loss(SampleId(0), 3.0, Epoch(0));
+/// t.record_loss(SampleId(1), 1.0, Epoch(0));
+/// // GradNorm sharpens: 3.0 vs 1.0 becomes 9.0 vs 1.0.
+/// assert!(t.value(SampleId(0)).get() / t.value(SampleId(1)).get() > 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriterionTable {
+    table: ImportanceTable,
+    criterion: ImportanceCriterion,
+    last_seen: Vec<u32>,
+    current_epoch: u32,
+    /// Staleness boost per epoch not seen (for `Staleness`).
+    staleness_rate: f64,
+}
+
+impl CriterionTable {
+    /// Wrap `table` with `criterion`.
+    pub fn new(table: ImportanceTable, criterion: ImportanceCriterion) -> Self {
+        let n = table.len() as usize;
+        CriterionTable {
+            table,
+            criterion,
+            last_seen: vec![0; n],
+            current_epoch: 0,
+            staleness_rate: 0.15,
+        }
+    }
+
+    /// The active criterion.
+    pub fn criterion(&self) -> ImportanceCriterion {
+        self.criterion
+    }
+
+    /// Swap the criterion without losing observation history.
+    pub fn set_criterion(&mut self, criterion: ImportanceCriterion) {
+        self.criterion = criterion;
+    }
+
+    /// The underlying raw loss table.
+    pub fn raw(&self) -> &ImportanceTable {
+        &self.table
+    }
+
+    /// Record a loss observation for `id` during `epoch`.
+    pub fn record_loss(&mut self, id: SampleId, loss: f64, epoch: Epoch) {
+        self.table.record_loss(id, loss);
+        self.last_seen[id.index()] = epoch.0;
+        self.current_epoch = self.current_epoch.max(epoch.0);
+    }
+
+    /// Advance the epoch clock (staleness is measured against this).
+    pub fn on_epoch_start(&mut self, epoch: Epoch) {
+        self.current_epoch = self.current_epoch.max(epoch.0);
+    }
+
+    /// The criterion-scored importance of `id`.
+    pub fn value(&self, id: SampleId) -> ImportanceValue {
+        let raw = self.table.value(id).get();
+        let scored = match self.criterion {
+            ImportanceCriterion::Loss => raw,
+            ImportanceCriterion::GradNorm => raw * raw,
+            ImportanceCriterion::Staleness => {
+                let age = self.current_epoch.saturating_sub(self.last_seen[id.index()]);
+                raw * (1.0 + self.staleness_rate * age as f64)
+            }
+        };
+        ImportanceValue::saturating(scored)
+    }
+
+    /// A scored copy of the table, usable by selectors and H-lists that
+    /// expect an [`ImportanceTable`].
+    pub fn scored_table(&self) -> ImportanceTable {
+        let n = self.table.len();
+        let mut out = ImportanceTable::new(n);
+        for i in 0..n {
+            let id = SampleId(i);
+            if self.table.is_observed(id) {
+                out.record_loss(id, self.value(id).get());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(losses: &[(u64, f64)], n: u64, epoch: u32) -> CriterionTable {
+        let mut t = CriterionTable::new(ImportanceTable::new(n), ImportanceCriterion::Loss);
+        for &(id, l) in losses {
+            t.record_loss(SampleId(id), l, Epoch(epoch));
+        }
+        t
+    }
+
+    #[test]
+    fn loss_criterion_is_identity() {
+        let t = table_with(&[(0, 2.5)], 4, 0);
+        assert_eq!(t.value(SampleId(0)).get(), 2.5);
+    }
+
+    #[test]
+    fn gradnorm_squares_and_preserves_order() {
+        let mut t = table_with(&[(0, 3.0), (1, 1.0), (2, 0.5)], 4, 0);
+        t.set_criterion(ImportanceCriterion::GradNorm);
+        assert_eq!(t.value(SampleId(0)).get(), 9.0);
+        assert_eq!(t.value(SampleId(2)).get(), 0.25);
+        assert!(t.value(SampleId(0)) > t.value(SampleId(1)));
+        assert!(t.value(SampleId(1)) > t.value(SampleId(2)));
+    }
+
+    #[test]
+    fn staleness_boosts_long_unseen_samples() {
+        let mut t = table_with(&[(0, 1.0), (1, 1.0)], 4, 0);
+        t.set_criterion(ImportanceCriterion::Staleness);
+        // Sample 1 gets re-observed at epoch 10; sample 0 goes stale.
+        t.record_loss(SampleId(1), 1.0, Epoch(10));
+        assert!(
+            t.value(SampleId(0)) > t.value(SampleId(1)),
+            "stale estimate must be boosted: {} vs {}",
+            t.value(SampleId(0)),
+            t.value(SampleId(1))
+        );
+    }
+
+    #[test]
+    fn swapping_criteria_keeps_history() {
+        let mut t = table_with(&[(0, 2.0)], 4, 0);
+        t.set_criterion(ImportanceCriterion::GradNorm);
+        assert_eq!(t.value(SampleId(0)).get(), 4.0);
+        t.set_criterion(ImportanceCriterion::Loss);
+        assert_eq!(t.value(SampleId(0)).get(), 2.0);
+        assert_eq!(t.raw().updates(), 1);
+    }
+
+    #[test]
+    fn scored_table_feeds_hlists() {
+        let mut t = table_with(&[(0, 3.0), (1, 1.0)], 8, 0);
+        t.set_criterion(ImportanceCriterion::GradNorm);
+        let scored = t.scored_table();
+        assert_eq!(scored.value(SampleId(0)).get(), 9.0);
+        // Unobserved samples keep the optimistic prior.
+        assert!(!scored.is_observed(SampleId(5)));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ImportanceCriterion::Loss.name(), "loss");
+        assert_eq!(ImportanceCriterion::GradNorm.name(), "gradnorm");
+        assert_eq!(ImportanceCriterion::Staleness.name(), "staleness");
+        assert_eq!(ImportanceCriterion::all().len(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! The H-list: the client's record of high-importance samples.
+
+use crate::ImportanceTable;
+use icache_types::{IdSet, ImportanceValue, SampleId};
+use serde::{Deserialize, Serialize};
+
+/// One `<ID, IV>` vector entry of the H-list (both 64-bit, as in §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HListEntry {
+    /// Sample identity.
+    pub id: SampleId,
+    /// Importance value at the time the H-list was built.
+    pub iv: ImportanceValue,
+}
+
+/// The H-list a client module maintains and the cache manager periodically
+/// pulls: the ids and importance values of the samples currently considered
+/// *H-samples* (paper §III-A).
+///
+/// Membership tests are O(1) (bitmap), which Algorithm 1 needs on every
+/// sample of every batch.
+///
+/// # Examples
+///
+/// ```
+/// use icache_sampling::{HList, ImportanceTable};
+/// use icache_types::SampleId;
+///
+/// let mut t = ImportanceTable::new(100);
+/// for i in 0..100 {
+///     t.record_loss(SampleId(i), i as f64);
+/// }
+/// let hl = HList::top_fraction(&t, 0.1);
+/// assert_eq!(hl.len(), 10);
+/// assert!(hl.contains(SampleId(99)), "highest-loss sample is an H-sample");
+/// assert!(!hl.contains(SampleId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HList {
+    entries: Vec<HListEntry>,
+    members: IdSet,
+}
+
+impl HList {
+    /// An empty H-list over a universe of `num_samples` ids.
+    pub fn empty(num_samples: u64) -> Self {
+        HList { entries: Vec::new(), members: IdSet::new(num_samples) }
+    }
+
+    /// Build the H-list as the top `fraction` of samples by importance.
+    ///
+    /// `fraction` is clamped to `[0, 1]`. Ties break toward lower ids,
+    /// mirroring [`ImportanceTable::ranked_ids`].
+    pub fn top_fraction(table: &ImportanceTable, fraction: f64) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let k = ((table.len() as f64) * fraction).round() as usize;
+        Self::top_k(table, k)
+    }
+
+    /// Build the H-list as the `k` most important samples.
+    pub fn top_k(table: &ImportanceTable, k: usize) -> Self {
+        let k = k.min(table.len() as usize);
+        let ranked = table.ranked_ids();
+        let mut members = IdSet::new(table.len());
+        let entries: Vec<HListEntry> = ranked[..k]
+            .iter()
+            .map(|&id| {
+                members.insert(id);
+                HListEntry { id, iv: table.value(id) }
+            })
+            .collect();
+        HList { entries, members }
+    }
+
+    /// Number of H-samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no H-samples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// O(1) membership test: is `id` an H-sample?
+    #[inline]
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.members.contains(id)
+    }
+
+    /// The recorded importance of `id`, if it is an H-sample.
+    pub fn importance(&self, id: SampleId) -> Option<ImportanceValue> {
+        // entries are few (a cache-sized subset); linear scan is only used
+        // off the fast path, membership uses the bitmap.
+        self.entries.iter().find(|e| e.id == id).map(|e| e.iv)
+    }
+
+    /// Entries in descending importance order.
+    pub fn entries(&self) -> &[HListEntry] {
+        &self.entries
+    }
+
+    /// Iterate over the H-sample ids in descending importance order.
+    pub fn ids(&self) -> impl Iterator<Item = SampleId> + '_ {
+        self.entries.iter().map(|e| e.id)
+    }
+
+    /// The smallest importance value on the list (the admission bar).
+    pub fn min_importance(&self) -> Option<ImportanceValue> {
+        self.entries.last().map(|e| e.iv)
+    }
+
+    /// Approximate space of the ID/IV vectors in bytes (16 B per entry,
+    /// §III-A's overhead accounting).
+    pub fn space_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: u64) -> ImportanceTable {
+        let mut t = ImportanceTable::new(n);
+        for i in 0..n {
+            t.record_loss(SampleId(i), i as f64);
+        }
+        t
+    }
+
+    #[test]
+    fn top_fraction_selects_highest_losses() {
+        let hl = HList::top_fraction(&table(100), 0.2);
+        assert_eq!(hl.len(), 20);
+        for i in 80..100 {
+            assert!(hl.contains(SampleId(i)));
+        }
+        for i in 0..80 {
+            assert!(!hl.contains(SampleId(i)));
+        }
+    }
+
+    #[test]
+    fn entries_are_sorted_descending() {
+        let hl = HList::top_fraction(&table(50), 0.5);
+        let ivs: Vec<f64> = hl.entries().iter().map(|e| e.iv.get()).collect();
+        for w in ivs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(hl.min_importance().unwrap().get(), 25.0);
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        assert_eq!(HList::top_fraction(&table(10), 2.0).len(), 10);
+        assert_eq!(HList::top_fraction(&table(10), -1.0).len(), 0);
+    }
+
+    #[test]
+    fn importance_lookup_matches_table() {
+        let t = table(30);
+        let hl = HList::top_fraction(&t, 0.5);
+        assert_eq!(hl.importance(SampleId(29)), Some(t.value(SampleId(29))));
+        assert_eq!(hl.importance(SampleId(0)), None);
+    }
+
+    #[test]
+    fn space_overhead_is_16_bytes_per_entry() {
+        let hl = HList::top_k(&table(100), 25);
+        assert_eq!(hl.space_bytes(), 400);
+    }
+
+    #[test]
+    fn empty_hlist_contains_nothing() {
+        let hl = HList::empty(10);
+        assert!(hl.is_empty());
+        assert!(!hl.contains(SampleId(0)));
+        assert_eq!(hl.min_importance(), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! Importance-sampling algorithms for the iCache reproduction.
+//!
+//! The paper adopts the *loss-based* importance-sampling algorithm of
+//! Jiang et al. \[18\]: each sample's importance value (IV) is its recent
+//! training loss, tracked across epochs. On top of that this crate
+//! implements the two sampling modes the paper contrasts:
+//!
+//! * **CIS** (computing-oriented IS) — every sample is still *fetched*
+//!   each epoch, but low-importance samples are skipped on the GPU. This
+//!   reduces compute only (paper §II-B shows it barely helps I/O-bound
+//!   training).
+//! * **IIS** (I/O-oriented IS, the paper's proposal) — the sample set for
+//!   the epoch is chosen *before* the epoch from historical IVs; unselected
+//!   samples are neither fetched nor computed.
+//!
+//! The crate also builds the **H-list** — the client-side list of
+//! `(id, importance)` pairs for high-importance samples that iCache's cache
+//! manager pulls periodically — and the percentile-based *relative
+//! importance values* used by the multi-job coordinator.
+//!
+//! # Examples
+//!
+//! ```
+//! use icache_sampling::{ImportanceTable, IisSelector, Selector};
+//! use icache_types::{Epoch, SampleId, SeedSequence};
+//!
+//! let mut table = ImportanceTable::new(1_000);
+//! table.record_loss(SampleId(3), 5.0);
+//! let mut sel = IisSelector::new(0.7)?;
+//! let mut rng = SeedSequence::new(1).rng("select");
+//! let plan = sel.plan_epoch(&table, Epoch(1), &mut rng);
+//! assert!(plan.len() <= 1_000);
+//! # Ok::<(), icache_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod criterion;
+mod hlist;
+mod importance;
+mod selector;
+
+pub use criterion::{CriterionTable, ImportanceCriterion};
+pub use hlist::{HList, HListEntry};
+pub use importance::ImportanceTable;
+pub use selector::{CisSelector, EpochPlan, IisSelector, Selector, UniformSelector};

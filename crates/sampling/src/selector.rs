@@ -1,0 +1,424 @@
+//! Epoch planning: which samples are fetched and which are computed.
+
+use crate::ImportanceTable;
+use icache_types::{Epoch, Error, Result, SampleId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The plan for one training epoch: the ordered list of samples the data
+/// loader will *fetch*, and for each whether the GPU will *compute* it.
+///
+/// * Plain training / IIS: every fetched sample is computed.
+/// * CIS: everything is fetched, only a subset is computed — exactly the
+///   asymmetry that makes CIS ineffective for I/O-bound jobs (§II-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochPlan {
+    fetch_order: Vec<SampleId>,
+    computed: Vec<bool>,
+    num_computed: usize,
+}
+
+impl EpochPlan {
+    /// Build a plan; `computed` must parallel `fetch_order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length.
+    pub fn new(fetch_order: Vec<SampleId>, computed: Vec<bool>) -> Self {
+        assert_eq!(fetch_order.len(), computed.len(), "plan vectors must parallel");
+        let num_computed = computed.iter().filter(|&&c| c).count();
+        EpochPlan { fetch_order, computed, num_computed }
+    }
+
+    /// A plan that fetches and computes `order` in the given order.
+    pub fn all_computed(order: Vec<SampleId>) -> Self {
+        let n = order.len();
+        EpochPlan { fetch_order: order, computed: vec![true; n], num_computed: n }
+    }
+
+    /// Number of samples fetched this epoch.
+    pub fn len(&self) -> usize {
+        self.fetch_order.len()
+    }
+
+    /// True when nothing is fetched.
+    pub fn is_empty(&self) -> bool {
+        self.fetch_order.is_empty()
+    }
+
+    /// Number of samples the GPU computes this epoch.
+    pub fn computed_count(&self) -> usize {
+        self.num_computed
+    }
+
+    /// The fetch order.
+    pub fn fetch_order(&self) -> &[SampleId] {
+        &self.fetch_order
+    }
+
+    /// Whether the `i`-th fetched sample is computed.
+    pub fn is_computed(&self, i: usize) -> bool {
+        self.computed[i]
+    }
+
+    /// Iterate `(id, computed)` pairs in fetch order.
+    pub fn iter(&self) -> impl Iterator<Item = (SampleId, bool)> + '_ {
+        self.fetch_order.iter().copied().zip(self.computed.iter().copied())
+    }
+}
+
+/// A per-epoch sample-selection policy.
+///
+/// Selectors are stateful (they may track the epoch they last planned) and
+/// draw randomness from a caller-provided [`StdRng`] so runs stay
+/// deterministic under a fixed seed.
+pub trait Selector {
+    /// Short policy name for reports (`"uniform"`, `"cis"`, `"iis"`).
+    fn name(&self) -> &str;
+
+    /// Plan the given epoch from current importance values.
+    fn plan_epoch(&mut self, table: &ImportanceTable, epoch: Epoch, rng: &mut StdRng) -> EpochPlan;
+
+    /// Expected fraction of the dataset fetched per epoch (1.0 unless the
+    /// selector is I/O-oriented).
+    fn fetch_fraction(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The conventional sampler: every epoch fetches and computes every sample
+/// in a fresh random order (global shuffle, §II-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformSelector;
+
+impl UniformSelector {
+    /// Create a uniform selector.
+    pub fn new() -> Self {
+        UniformSelector
+    }
+}
+
+impl Selector for UniformSelector {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn plan_epoch(&mut self, table: &ImportanceTable, _epoch: Epoch, rng: &mut StdRng) -> EpochPlan {
+        let mut order: Vec<SampleId> = (0..table.len()).map(SampleId).collect();
+        order.shuffle(rng);
+        EpochPlan::all_computed(order)
+    }
+}
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis): select `k`
+/// ids with probability proportional to `weight + floor·mean(weight)`.
+///
+/// The exploration floor is *relative* to the current mean importance:
+/// losses shrink by orders of magnitude as training converges, and an
+/// absolute floor would gradually flatten the selection into uniform.
+fn weighted_subset(
+    table: &ImportanceTable,
+    k: usize,
+    floor: f64,
+    rng: &mut StdRng,
+) -> Vec<SampleId> {
+    let n = table.len() as usize;
+    let k = k.min(n);
+    let mean_w = (table.raw_values().iter().map(|w| w.max(0.0)).sum::<f64>() / n.max(1) as f64)
+        .max(f64::MIN_POSITIVE);
+    let abs_floor = floor * mean_w;
+    // key = u^(1/w); the k largest keys form the weighted sample.
+    let mut keyed: Vec<(f64, u64)> = table
+        .raw_values()
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let w = w.max(0.0) + abs_floor;
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            (u.powf(1.0 / w), i as u64)
+        })
+        .collect();
+    keyed.select_nth_unstable_by(k.saturating_sub(1).min(n - 1), |a, b| {
+        b.0.partial_cmp(&a.0).expect("keys are finite").then(a.1.cmp(&b.1))
+    });
+    keyed.truncate(k);
+    keyed.into_iter().map(|(_, i)| SampleId(i)).collect()
+}
+
+/// I/O-oriented importance sampling (the paper's IIS, §III-A): before each
+/// epoch, choose a weighted subset of samples from historical importance
+/// values; only those are fetched and trained.
+///
+/// Epoch 0 is a full warm-up pass — importance values do not exist yet, and
+/// every sample needs at least one observation.
+///
+/// # Examples
+///
+/// ```
+/// use icache_sampling::{IisSelector, ImportanceTable, Selector};
+/// use icache_types::{Epoch, SampleId, SeedSequence};
+///
+/// let mut t = ImportanceTable::new(100);
+/// for i in 0..100 {
+///     t.record_loss(SampleId(i), if i < 10 { 10.0 } else { 0.01 });
+/// }
+/// let mut sel = IisSelector::new(0.3)?;
+/// let mut rng = SeedSequence::new(0).rng("iis");
+/// let plan = sel.plan_epoch(&t, Epoch(1), &mut rng);
+/// assert_eq!(plan.len(), 30);
+/// assert_eq!(plan.computed_count(), 30);
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IisSelector {
+    fraction: f64,
+    exploration_floor: f64,
+}
+
+impl IisSelector {
+    /// Default weight floor (as a fraction of the mean importance)
+    /// granting low-loss samples residual selection probability (sample
+    /// diversity, §III-C).
+    pub const DEFAULT_EXPLORATION_FLOOR: f64 = 0.05;
+
+    /// Select `fraction` of the dataset per epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] unless `fraction` is in `(0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(Error::invalid_config("fraction", "must be in (0, 1]"));
+        }
+        Ok(IisSelector { fraction, exploration_floor: Self::DEFAULT_EXPLORATION_FLOOR })
+    }
+
+    /// Override the exploration floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the floor is negative or
+    /// non-finite.
+    pub fn with_exploration_floor(mut self, floor: f64) -> Result<Self> {
+        if !(floor.is_finite() && floor >= 0.0) {
+            return Err(Error::invalid_config("exploration_floor", "must be finite and >= 0"));
+        }
+        self.exploration_floor = floor;
+        Ok(self)
+    }
+
+    /// The configured per-epoch fetch fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+impl Selector for IisSelector {
+    fn name(&self) -> &str {
+        "iis"
+    }
+
+    fn plan_epoch(&mut self, table: &ImportanceTable, epoch: Epoch, rng: &mut StdRng) -> EpochPlan {
+        if epoch.0 == 0 {
+            // Warm-up: visit everything once to initialise importance.
+            let mut order: Vec<SampleId> = (0..table.len()).map(SampleId).collect();
+            order.shuffle(rng);
+            return EpochPlan::all_computed(order);
+        }
+        let k = ((table.len() as f64 * self.fraction).round() as usize).max(1);
+        let mut chosen = weighted_subset(table, k, self.exploration_floor, rng);
+        chosen.shuffle(rng);
+        EpochPlan::all_computed(chosen)
+    }
+
+    fn fetch_fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+/// Computing-oriented importance sampling (the baseline `Base` uses this):
+/// the *same* weighted subset is chosen for GPU computation, but every
+/// sample is still fetched in shuffled order — so I/O volume is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CisSelector {
+    fraction: f64,
+    exploration_floor: f64,
+}
+
+impl CisSelector {
+    /// Compute `fraction` of the dataset per epoch (fetch everything).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] unless `fraction` is in `(0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(Error::invalid_config("fraction", "must be in (0, 1]"));
+        }
+        Ok(CisSelector { fraction, exploration_floor: IisSelector::DEFAULT_EXPLORATION_FLOOR })
+    }
+
+    /// The configured per-epoch compute fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+impl Selector for CisSelector {
+    fn name(&self) -> &str {
+        "cis"
+    }
+
+    fn plan_epoch(&mut self, table: &ImportanceTable, epoch: Epoch, rng: &mut StdRng) -> EpochPlan {
+        let mut order: Vec<SampleId> = (0..table.len()).map(SampleId).collect();
+        order.shuffle(rng);
+        if epoch.0 == 0 {
+            return EpochPlan::all_computed(order);
+        }
+        let k = ((table.len() as f64 * self.fraction).round() as usize).max(1);
+        let chosen = weighted_subset(table, k, self.exploration_floor, rng);
+        let mut mask = vec![false; table.len() as usize];
+        for id in chosen {
+            mask[id.index()] = true;
+        }
+        let computed: Vec<bool> = order.iter().map(|id| mask[id.index()]).collect();
+        EpochPlan::new(order, computed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_types::SeedSequence;
+
+    fn table_with_head_heavy_losses(n: u64, hot: u64) -> ImportanceTable {
+        let mut t = ImportanceTable::new(n);
+        for i in 0..n {
+            t.record_loss(SampleId(i), if i < hot { 100.0 } else { 0.001 });
+        }
+        t
+    }
+
+    #[test]
+    fn uniform_visits_every_sample_exactly_once() {
+        let t = ImportanceTable::new(500);
+        let mut sel = UniformSelector::new();
+        let mut rng = SeedSequence::new(1).rng("u");
+        let plan = sel.plan_epoch(&t, Epoch(3), &mut rng);
+        assert_eq!(plan.len(), 500);
+        assert_eq!(plan.computed_count(), 500);
+        let mut seen: Vec<u64> = plan.fetch_order().iter().map(|i| i.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_shuffles_between_epochs() {
+        let t = ImportanceTable::new(100);
+        let mut sel = UniformSelector::new();
+        let mut rng = SeedSequence::new(1).rng("u");
+        let a = sel.plan_epoch(&t, Epoch(0), &mut rng);
+        let b = sel.plan_epoch(&t, Epoch(1), &mut rng);
+        assert_ne!(a.fetch_order(), b.fetch_order());
+    }
+
+    #[test]
+    fn iis_warmup_epoch_fetches_everything() {
+        let t = ImportanceTable::new(100);
+        let mut sel = IisSelector::new(0.3).unwrap();
+        let mut rng = SeedSequence::new(2).rng("i");
+        let plan = sel.plan_epoch(&t, Epoch(0), &mut rng);
+        assert_eq!(plan.len(), 100);
+    }
+
+    #[test]
+    fn iis_later_epochs_fetch_fraction() {
+        let t = table_with_head_heavy_losses(1000, 100);
+        let mut sel = IisSelector::new(0.25).unwrap();
+        let mut rng = SeedSequence::new(2).rng("i");
+        let plan = sel.plan_epoch(&t, Epoch(1), &mut rng);
+        assert_eq!(plan.len(), 250);
+        assert_eq!(plan.computed_count(), 250);
+    }
+
+    #[test]
+    fn iis_prefers_high_importance_samples() {
+        let t = table_with_head_heavy_losses(1000, 100);
+        let mut sel = IisSelector::new(0.2).unwrap();
+        let mut rng = SeedSequence::new(3).rng("i");
+        let plan = sel.plan_epoch(&t, Epoch(1), &mut rng);
+        let hot = plan.fetch_order().iter().filter(|id| id.0 < 100).count();
+        // 100 hot samples dominate the weights; expect the large majority
+        // of the 200 selections to be hot.
+        assert!(hot > 80, "only {hot} hot samples selected");
+    }
+
+    #[test]
+    fn iis_selection_has_no_duplicates() {
+        let t = table_with_head_heavy_losses(500, 50);
+        let mut sel = IisSelector::new(0.5).unwrap();
+        let mut rng = SeedSequence::new(4).rng("i");
+        let plan = sel.plan_epoch(&t, Epoch(2), &mut rng);
+        let mut ids: Vec<u64> = plan.fetch_order().iter().map(|i| i.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), plan.len());
+    }
+
+    #[test]
+    fn exploration_floor_keeps_cold_samples_reachable() {
+        let t = table_with_head_heavy_losses(1000, 10);
+        let mut sel = IisSelector::new(0.5).unwrap();
+        let mut rng = SeedSequence::new(5).rng("i");
+        let plan = sel.plan_epoch(&t, Epoch(1), &mut rng);
+        let cold = plan.fetch_order().iter().filter(|id| id.0 >= 10).count();
+        assert!(cold > 400, "cold samples must still be explored, got {cold}");
+    }
+
+    #[test]
+    fn cis_fetches_everything_but_computes_fraction() {
+        let t = table_with_head_heavy_losses(1000, 100);
+        let mut sel = CisSelector::new(0.3).unwrap();
+        let mut rng = SeedSequence::new(6).rng("c");
+        let plan = sel.plan_epoch(&t, Epoch(1), &mut rng);
+        assert_eq!(plan.len(), 1000, "CIS does not reduce fetches");
+        assert_eq!(plan.computed_count(), 300);
+        assert_eq!(sel.fetch_fraction(), 1.0);
+    }
+
+    #[test]
+    fn selectors_are_deterministic_under_a_seed() {
+        let t = table_with_head_heavy_losses(300, 30);
+        let run = || {
+            let mut sel = IisSelector::new(0.4).unwrap();
+            let mut rng = SeedSequence::new(7).rng("d");
+            sel.plan_epoch(&t, Epoch(1), &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn invalid_fractions_are_rejected() {
+        assert!(IisSelector::new(0.0).is_err());
+        assert!(IisSelector::new(1.5).is_err());
+        assert!(CisSelector::new(-0.1).is_err());
+        assert!(IisSelector::new(0.5).unwrap().with_exploration_floor(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn plan_iter_pairs_ids_with_compute_flags() {
+        let plan = EpochPlan::new(vec![SampleId(1), SampleId(2)], vec![true, false]);
+        let v: Vec<(u64, bool)> = plan.iter().map(|(id, c)| (id.0, c)).collect();
+        assert_eq!(v, vec![(1, true), (2, false)]);
+        assert!(plan.is_computed(0));
+        assert!(!plan.is_computed(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_plan_vectors_panic() {
+        let _ = EpochPlan::new(vec![SampleId(1)], vec![]);
+    }
+}

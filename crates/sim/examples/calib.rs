@@ -1,0 +1,22 @@
+//! Quick calibration probe (not a deliverable example).
+use icache_sim::{Scenario, SystemKind};
+
+fn main() {
+    let frac = 0.2; // 10k CIFAR samples
+    for kind in SystemKind::figure8_lineup() {
+        let m = Scenario::cifar10(kind)
+            .model(icache_dnn::ModelProfile::shufflenet())
+            .scale_dataset(frac).unwrap()
+            .epochs(4)
+            .run().unwrap();
+        println!(
+            "{:10} epoch={:8.3}s stall={:8.3}s hit={:5.1}% fetched={:6} top1={:.2}",
+            kind.label(),
+            m.avg_epoch_time_steady().as_secs_f64(),
+            m.avg_stall_time_steady().as_secs_f64(),
+            m.avg_hit_ratio_steady() * 100.0,
+            m.epochs[1].samples_fetched,
+            m.final_top1(),
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The training-loop simulator.
+//!
+//! This crate drives complete DNN training runs over simulated time,
+//! reproducing the paper's measurement methodology:
+//!
+//! * [`JobConfig`] / [`TrainingJob`] — one training job: a model profile,
+//!   a sampling mode (uniform / CIS / IIS), a PyTorch-style prefetch
+//!   pipeline with `W` blocking workers, loss-driven importance tracking,
+//!   and per-epoch H-list pushes to the cache.
+//! * [`run_single_job`] / [`run_multi_job`] — runners that own the shared
+//!   storage backend and cache system and advance jobs batch by batch
+//!   (multi-job interleaves by earliest virtual time, so storage and cache
+//!   contention emerge naturally).
+//! * [`EpochMetrics`] / [`RunMetrics`] — per-epoch wall/stall/compute
+//!   times, hit ratios, I/O counters, and accuracy, exactly the quantities
+//!   the paper's figures plot.
+//! * [`Scenario`] and [`SystemKind`] — the §V-A configuration vocabulary
+//!   (Default, Base, Quiver, CoorDL, iLFU, iCache, Oracle, and the
+//!   Fig. 10 ablation variants) with the paper's defaults: 20 % cache,
+//!   batch 256, 6 workers, OrangeFS with 4 servers and 64 KB stripes.
+//! * [`report`] — aligned text tables and JSON lines for the bench
+//!   binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use icache_sim::{Scenario, SystemKind};
+//!
+//! // A fast, scaled-down run: ShuffleNet on 2% of CIFAR-10, 3 epochs.
+//! let metrics = Scenario::cifar10(SystemKind::Icache)
+//!     .model(icache_dnn::ModelProfile::shufflenet())
+//!     .scale_dataset(0.02)?
+//!     .epochs(3)
+//!     .run()?;
+//! assert_eq!(metrics.epochs.len(), 3);
+//! # Ok::<(), icache_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod metrics;
+mod perjob;
+pub mod replay;
+pub mod report;
+mod runner;
+mod scenario;
+mod trace;
+
+pub use job::{JobConfig, SamplingMode, TrainingJob};
+pub use metrics::{EpochMetrics, RunMetrics};
+pub use perjob::PerJobCache;
+pub use runner::{run_multi_job, run_single_job};
+pub use scenario::{Scenario, StorageKind, SystemKind};
+pub use trace::{FetchEvent, TracingCache};

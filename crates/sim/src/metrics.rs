@@ -1,0 +1,199 @@
+//! Run metrics.
+
+use icache_core::CacheStats;
+use icache_storage::StorageStats;
+use icache_types::{Epoch, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured about one training epoch of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Which epoch this is.
+    pub epoch: Epoch,
+    /// Wall-clock (virtual) time from epoch start to last batch trained.
+    pub wall_time: SimDuration,
+    /// GPU idle time waiting for data (the paper's data-stall / I/O time).
+    pub stall_time: SimDuration,
+    /// GPU busy time.
+    pub compute_time: SimDuration,
+    /// Total time workers spent fetching samples (loader view, overlaps
+    /// with compute).
+    pub fetch_time: SimDuration,
+    /// Total time workers spent preprocessing samples.
+    pub preprocess_time: SimDuration,
+    /// Samples fetched this epoch.
+    pub samples_fetched: u64,
+    /// Samples trained on the GPU this epoch.
+    pub samples_trained: u64,
+    /// Fetches served from cache (hits + substitutions), counted from this
+    /// job's own requests — exact even when several jobs share one cache.
+    pub served_from_cache: u64,
+    /// Distinct samples trained this epoch.
+    pub distinct_trained: u64,
+    /// Trained samples that were substitutes drawn from the H-sample set.
+    pub substitutions_h: u64,
+    /// Trained samples that were substitutes drawn from the L-sample set.
+    pub substitutions_l: u64,
+    /// Cache-counter deltas for this epoch.
+    pub cache: CacheStats,
+    /// Storage-counter deltas for this epoch.
+    pub storage: StorageStats,
+    /// Median per-sample fetch latency seen by the loader this epoch.
+    pub fetch_p50: SimDuration,
+    /// 99th-percentile per-sample fetch latency this epoch (tail stalls).
+    pub fetch_p99: SimDuration,
+    /// Loss-mass coverage of this epoch's distinct trained set.
+    pub coverage: f64,
+    /// The scalar epoch-quality factor fed to the accuracy model.
+    pub quality: f64,
+    /// Top-1 accuracy (%) at the end of this epoch.
+    pub top1: f64,
+    /// Top-5 accuracy (%) at the end of this epoch.
+    pub top5: f64,
+}
+
+impl EpochMetrics {
+    /// The paper's cache hit ratio (substitutions count as hits).
+    pub fn hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+
+    /// Hit ratio computed from this job's own fetches — use this in
+    /// multi-job runs where the shared cache's counters mix jobs.
+    pub fn job_hit_ratio(&self) -> f64 {
+        if self.samples_fetched == 0 {
+            0.0
+        } else {
+            self.served_from_cache as f64 / self.samples_fetched as f64
+        }
+    }
+
+    /// Fraction of wall time the GPU sat waiting for data.
+    pub fn stall_fraction(&self) -> f64 {
+        self.stall_time.ratio(self.wall_time)
+    }
+}
+
+/// The full trace of one training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunMetrics {
+    /// System name the run used (`"icache"`, `"lru"`, …).
+    pub system: String,
+    /// Model name.
+    pub model: String,
+    /// Per-epoch measurements.
+    pub epochs: Vec<EpochMetrics>,
+}
+
+impl RunMetrics {
+    /// Average wall time per epoch (the paper's headline metric).
+    pub fn avg_epoch_time(&self) -> SimDuration {
+        if self.epochs.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.epochs.iter().map(|e| e.wall_time).sum::<SimDuration>() / self.epochs.len() as u64
+    }
+
+    /// Average wall time per epoch excluding the warm-up epoch 0 (IIS
+    /// fetches the whole dataset in epoch 0, so steady-state comparisons
+    /// drop it).
+    pub fn avg_epoch_time_steady(&self) -> SimDuration {
+        if self.epochs.len() <= 1 {
+            return self.avg_epoch_time();
+        }
+        let tail = &self.epochs[1..];
+        tail.iter().map(|e| e.wall_time).sum::<SimDuration>() / tail.len() as u64
+    }
+
+    /// Average data-stall (I/O) time per epoch, excluding warm-up.
+    pub fn avg_stall_time_steady(&self) -> SimDuration {
+        if self.epochs.len() <= 1 {
+            return self.epochs.first().map(|e| e.stall_time).unwrap_or(SimDuration::ZERO);
+        }
+        let tail = &self.epochs[1..];
+        tail.iter().map(|e| e.stall_time).sum::<SimDuration>() / tail.len() as u64
+    }
+
+    /// Mean cache hit ratio over steady-state epochs.
+    pub fn avg_hit_ratio_steady(&self) -> f64 {
+        let tail: &[EpochMetrics] =
+            if self.epochs.len() <= 1 { &self.epochs } else { &self.epochs[1..] };
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|e| e.hit_ratio()).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Final top-1 accuracy.
+    pub fn final_top1(&self) -> f64 {
+        self.epochs.last().map(|e| e.top1).unwrap_or(0.0)
+    }
+
+    /// Final top-5 accuracy.
+    pub fn final_top5(&self) -> f64 {
+        self.epochs.last().map(|e| e.top5).unwrap_or(0.0)
+    }
+
+    /// Total virtual time of the whole run.
+    pub fn total_time(&self) -> SimDuration {
+        self.epochs.iter().map(|e| e.wall_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(e: u32, wall_us: u64, stall_us: u64, top1: f64) -> EpochMetrics {
+        EpochMetrics {
+            epoch: Epoch(e),
+            wall_time: SimDuration::from_micros(wall_us),
+            stall_time: SimDuration::from_micros(stall_us),
+            compute_time: SimDuration::ZERO,
+            fetch_time: SimDuration::ZERO,
+            preprocess_time: SimDuration::ZERO,
+            samples_fetched: 0,
+            samples_trained: 0,
+            served_from_cache: 0,
+            distinct_trained: 0,
+            substitutions_h: 0,
+            substitutions_l: 0,
+            cache: CacheStats::default(),
+            storage: StorageStats::default(),
+            fetch_p50: SimDuration::ZERO,
+            fetch_p99: SimDuration::ZERO,
+            coverage: 1.0,
+            quality: 1.0,
+            top1,
+            top5: 0.0,
+        }
+    }
+
+    #[test]
+    fn averages_skip_warmup_in_steady_variants() {
+        let run = RunMetrics {
+            system: "x".into(),
+            model: "m".into(),
+            epochs: vec![epoch(0, 100, 50, 10.0), epoch(1, 10, 5, 20.0), epoch(2, 20, 5, 30.0)],
+        };
+        assert_eq!(run.avg_epoch_time(), SimDuration::from_nanos(43_333));
+        assert_eq!(run.avg_epoch_time_steady(), SimDuration::from_micros(15));
+        assert_eq!(run.avg_stall_time_steady(), SimDuration::from_micros(5));
+        assert_eq!(run.final_top1(), 30.0);
+        assert_eq!(run.total_time(), SimDuration::from_micros(130));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let run = RunMetrics::default();
+        assert_eq!(run.avg_epoch_time(), SimDuration::ZERO);
+        assert_eq!(run.final_top1(), 0.0);
+        assert_eq!(run.avg_hit_ratio_steady(), 0.0);
+    }
+
+    #[test]
+    fn stall_fraction_is_bounded() {
+        let e = epoch(0, 100, 40, 0.0);
+        assert!((e.stall_fraction() - 0.4).abs() < 1e-12);
+    }
+}

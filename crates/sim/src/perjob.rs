@@ -1,0 +1,172 @@
+//! Per-job cache composition.
+
+use icache_core::{CacheStats, CacheSystem, Fetch};
+use icache_sampling::HList;
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, Epoch, JobId, SampleId, SimTime};
+
+/// Routes each job to its own private cache instance.
+///
+/// The paper's *Default* configuration in distributed and multi-node
+/// experiments gives every node its own LRU cache with no coordination;
+/// this adapter models exactly that while still exposing the single
+/// [`CacheSystem`] interface the runners expect. Job `k` maps to cache
+/// `k % caches.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use icache_baselines::LruCache;
+/// use icache_core::CacheSystem;
+/// use icache_sim::PerJobCache;
+/// use icache_types::ByteSize;
+///
+/// let caches: Vec<Box<dyn CacheSystem>> = (0..2)
+///     .map(|_| Box::new(LruCache::new(ByteSize::mib(1))) as Box<dyn CacheSystem>)
+///     .collect();
+/// let cluster = PerJobCache::new(caches);
+/// assert_eq!(cluster.capacity(), ByteSize::mib(2));
+/// ```
+pub struct PerJobCache {
+    caches: Vec<Box<dyn CacheSystem>>,
+}
+
+impl PerJobCache {
+    /// Compose the given per-job caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches` is empty.
+    pub fn new(caches: Vec<Box<dyn CacheSystem>>) -> Self {
+        assert!(!caches.is_empty(), "PerJobCache requires at least one cache");
+        PerJobCache { caches }
+    }
+
+    fn index(&self, job: JobId) -> usize {
+        job.0 as usize % self.caches.len()
+    }
+
+    /// Number of composed caches.
+    pub fn len(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// True when holding no caches (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.caches.is_empty()
+    }
+}
+
+impl CacheSystem for PerJobCache {
+    fn name(&self) -> &str {
+        "per-job"
+    }
+
+    fn fetch(
+        &mut self,
+        job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        let i = self.index(job);
+        self.caches[i].fetch(job, id, size, now, storage)
+    }
+
+    fn update_hlist(&mut self, job: JobId, hlist: &HList) {
+        let i = self.index(job);
+        self.caches[i].update_hlist(job, hlist);
+    }
+
+    fn on_epoch_start(&mut self, job: JobId, epoch: Epoch) {
+        let i = self.index(job);
+        self.caches[i].on_epoch_start(job, epoch);
+    }
+
+    fn on_epoch_end(&mut self, job: JobId, epoch: Epoch) {
+        let i = self.index(job);
+        self.caches[i].on_epoch_end(job, epoch);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            total.h_hits += s.h_hits;
+            total.l_hits += s.l_hits;
+            total.pm_hits += s.pm_hits;
+            total.substitutions += s.substitutions;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.rejections += s.rejections;
+            total.bytes_from_cache += s.bytes_from_cache;
+            total.bytes_from_storage += s.bytes_from_storage;
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        for c in &mut self.caches {
+            c.reset_stats();
+        }
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.caches.iter().map(|c| c.used_bytes()).sum()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.caches.iter().map(|c| c.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_baselines::LruCache;
+    use icache_storage::LocalTier;
+
+    fn cluster(n: usize) -> PerJobCache {
+        PerJobCache::new(
+            (0..n)
+                .map(|_| Box::new(LruCache::new(ByteSize::kib(64))) as Box<dyn CacheSystem>)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn jobs_do_not_share_contents() {
+        let mut pc = cluster(2);
+        let mut st = LocalTier::tmpfs();
+        let sz = ByteSize::kib(3);
+        let a = pc.fetch(JobId(0), SampleId(1), sz, SimTime::ZERO, &mut st);
+        // Job 1 asking for the same sample misses: separate caches.
+        let b = pc.fetch(JobId(1), SampleId(1), sz, a.ready_at, &mut st);
+        assert!(!b.outcome.served_from_cache());
+        // Job 0 re-asking hits its own cache.
+        let c = pc.fetch(JobId(0), SampleId(1), sz, b.ready_at, &mut st);
+        assert!(c.outcome.served_from_cache());
+    }
+
+    #[test]
+    fn stats_and_capacity_aggregate() {
+        let mut pc = cluster(3);
+        let mut st = LocalTier::tmpfs();
+        for j in 0..3 {
+            pc.fetch(JobId(j), SampleId(0), ByteSize::kib(3), SimTime::ZERO, &mut st);
+        }
+        assert_eq!(pc.stats().misses, 3);
+        assert_eq!(pc.capacity(), ByteSize::kib(192));
+        pc.reset_stats();
+        assert_eq!(pc.stats().requests(), 0);
+        assert_eq!(pc.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn empty_composition_panics() {
+        let _ = PerJobCache::new(Vec::new());
+    }
+}

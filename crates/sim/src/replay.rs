@@ -1,0 +1,307 @@
+//! Trace replay: drive any cache system with a raw access trace.
+//!
+//! Training-loop simulation answers "how fast does the job run"; replay
+//! answers the narrower cache-design question "how does this policy
+//! behave under this reference stream", the way classic cache simulators
+//! do. Traces come from three sources:
+//!
+//! * recorded [`crate::TracingCache`] JSONL (via [`Trace::parse_jsonl`]);
+//! * synthetic generators ([`AccessPattern`]) — uniform, Zipfian,
+//!   sequential scan, and epoch-shuffle (the DNN pattern);
+//! * hand-built [`Trace`]s in tests.
+
+use icache_core::{CacheStats, CacheSystem};
+use icache_storage::StorageBackend;
+use icache_types::{
+    Dataset, Error, JobId, LatencyHistogram, Result, SampleId, SeedSequence, SimDuration, SimTime,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One access in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Requesting job.
+    pub job: JobId,
+    /// Requested sample.
+    pub sample: SampleId,
+}
+
+/// An access trace over a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Build from raw records.
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// The accesses in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Parse the JSONL format emitted by
+    /// [`crate::TracingCache::to_jsonl`] (fields `job` and `requested`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on malformed lines.
+    pub fn parse_jsonl(input: &str) -> Result<Trace> {
+        let mut records = Vec::new();
+        for (lineno, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: serde_json::Value = serde_json::from_str(line).map_err(|e| {
+                Error::invalid_config("trace", format!("line {}: {e}", lineno + 1))
+            })?;
+            let job = v["job"].as_u64().ok_or_else(|| {
+                Error::invalid_config("trace", format!("line {}: missing `job`", lineno + 1))
+            })?;
+            let sample = v["requested"].as_u64().ok_or_else(|| {
+                Error::invalid_config(
+                    "trace",
+                    format!("line {}: missing `requested`", lineno + 1),
+                )
+            })?;
+            records.push(TraceRecord { job: JobId(job as u32), sample: SampleId(sample) });
+        }
+        Ok(Trace { records })
+    }
+}
+
+/// Synthetic access-pattern generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Independent uniform draws.
+    Uniform,
+    /// Zipf-distributed draws with the given skew `s > 0` (1.0 ≈ classic
+    /// web/cache skew). Popular ids are the low ids.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+    },
+    /// Repeated sequential scans of the dataset (the cache-adversarial
+    /// pattern).
+    Scan,
+    /// Per-epoch random permutations — the DNN training pattern (§II-A).
+    EpochShuffle,
+}
+
+impl AccessPattern {
+    /// Generate `n` accesses over `universe` samples for `job`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an empty universe or a
+    /// non-positive Zipf skew.
+    pub fn generate(self, universe: u64, n: usize, job: JobId, seed: u64) -> Result<Trace> {
+        if universe == 0 {
+            return Err(Error::invalid_config("universe", "must be non-empty"));
+        }
+        let mut rng = SeedSequence::new(seed).rng("trace-gen");
+        let mut records = Vec::with_capacity(n);
+        match self {
+            AccessPattern::Uniform => {
+                for _ in 0..n {
+                    records.push(TraceRecord { job, sample: SampleId(rng.gen_range(0..universe)) });
+                }
+            }
+            AccessPattern::Zipf { s } => {
+                if !(s > 0.0 && s.is_finite()) {
+                    return Err(Error::invalid_config("s", "zipf skew must be positive"));
+                }
+                // Precomputed CDF + binary search. Universe capped for the
+                // table; ids above the cap occur with ~zero probability
+                // under any practical skew anyway.
+                let m = universe.min(1_000_000) as usize;
+                let mut cdf = Vec::with_capacity(m);
+                let mut acc = 0.0;
+                for k in 1..=m {
+                    acc += 1.0 / (k as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for _ in 0..n {
+                    let u: f64 = rng.gen_range(0.0..total);
+                    let idx = cdf.partition_point(|&c| c < u);
+                    records.push(TraceRecord { job, sample: SampleId(idx as u64) });
+                }
+            }
+            AccessPattern::Scan => {
+                for i in 0..n {
+                    records.push(TraceRecord { job, sample: SampleId(i as u64 % universe) });
+                }
+            }
+            AccessPattern::EpochShuffle => {
+                let mut order: Vec<u64> = (0..universe).collect();
+                let mut i = 0;
+                while records.len() < n {
+                    if i == 0 {
+                        order.shuffle(&mut rng);
+                    }
+                    records.push(TraceRecord { job, sample: SampleId(order[i]) });
+                    i = (i + 1) % order.len();
+                }
+            }
+        }
+        Ok(Trace { records })
+    }
+}
+
+/// The outcome of replaying a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Cache counters accumulated over the replay.
+    pub stats: CacheStats,
+    /// Per-access service latency distribution.
+    pub latency: LatencyHistogram,
+    /// Virtual time consumed by the replay.
+    pub elapsed: SimDuration,
+}
+
+impl ReplayReport {
+    /// The paper-style hit ratio of the replay.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
+    }
+}
+
+/// Replay `trace` through `cache` against `storage`, back to back (each
+/// access submits when the previous completes).
+pub fn replay(
+    trace: &Trace,
+    dataset: &Dataset,
+    cache: &mut dyn CacheSystem,
+    storage: &mut dyn StorageBackend,
+) -> ReplayReport {
+    let mut now = SimTime::ZERO;
+    let mut latency = LatencyHistogram::new();
+    let start_stats = cache.stats();
+    for r in &trace.records {
+        let size = dataset.sample_size(r.sample);
+        let f = cache.fetch(r.job, r.sample, size, now, storage);
+        latency.record(f.ready_at.saturating_since(now));
+        now = f.ready_at;
+    }
+    ReplayReport {
+        stats: cache.stats().delta_since(&start_stats),
+        latency,
+        elapsed: now.saturating_since(SimTime::ZERO),
+    }
+}
+
+/// Convenience: a one-line summary string for reports.
+pub fn summarize(report: &ReplayReport) -> String {
+    format!(
+        "hits {:.1}% | p50 {} | p99 {} | elapsed {}",
+        report.hit_ratio() * 100.0,
+        report.latency.quantile(0.5),
+        report.latency.quantile(0.99),
+        report.elapsed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_baselines::LruCache;
+    use icache_storage::LocalTier;
+    use icache_types::{ByteSize, DatasetBuilder, SizeModel};
+
+    fn dataset(n: u64) -> Dataset {
+        DatasetBuilder::new("rp", n)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ids() {
+        let t = AccessPattern::Zipf { s: 1.1 }
+            .generate(10_000, 20_000, JobId(0), 7)
+            .unwrap();
+        let head = t.records().iter().filter(|r| r.sample.0 < 100).count();
+        assert!(head > 8_000, "zipf head too light: {head}");
+    }
+
+    #[test]
+    fn epoch_shuffle_visits_everything_once_per_epoch() {
+        let t = AccessPattern::EpochShuffle.generate(50, 100, JobId(0), 7).unwrap();
+        let first: std::collections::HashSet<u64> =
+            t.records()[..50].iter().map(|r| r.sample.0).collect();
+        assert_eq!(first.len(), 50, "first epoch is a permutation");
+    }
+
+    #[test]
+    fn lru_loves_zipf_and_hates_scans() {
+        let ds = dataset(10_000);
+        let cap = ds.total_bytes().scaled(0.1);
+
+        let zipf = AccessPattern::Zipf { s: 1.1 }.generate(10_000, 30_000, JobId(0), 1).unwrap();
+        let mut lru = LruCache::new(cap);
+        let mut st = LocalTier::tmpfs();
+        let z = replay(&zipf, &ds, &mut lru, &mut st);
+
+        let scan = AccessPattern::Scan.generate(10_000, 30_000, JobId(0), 1).unwrap();
+        let mut lru = LruCache::new(cap);
+        let mut st = LocalTier::tmpfs();
+        let s = replay(&scan, &ds, &mut lru, &mut st);
+
+        assert!(z.hit_ratio() > 0.5, "zipf hit ratio {}", z.hit_ratio());
+        assert!(s.hit_ratio() < 0.01, "scan hit ratio {}", s.hit_ratio());
+        assert!(z.elapsed < s.elapsed);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_through_tracing_cache() {
+        use crate::TracingCache;
+        let ds = dataset(100);
+        let mut traced = TracingCache::new(LruCache::new(ByteSize::kib(64)), 256);
+        let mut st = LocalTier::tmpfs();
+        let original = AccessPattern::Uniform.generate(100, 50, JobId(2), 3).unwrap();
+        replay(&original, &ds, &mut traced, &mut st);
+        let parsed = Trace::parse_jsonl(&traced.to_jsonl()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Trace::parse_jsonl("not json").is_err());
+        assert!(Trace::parse_jsonl("{\"job\":1}").is_err());
+        assert!(Trace::parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn generators_validate_inputs() {
+        assert!(AccessPattern::Uniform.generate(0, 10, JobId(0), 1).is_err());
+        assert!(AccessPattern::Zipf { s: 0.0 }.generate(10, 10, JobId(0), 1).is_err());
+        assert!(AccessPattern::Zipf { s: f64::NAN }.generate(10, 10, JobId(0), 1).is_err());
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let ds = dataset(100);
+        let mut lru = LruCache::new(ByteSize::kib(64));
+        let mut st = LocalTier::tmpfs();
+        let t = AccessPattern::Scan.generate(100, 100, JobId(0), 1).unwrap();
+        let rep = replay(&t, &ds, &mut lru, &mut st);
+        let s = summarize(&rep);
+        assert!(s.contains("hits"));
+        assert!(s.contains("p99"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Fetch-level tracing.
+
+use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome};
+use icache_sampling::HList;
+use icache_storage::StorageBackend;
+use icache_types::{ByteSize, Epoch, JobId, SampleId, SimDuration, SimTime};
+
+/// One recorded fetch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchEvent {
+    /// Submission time.
+    pub at: SimTime,
+    /// Requesting job.
+    pub job: JobId,
+    /// The sample the loader asked for.
+    pub requested: SampleId,
+    /// The sample actually served.
+    pub served: SampleId,
+    /// What happened.
+    pub outcome: FetchOutcome,
+    /// Service latency.
+    pub latency: SimDuration,
+}
+
+impl FetchEvent {
+    /// Short outcome tag for logs (`hitH`, `hitL`, `pm`, `sub`, `miss`).
+    pub fn kind(&self) -> &'static str {
+        match self.outcome {
+            FetchOutcome::HitH => "hitH",
+            FetchOutcome::HitL => "hitL",
+            FetchOutcome::Miss => "miss",
+            FetchOutcome::Substituted { .. } => "sub",
+        }
+    }
+}
+
+/// A [`CacheSystem`] decorator that records every fetch into a bounded
+/// in-memory trace — the cache-behaviour equivalent of an I/O blktrace.
+///
+/// Useful for post-hoc analysis (reuse distances, substitution patterns)
+/// and for the `cache_explorer` style of debugging. The buffer is bounded:
+/// once full, recording stops (the trace marks itself truncated) so long
+/// runs cannot exhaust memory.
+///
+/// # Examples
+///
+/// ```
+/// use icache_baselines::LruCache;
+/// use icache_core::CacheSystem;
+/// use icache_sim::TracingCache;
+/// use icache_storage::LocalTier;
+/// use icache_types::{ByteSize, JobId, SampleId, SimTime};
+///
+/// let mut cache = TracingCache::new(LruCache::new(ByteSize::mib(1)), 1024);
+/// let mut st = LocalTier::tmpfs();
+/// cache.fetch(JobId(0), SampleId(1), ByteSize::kib(3), SimTime::ZERO, &mut st);
+/// assert_eq!(cache.events().len(), 1);
+/// assert_eq!(cache.events()[0].kind(), "miss");
+/// ```
+#[derive(Debug)]
+pub struct TracingCache<C> {
+    inner: C,
+    events: Vec<FetchEvent>,
+    capacity: usize,
+    truncated: bool,
+}
+
+impl<C: CacheSystem> TracingCache<C> {
+    /// Wrap `inner`, recording at most `capacity` events.
+    pub fn new(inner: C, capacity: usize) -> Self {
+        TracingCache { inner, events: Vec::new(), capacity, truncated: false }
+    }
+
+    /// The recorded events, in fetch order.
+    pub fn events(&self) -> &[FetchEvent] {
+        &self.events
+    }
+
+    /// Whether the buffer filled up and later events were dropped.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The wrapped cache (read access).
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the trace.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Render the trace as JSON lines (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"at_ns\":{},\"job\":{},\"requested\":{},\"served\":{},\"kind\":\"{}\",\"latency_ns\":{}}}\n",
+                e.at.as_nanos(),
+                e.job.0,
+                e.requested.0,
+                e.served.0,
+                e.kind(),
+                e.latency.as_nanos()
+            ));
+        }
+        out
+    }
+
+    /// Count events by outcome kind.
+    pub fn kind_counts(&self) -> std::collections::HashMap<&'static str, u64> {
+        let mut m = std::collections::HashMap::new();
+        for e in &self.events {
+            *m.entry(e.kind()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+impl<C: CacheSystem> CacheSystem for TracingCache<C> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn fetch(
+        &mut self,
+        job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        let fetch = self.inner.fetch(job, id, size, now, storage);
+        if self.events.len() < self.capacity {
+            self.events.push(FetchEvent {
+                at: now,
+                job,
+                requested: id,
+                served: fetch.served_id,
+                outcome: fetch.outcome,
+                latency: fetch.ready_at.saturating_since(now),
+            });
+        } else {
+            self.truncated = true;
+        }
+        fetch
+    }
+
+    fn update_hlist(&mut self, job: JobId, hlist: &HList) {
+        self.inner.update_hlist(job, hlist);
+    }
+
+    fn on_epoch_start(&mut self, job: JobId, epoch: Epoch) {
+        self.inner.on_epoch_start(job, epoch);
+    }
+
+    fn on_epoch_end(&mut self, job: JobId, epoch: Epoch) {
+        self.inner.on_epoch_end(job, epoch);
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn used_bytes(&self) -> ByteSize {
+        self.inner.used_bytes()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.inner.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icache_baselines::LruCache;
+    use icache_storage::LocalTier;
+
+    fn traced(cap: usize) -> (TracingCache<LruCache>, LocalTier) {
+        (TracingCache::new(LruCache::new(ByteSize::kib(64)), cap), LocalTier::tmpfs())
+    }
+
+    #[test]
+    fn records_misses_then_hits() {
+        let (mut c, mut st) = traced(16);
+        let f = c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), SimTime::ZERO, &mut st);
+        c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), f.ready_at, &mut st);
+        let kinds: Vec<&str> = c.events().iter().map(FetchEvent::kind).collect();
+        assert_eq!(kinds, vec!["miss", "hitH"]);
+        assert_eq!(c.kind_counts()["miss"], 1);
+        assert!(!c.is_truncated());
+    }
+
+    #[test]
+    fn buffer_bounds_are_respected() {
+        let (mut c, mut st) = traced(2);
+        let mut now = SimTime::ZERO;
+        for i in 0..5u64 {
+            let f = c.fetch(JobId(0), SampleId(i), ByteSize::kib(3), now, &mut st);
+            now = f.ready_at;
+        }
+        assert_eq!(c.events().len(), 2);
+        assert!(c.is_truncated());
+        // The underlying cache still served everything.
+        assert_eq!(c.stats().requests(), 5);
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let (mut c, mut st) = traced(16);
+        c.fetch(JobId(3), SampleId(9), ByteSize::kib(3), SimTime::ZERO, &mut st);
+        let jsonl = c.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"job\":3"));
+        assert!(jsonl.contains("\"kind\":\"miss\""));
+        // Each line is valid JSON.
+        let parsed: serde_json::Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed["requested"], 9);
+    }
+
+    #[test]
+    fn latency_matches_fetch_span() {
+        let (mut c, mut st) = traced(4);
+        let t0 = SimTime::from_nanos(1_000);
+        let f = c.fetch(JobId(0), SampleId(0), ByteSize::kib(3), t0, &mut st);
+        assert_eq!(c.events()[0].latency, f.ready_at.saturating_since(t0));
+        assert_eq!(c.events()[0].at, t0);
+        assert_eq!(c.into_inner().name(), "lru");
+    }
+}

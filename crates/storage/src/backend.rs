@@ -1,0 +1,92 @@
+//! The storage backend abstraction.
+
+use crate::StorageStats;
+use icache_types::{ByteSize, SampleId, SimTime};
+
+/// Classification of a read for reporting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadClass {
+    /// A random read of one sample file.
+    Sample,
+    /// A sequential read of a multi-sample package.
+    Package,
+}
+
+/// A storage system that serves reads over simulated time.
+///
+/// Implementations are queueing models: submitting a read at virtual time
+/// `now` returns the instant the data is available in host memory. Because
+/// queues persist across calls, concurrent callers sharing one backend
+/// contend with each other exactly as concurrent data-loader workers or
+/// training jobs contend for real storage servers.
+///
+/// This trait is object-safe; the simulator passes `&mut dyn
+/// StorageBackend` through the cache layers.
+///
+/// # Examples
+///
+/// ```
+/// use icache_storage::{LocalTier, StorageBackend};
+/// use icache_types::{ByteSize, SampleId, SimTime};
+///
+/// let mut tier = LocalTier::tmpfs();
+/// let t1 = tier.read_sample(SampleId(1), ByteSize::kib(3), SimTime::ZERO);
+/// let t2 = tier.read_sample(SampleId(2), ByteSize::kib(3), t1);
+/// assert!(t2 > t1);
+/// ```
+pub trait StorageBackend {
+    /// Human-readable backend name for reports.
+    fn name(&self) -> &str;
+
+    /// Read one sample file of `size` bytes, submitted at `now`.
+    ///
+    /// This is the small-random-read path: it pays the per-request overhead
+    /// of the backend. Returns the completion instant.
+    fn read_sample(&mut self, id: SampleId, size: ByteSize, now: SimTime) -> SimTime;
+
+    /// Read a sequential package of `size` bytes, submitted at `now`.
+    ///
+    /// Packages are large (≥ 1 MB in the paper) and stream at close to the
+    /// backend's aggregate bandwidth. Returns the completion instant.
+    fn read_package(&mut self, size: ByteSize, now: SimTime) -> SimTime;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> StorageStats;
+
+    /// Reset accumulated statistics (queue horizons are preserved).
+    fn reset_stats(&mut self);
+}
+
+impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn read_sample(&mut self, id: SampleId, size: ByteSize, now: SimTime) -> SimTime {
+        (**self).read_sample(id, size, now)
+    }
+    fn read_package(&mut self, size: ByteSize, now: SimTime) -> SimTime {
+        (**self).read_package(size, now)
+    }
+    fn stats(&self) -> StorageStats {
+        (**self).stats()
+    }
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalTier;
+
+    #[test]
+    fn trait_is_object_safe_and_boxable() {
+        let mut boxed: Box<dyn StorageBackend> = Box::new(LocalTier::tmpfs());
+        let done = boxed.read_sample(SampleId(0), ByteSize::kib(4), SimTime::ZERO);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(boxed.stats().sample_reads, 1);
+        boxed.reset_stats();
+        assert_eq!(boxed.stats().sample_reads, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulated storage substrate for the iCache reproduction.
+//!
+//! The paper evaluates against an OrangeFS parallel file system (four data
+//! servers, 64 KB stripes, 10 Gbps Ethernet) and, for the distributed
+//! experiments, an NFS server. This crate models those systems — plus the
+//! local tmpfs/SSD tiers used in the motivation experiments — as
+//! deterministic queueing models over simulated time:
+//!
+//! * every storage server is a FIFO resource with a per-request overhead
+//!   (metadata lookup + seek + RPC) and a streaming bandwidth;
+//! * files are striped across servers; small files occupy a single stripe;
+//! * the client NIC is a shared FIFO link, so concurrent transfers from
+//!   multiple workers or jobs contend for bandwidth;
+//! * all state is plain data — identical request sequences produce identical
+//!   timings.
+//!
+//! The central abstraction is [`StorageBackend`]: "submit a read at virtual
+//! time *t*, learn when it completes". Cache layers sit in front of a
+//! backend and decide *which* reads to submit; this crate decides *how long*
+//! they take.
+//!
+//! # Examples
+//!
+//! ```
+//! use icache_storage::{Pfs, PfsConfig, StorageBackend};
+//! use icache_types::{ByteSize, SampleId, SimTime};
+//!
+//! let mut pfs = Pfs::new(PfsConfig::orangefs_default())?;
+//! let done = pfs.read_sample(SampleId(0), ByteSize::kib(3), SimTime::ZERO);
+//! assert!(done > SimTime::ZERO);
+//! # Ok::<(), icache_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod degraded;
+mod local;
+mod nfs;
+mod pfs;
+mod queue;
+mod stats;
+mod timeline;
+
+pub use backend::{ReadClass, StorageBackend};
+pub use degraded::{BrownoutConfig, DegradedStorage};
+pub use local::{LocalTier, LocalTierConfig};
+pub use nfs::{Nfs, NfsConfig};
+pub use pfs::{Pfs, PfsConfig};
+pub use queue::FifoResource;
+pub use timeline::TimelineResource;
+pub use stats::StorageStats;

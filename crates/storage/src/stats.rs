@@ -1,0 +1,87 @@
+//! Aggregate storage statistics.
+
+use icache_types::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the I/O a backend has served.
+///
+/// The per-epoch deltas of these counters are what the paper's Figures 9
+/// and 11 report (I/O volume and the split between small random reads and
+/// large package reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageStats {
+    /// Number of random single-sample reads served.
+    pub sample_reads: u64,
+    /// Number of sequential package reads served.
+    pub package_reads: u64,
+    /// Bytes moved by sample reads.
+    pub sample_bytes: ByteSize,
+    /// Bytes moved by package reads.
+    pub package_bytes: ByteSize,
+    /// Total time requests spent in service (queueing excluded).
+    pub service_time: SimDuration,
+}
+
+impl StorageStats {
+    /// Total reads of both classes.
+    pub fn total_reads(&self) -> u64 {
+        self.sample_reads + self.package_reads
+    }
+
+    /// Total bytes of both classes.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.sample_bytes + self.package_bytes
+    }
+
+    /// Record a sample read.
+    pub fn record_sample(&mut self, bytes: ByteSize, service: SimDuration) {
+        self.sample_reads += 1;
+        self.sample_bytes += bytes;
+        self.service_time += service;
+    }
+
+    /// Record a package read.
+    pub fn record_package(&mut self, bytes: ByteSize, service: SimDuration) {
+        self.package_reads += 1;
+        self.package_bytes += bytes;
+        self.service_time += service;
+    }
+
+    /// Counter-wise difference `self - earlier` (for per-epoch deltas).
+    pub fn delta_since(&self, earlier: &StorageStats) -> StorageStats {
+        StorageStats {
+            sample_reads: self.sample_reads - earlier.sample_reads,
+            package_reads: self.package_reads - earlier.package_reads,
+            sample_bytes: self.sample_bytes - earlier.sample_bytes,
+            package_bytes: self.package_bytes - earlier.package_bytes,
+            service_time: self.service_time - earlier.service_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = StorageStats::default();
+        s.record_sample(ByteSize::kib(3), SimDuration::from_micros(500));
+        s.record_package(ByteSize::mib(1), SimDuration::from_millis(1));
+        assert_eq!(s.total_reads(), 2);
+        assert_eq!(s.total_bytes(), ByteSize::kib(3) + ByteSize::mib(1));
+        assert_eq!(s.service_time, SimDuration::from_micros(1500));
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let mut a = StorageStats::default();
+        a.record_sample(ByteSize::new(10), SimDuration::from_nanos(5));
+        let early = a;
+        a.record_sample(ByteSize::new(20), SimDuration::from_nanos(7));
+        let d = a.delta_since(&early);
+        assert_eq!(d.sample_reads, 1);
+        assert_eq!(d.sample_bytes, ByteSize::new(20));
+        assert_eq!(d.service_time, SimDuration::from_nanos(7));
+    }
+}

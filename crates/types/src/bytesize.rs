@@ -1,0 +1,258 @@
+//! Byte quantities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A quantity of bytes (capacity, transfer size, cache occupancy).
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::ByteSize;
+/// let cap = ByteSize::mib(28 * 1024); // 28 GiB
+/// assert_eq!(cap, ByteSize::gib(28));
+/// assert_eq!(ByteSize::kib(64).to_string(), "64.0KiB");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from raw bytes.
+    #[inline]
+    pub const fn new(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Construct from kibibytes.
+    #[inline]
+    pub const fn kib(k: u64) -> Self {
+        ByteSize(k * 1024)
+    }
+
+    /// Construct from mebibytes.
+    #[inline]
+    pub const fn mib(m: u64) -> Self {
+        ByteSize(m * 1024 * 1024)
+    }
+
+    /// Construct from gibibytes.
+    #[inline]
+    pub const fn gib(g: u64) -> Self {
+        ByteSize(g * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Raw byte count as `f64` (for rate arithmetic).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// True when zero bytes.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self - other`, saturating at zero.
+    #[inline]
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two sizes.
+    #[inline]
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two sizes.
+    #[inline]
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// A fraction of this size, rounded down to whole bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is negative or not finite.
+    #[inline]
+    pub fn scaled(self, frac: f64) -> ByteSize {
+        assert!(frac.is_finite() && frac >= 0.0, "fraction must be finite and non-negative");
+        ByteSize((self.0 as f64 * frac) as u64)
+    }
+
+    /// How many whole units of `unit` fit into this size.
+    ///
+    /// Returns `u64::MAX` when `unit` is zero (an unbounded count), which
+    /// only arises from degenerate configurations.
+    #[inline]
+    pub fn units_of(self, unit: ByteSize) -> u64 {
+        if unit.0 == 0 {
+            u64::MAX
+        } else {
+            self.0 / unit.0
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    #[inline]
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        debug_assert!(self.0 >= rhs.0, "ByteSize subtraction went negative");
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for ByteSize {
+    #[inline]
+    fn sub_assign(&mut self, rhs: ByteSize) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn div(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 / rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(v: u64) -> Self {
+        ByteSize(v)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        const KIB: f64 = 1024.0;
+        const MIB: f64 = 1024.0 * 1024.0;
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        if b >= GIB {
+            write!(f, "{:.2}GiB", b / GIB)
+        } else if b >= MIB {
+            write!(f, "{:.2}MiB", b / MIB)
+        } else if b >= KIB {
+            write!(f, "{:.1}KiB", b / KIB)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(ByteSize::kib(1), ByteSize::new(1024));
+        assert_eq!(ByteSize::mib(1), ByteSize::kib(1024));
+        assert_eq!(ByteSize::gib(1), ByteSize::mib(1024));
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = ByteSize::new(100);
+        let b = ByteSize::new(40);
+        assert_eq!(a + b, ByteSize::new(140));
+        assert_eq!(a - b, ByteSize::new(60));
+        assert_eq!(a * 2, ByteSize::new(200));
+        assert_eq!(a / 4, ByteSize::new(25));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(
+            ByteSize::new(1).saturating_sub(ByteSize::new(5)),
+            ByteSize::ZERO
+        );
+    }
+
+    #[test]
+    fn scaled_takes_fraction() {
+        assert_eq!(ByteSize::new(1000).scaled(0.2), ByteSize::new(200));
+        assert_eq!(ByteSize::new(1000).scaled(0.0), ByteSize::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn scaled_rejects_negative() {
+        let _ = ByteSize::new(1000).scaled(-0.5);
+    }
+
+    #[test]
+    fn units_of_counts_whole_units() {
+        assert_eq!(ByteSize::mib(3).units_of(ByteSize::mib(1)), 3);
+        assert_eq!(ByteSize::new(5).units_of(ByteSize::new(2)), 2);
+        assert_eq!(ByteSize::new(5).units_of(ByteSize::ZERO), u64::MAX);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(ByteSize::new(512).to_string(), "512B");
+        assert_eq!(ByteSize::kib(64).to_string(), "64.0KiB");
+        assert_eq!(ByteSize::mib(3).to_string(), "3.00MiB");
+        assert_eq!(ByteSize::gib(2).to_string(), "2.00GiB");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: ByteSize = (1..=3).map(ByteSize::new).sum();
+        assert_eq!(total, ByteSize::new(6));
+    }
+}

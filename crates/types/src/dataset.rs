@@ -1,0 +1,412 @@
+//! Synthetic dataset descriptors.
+//!
+//! The paper trains on CIFAR-10 (50 000 images, ~3 KB each) and ImageNet-1K
+//! (1 281 167 images, ~140 GB total). We do not ship the images; the cache
+//! and storage layers only ever observe *sample identities and sizes*, so a
+//! [`Dataset`] describes exactly that. Per-sample sizes are derived
+//! deterministically from the dataset seed, so no large size tables need to
+//! be materialised even for ImageNet-scale cardinalities.
+
+use crate::{splitmix64, ByteSize, Error, Result, SampleId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// How per-sample sizes are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeModel {
+    /// Every sample has the same size (CIFAR-style fixed records).
+    Fixed(ByteSize),
+    /// Sizes follow a log-normal distribution (JPEG-style variable records),
+    /// clamped to `[min, max]`.
+    LogNormal {
+        /// Location parameter of the underlying normal (of ln-bytes).
+        mu: f64,
+        /// Scale parameter of the underlying normal (of ln-bytes).
+        sigma: f64,
+        /// Smallest size ever produced.
+        min: ByteSize,
+        /// Largest size ever produced.
+        max: ByteSize,
+    },
+}
+
+impl SizeModel {
+    fn sample_size(&self, seed: u64, id: SampleId) -> ByteSize {
+        match *self {
+            SizeModel::Fixed(sz) => sz,
+            SizeModel::LogNormal { mu, sigma, min, max } => {
+                // Deterministic standard normal from (seed, id) via
+                // Box–Muller over two splitmix64-derived uniforms.
+                let h1 = splitmix64(seed ^ splitmix64(id.0));
+                let h2 = splitmix64(h1);
+                let u1 = ((h1 >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+                let u2 = ((h2 >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let bytes = (mu + sigma * z).exp();
+                let clamped = bytes.clamp(min.as_f64(), max.as_f64());
+                ByteSize::new(clamped as u64)
+            }
+        }
+    }
+}
+
+/// A description of a training dataset: its cardinality and the size of
+/// every sample.
+///
+/// Construction goes through presets ([`Dataset::cifar10`],
+/// [`Dataset::imagenet_1k`]) or [`DatasetBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::{Dataset, SampleId};
+/// let ds = Dataset::cifar10();
+/// assert_eq!(ds.len(), 50_000);
+/// // Sizes are deterministic:
+/// assert_eq!(ds.sample_size(SampleId(5)), ds.sample_size(SampleId(5)));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    num_samples: u64,
+    size_model: SizeModel,
+    seed: u64,
+    #[serde(skip)]
+    total_bytes: OnceLock<ByteSize>,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.num_samples == other.num_samples
+            && self.size_model == other.size_model
+            && self.seed == other.seed
+    }
+}
+
+impl Dataset {
+    /// CIFAR-10: 50 000 fixed-size ~3 KB samples (32×32×3 + label).
+    pub fn cifar10() -> Dataset {
+        DatasetBuilder::new("cifar10", 50_000)
+            .size_model(SizeModel::Fixed(ByteSize::new(3_073)))
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// ImageNet-1K: 1 281 167 variable-size JPEG samples, ~140 GB total
+    /// (mean ≈ 115 KB, log-normal spread).
+    pub fn imagenet_1k() -> Dataset {
+        DatasetBuilder::new("imagenet-1k", 1_281_167)
+            .size_model(SizeModel::LogNormal {
+                // mean of LogNormal = exp(mu + sigma^2/2) ≈ 114.7 KB
+                mu: 11.52,
+                sigma: 0.55,
+                min: ByteSize::kib(4),
+                max: ByteSize::mib(4),
+            })
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// A proportionally smaller copy of this dataset, used to keep
+    /// long sweeps affordable. Keeps the size model, scales cardinality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `fraction` is not in `(0, 1]`
+    /// or the scaled dataset would be empty.
+    pub fn scaled(&self, fraction: f64) -> Result<Dataset> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(Error::invalid_config("fraction", "must be in (0, 1]"));
+        }
+        let n = ((self.num_samples as f64) * fraction).round() as u64;
+        if n == 0 {
+            return Err(Error::invalid_config("fraction", "scaled dataset would be empty"));
+        }
+        DatasetBuilder::new(format!("{}@{:.2}", self.name, fraction), n)
+            .size_model(self.size_model)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// Dataset name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> u64 {
+        self.num_samples
+    }
+
+    /// True when the dataset holds no samples (never true for valid sets).
+    pub fn is_empty(&self) -> bool {
+        self.num_samples == 0
+    }
+
+    /// The size-generation model.
+    pub fn size_model(&self) -> SizeModel {
+        self.size_model
+    }
+
+    /// Whether `id` belongs to this dataset.
+    pub fn contains(&self, id: SampleId) -> bool {
+        id.0 < self.num_samples
+    }
+
+    /// Size of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; use [`Dataset::contains`] to guard
+    /// untrusted ids.
+    pub fn sample_size(&self, id: SampleId) -> ByteSize {
+        assert!(
+            self.contains(id),
+            "sample {id} out of range for dataset {} of {} samples",
+            self.name,
+            self.num_samples
+        );
+        self.size_model.sample_size(self.seed, id)
+    }
+
+    /// Total bytes across all samples (computed once, then cached).
+    pub fn total_bytes(&self) -> ByteSize {
+        *self.total_bytes.get_or_init(|| match self.size_model {
+            SizeModel::Fixed(sz) => sz * self.num_samples,
+            SizeModel::LogNormal { .. } => (0..self.num_samples)
+                .map(|i| self.size_model.sample_size(self.seed, SampleId(i)))
+                .sum(),
+        })
+    }
+
+    /// Mean sample size.
+    pub fn mean_sample_size(&self) -> ByteSize {
+        if self.num_samples == 0 {
+            ByteSize::ZERO
+        } else {
+            self.total_bytes() / self.num_samples
+        }
+    }
+
+    /// Iterate over all sample ids in dense order.
+    pub fn ids(&self) -> impl Iterator<Item = SampleId> + '_ {
+        (0..self.num_samples).map(SampleId)
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} samples, {})", self.name, self.num_samples, self.total_bytes())
+    }
+}
+
+/// Builder for custom [`Dataset`]s.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::{ByteSize, Dataset, DatasetBuilder, SizeModel};
+/// let ds = DatasetBuilder::new("tiny", 100)
+///     .size_model(SizeModel::Fixed(ByteSize::kib(8)))
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(ds.total_bytes(), ByteSize::kib(800));
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    name: String,
+    num_samples: u64,
+    size_model: SizeModel,
+    seed: u64,
+}
+
+impl DatasetBuilder {
+    /// Start building a dataset with `num_samples` samples.
+    pub fn new(name: impl Into<String>, num_samples: u64) -> Self {
+        DatasetBuilder {
+            name: name.into(),
+            num_samples,
+            size_model: SizeModel::Fixed(ByteSize::kib(4)),
+            seed: 0xDA7A_5E7,
+        }
+    }
+
+    /// Set the per-sample size model.
+    pub fn size_model(mut self, model: SizeModel) -> Self {
+        self.size_model = model;
+        self
+    }
+
+    /// Set the seed that drives size generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the dataset would be empty,
+    /// a fixed size is zero, or log-normal parameters are not finite /
+    /// have an empty `[min, max]` range.
+    pub fn build(self) -> Result<Dataset> {
+        if self.num_samples == 0 {
+            return Err(Error::invalid_config("num_samples", "dataset must be non-empty"));
+        }
+        match self.size_model {
+            SizeModel::Fixed(sz) if sz.is_zero() => {
+                return Err(Error::invalid_config("size_model", "fixed sample size must be non-zero"));
+            }
+            SizeModel::LogNormal { mu, sigma, min, max } => {
+                if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+                    return Err(Error::invalid_config(
+                        "size_model",
+                        "log-normal parameters must be finite with sigma >= 0",
+                    ));
+                }
+                if min > max || min.is_zero() {
+                    return Err(Error::invalid_config(
+                        "size_model",
+                        "log-normal clamp range must satisfy 0 < min <= max",
+                    ));
+                }
+            }
+            SizeModel::Fixed(_) => {}
+        }
+        Ok(Dataset {
+            name: self.name,
+            num_samples: self.num_samples,
+            size_model: self.size_model,
+            seed: self.seed,
+            total_bytes: OnceLock::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifar10_matches_paper_shape() {
+        let ds = Dataset::cifar10();
+        assert_eq!(ds.len(), 50_000);
+        assert_eq!(ds.sample_size(SampleId(0)), ByteSize::new(3_073));
+        // ~150 MB total
+        let total = ds.total_bytes().as_f64();
+        assert!((1.4e8..1.6e8).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn imagenet_mean_size_near_115_kib() {
+        // Use a scaled copy so the test stays fast.
+        let ds = Dataset::imagenet_1k().scaled(0.01).unwrap();
+        let mean = ds.mean_sample_size().as_f64();
+        assert!(
+            (80_000.0..150_000.0).contains(&mean),
+            "mean sample size {mean} outside expected band"
+        );
+    }
+
+    #[test]
+    fn sizes_are_deterministic_and_clamped() {
+        let ds = DatasetBuilder::new("t", 1000)
+            .size_model(SizeModel::LogNormal {
+                mu: 10.0,
+                sigma: 1.0,
+                min: ByteSize::kib(2),
+                max: ByteSize::kib(64),
+            })
+            .seed(3)
+            .build()
+            .unwrap();
+        for id in ds.ids() {
+            let sz = ds.sample_size(id);
+            assert_eq!(sz, ds.sample_size(id));
+            assert!(sz >= ByteSize::kib(2) && sz <= ByteSize::kib(64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_size_streams() {
+        let mk = |seed| {
+            DatasetBuilder::new("t", 64)
+                .size_model(SizeModel::LogNormal {
+                    mu: 10.0,
+                    sigma: 1.0,
+                    min: ByteSize::new(1),
+                    max: ByteSize::gib(1),
+                })
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let differing = a
+            .ids()
+            .filter(|&id| a.sample_size(id) != b.sample_size(id))
+            .count();
+        assert!(differing > 32);
+    }
+
+    #[test]
+    fn contains_guards_range() {
+        let ds = Dataset::cifar10();
+        assert!(ds.contains(SampleId(49_999)));
+        assert!(!ds.contains(SampleId(50_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sample_size_panics_out_of_range() {
+        let _ = Dataset::cifar10().sample_size(SampleId(50_000));
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(DatasetBuilder::new("e", 0).build().is_err());
+        assert!(DatasetBuilder::new("z", 1)
+            .size_model(SizeModel::Fixed(ByteSize::ZERO))
+            .build()
+            .is_err());
+        assert!(DatasetBuilder::new("l", 1)
+            .size_model(SizeModel::LogNormal {
+                mu: f64::NAN,
+                sigma: 1.0,
+                min: ByteSize::new(1),
+                max: ByteSize::new(2),
+            })
+            .build()
+            .is_err());
+        assert!(DatasetBuilder::new("l", 1)
+            .size_model(SizeModel::LogNormal {
+                mu: 1.0,
+                sigma: 1.0,
+                min: ByteSize::new(5),
+                max: ByteSize::new(2),
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn scaled_preserves_sizes_for_shared_prefix() {
+        let full = Dataset::cifar10();
+        let half = full.scaled(0.5).unwrap();
+        assert_eq!(half.len(), 25_000);
+        assert_eq!(half.sample_size(SampleId(3)), full.sample_size(SampleId(3)));
+        assert!(full.scaled(0.0).is_err());
+        assert!(full.scaled(1.5).is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_and_count() {
+        let s = Dataset::cifar10().to_string();
+        assert!(s.contains("cifar10") && s.contains("50000"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types shared across the workspace.
+
+use crate::{ByteSize, JobId, NodeId, SampleId};
+use std::fmt;
+
+/// Convenience alias used throughout the iCache crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the iCache crate family.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::{Error, SampleId};
+/// let err = Error::UnknownSample(SampleId(9));
+/// assert_eq!(err.to_string(), "unknown sample id s9");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration parameter was out of its valid range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An importance value was NaN, infinite, or negative.
+    InvalidImportance(f64),
+    /// A sample id does not belong to the dataset in use.
+    UnknownSample(SampleId),
+    /// A job id is not registered with the component that received it.
+    UnknownJob(JobId),
+    /// A node id is not part of the distributed cache cluster.
+    UnknownNode(NodeId),
+    /// An insert would exceed a fixed capacity.
+    CapacityExceeded {
+        /// Capacity of the component, in bytes.
+        capacity: ByteSize,
+        /// Bytes the rejected insert would have required.
+        requested: ByteSize,
+    },
+    /// The requested item is larger than the entire cache region.
+    ItemTooLarge {
+        /// The sample that could never fit.
+        sample: SampleId,
+        /// Size of that sample.
+        size: ByteSize,
+        /// Capacity of the region it was offered to.
+        capacity: ByteSize,
+    },
+    /// An operation arrived in a state that cannot service it
+    /// (e.g. evicting from an empty heap).
+    InvalidState(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            Error::InvalidImportance(v) => {
+                write!(f, "importance value must be finite and non-negative, got {v}")
+            }
+            Error::UnknownSample(id) => write!(f, "unknown sample id {id}"),
+            Error::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            Error::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            Error::CapacityExceeded { capacity, requested } => {
+                write!(f, "capacity exceeded: requested {requested} with capacity {capacity}")
+            }
+            Error::ItemTooLarge { sample, size, capacity } => {
+                write!(f, "sample {sample} of size {size} cannot fit in region of capacity {capacity}")
+            }
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build an [`Error::InvalidConfig`] with a formatted reason.
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        Error::InvalidConfig { field, reason: reason.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let cases: Vec<Error> = vec![
+            Error::invalid_config("cache_fraction", "must be in (0, 1]"),
+            Error::InvalidImportance(f64::NAN),
+            Error::UnknownSample(SampleId(1)),
+            Error::UnknownJob(JobId(2)),
+            Error::UnknownNode(NodeId(3)),
+            Error::CapacityExceeded {
+                capacity: ByteSize::new(10),
+                requested: ByteSize::new(20),
+            },
+            Error::ItemTooLarge {
+                sample: SampleId(4),
+                size: ByteSize::mib(2),
+                capacity: ByteSize::mib(1),
+            },
+            Error::InvalidState("heap empty".into()),
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "lowercase start: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::UnknownSample(SampleId(0)));
+        assert!(e.source().is_none());
+    }
+}

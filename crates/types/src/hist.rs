@@ -1,0 +1,194 @@
+//! Log-bucketed latency histograms.
+
+use crate::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Number of logarithmic buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds, with the last bucket open-ended.
+const BUCKETS: usize = 64;
+
+/// A fixed-size logarithmic histogram of durations.
+///
+/// Storage systems are judged on their *tails*: a cache that halves the
+/// mean but leaves p99 untouched has not fixed the data stalls. The
+/// histogram uses power-of-two buckets (≤ 50 % relative quantile error,
+/// constant memory) — the standard trade-off for always-on latency
+/// tracking.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::{LatencyHistogram, SimDuration};
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [10u64, 20, 30, 40, 5_000] {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.5) < SimDuration::from_micros(100));
+/// assert!(h.quantile(0.99) >= SimDuration::from_micros(4_000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    max: SimDuration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            max: SimDuration::ZERO,
+        }
+    }
+
+    fn bucket_of(d: SimDuration) -> usize {
+        let ns = d.as_nanos();
+        if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.counts[Self::bucket_of(d)] += 1;
+        self.total += 1;
+        self.sum_nanos += d.as_nanos() as u128;
+        self.max = self.max.max(d);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded duration (exact).
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Mean of recorded durations (exact).
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`), reported as the upper
+    /// edge of the containing bucket (within 2× of the true value).
+    /// Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.total as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bucket edge, capped by the exact max.
+                let edge = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return SimDuration::from_nanos(edge).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Forget everything.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum_nanos = 0;
+        self.max = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.99), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values_within_2x() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        let p50 = h.quantile(0.5).as_nanos() as f64;
+        let truth = 500_000.0;
+        assert!(p50 >= truth * 0.99 && p50 <= truth * 2.0, "p50 {p50}");
+        let p99 = h.quantile(0.99).as_nanos() as f64;
+        assert!(p99 >= 990_000.0 * 0.99 && p99 <= 990_000.0 * 2.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_micros(30));
+        assert_eq!(h.mean(), SimDuration::from_micros(20));
+        assert_eq!(h.max(), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(5));
+        assert_eq!(h.quantile(1.0), SimDuration::from_nanos(5));
+        assert_eq!(h.quantile(0.0001), SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(1));
+        b.record(SimDuration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_millis(1));
+        a.clear();
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn zero_duration_is_representable() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+    }
+}

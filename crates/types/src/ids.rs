@@ -1,0 +1,162 @@
+//! Strongly typed identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a training sample within a [`crate::Dataset`].
+///
+/// Sample ids are dense indices in `0..dataset.len()`; the paper stores them
+/// as 64-bit values in the H-list and we keep the same width.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::SampleId;
+/// let id = SampleId(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(format!("{id}"), "s7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SampleId(pub u64);
+
+impl SampleId {
+    /// The dense index of this sample, usable for `Vec` addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SampleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u64> for SampleId {
+    fn from(v: u64) -> Self {
+        SampleId(v)
+    }
+}
+
+/// Identity of a training job (one model-training process).
+///
+/// In multi-job experiments several jobs share the same cache server and
+/// dataset; the coordinator keys its per-job state on `JobId`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl From<u32> for JobId {
+    fn from(v: u32) -> Self {
+        JobId(v)
+    }
+}
+
+/// Identity of a node in the distributed cache (paper §III-E).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An epoch number (0-based). One epoch visits the selected sample set once.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u32);
+
+impl Epoch {
+    /// The epoch following this one.
+    #[inline]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// The dense index of this epoch, usable for `Vec` addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch{}", self.0)
+    }
+}
+
+impl From<u32> for Epoch {
+    fn from(v: u32) -> Self {
+        Epoch(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sample_id_roundtrips_through_index() {
+        for raw in [0u64, 1, 42, u32::MAX as u64] {
+            assert_eq!(SampleId(raw).index() as u64, raw);
+        }
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<SampleId> = (0..100).map(SampleId).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn epoch_next_increments() {
+        assert_eq!(Epoch(0).next(), Epoch(1));
+        assert_eq!(Epoch(41).next().index(), 42);
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(SampleId(3).to_string(), "s3");
+        assert_eq!(JobId(2).to_string(), "job2");
+        assert_eq!(NodeId(1).to_string(), "node1");
+        assert_eq!(Epoch(9).to_string(), "epoch9");
+    }
+
+    #[test]
+    fn from_impls_match_field() {
+        assert_eq!(SampleId::from(5u64), SampleId(5));
+        assert_eq!(JobId::from(5u32), JobId(5));
+        assert_eq!(NodeId::from(5u32), NodeId(5));
+        assert_eq!(Epoch::from(5u32), Epoch(5));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let id = SampleId(123);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: SampleId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

@@ -1,0 +1,233 @@
+//! A dense bitset over sample ids.
+
+use crate::SampleId;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-universe set of [`SampleId`]s backed by a bitmap.
+///
+/// Membership checks are the hottest operation on the cache fast path
+/// ("is this id an H-sample?"), so the set is a flat bitmap rather than a
+/// hash set: O(1) with one cache line touched.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::{IdSet, SampleId};
+/// let mut set = IdSet::new(100);
+/// set.insert(SampleId(7));
+/// assert!(set.contains(SampleId(7)));
+/// assert!(!set.contains(SampleId(8)));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdSet {
+    words: Vec<u64>,
+    universe: u64,
+    len: usize,
+}
+
+impl IdSet {
+    /// An empty set over the universe `0..universe`.
+    pub fn new(universe: u64) -> Self {
+        IdSet {
+            words: vec![0; (universe as usize).div_ceil(64)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Number of ids currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no ids are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `id` is in the set. Ids outside the universe are never
+    /// members.
+    #[inline]
+    pub fn contains(&self, id: SampleId) -> bool {
+        if id.0 >= self.universe {
+            return false;
+        }
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Insert `id`. Returns true if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, id: SampleId) -> bool {
+        assert!(id.0 < self.universe, "id {id} outside universe {}", self.universe);
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        self.len += usize::from(newly);
+        newly
+    }
+
+    /// Remove `id`. Returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: SampleId) -> bool {
+        if id.0 >= self.universe {
+            return false;
+        }
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        self.len -= usize::from(was);
+        was
+    }
+
+    /// Remove every id.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterate over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = SampleId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = (wi * 64) as u64;
+            BitIter { word, base }
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = SampleId;
+    fn next(&mut self) -> Option<SampleId> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as u64;
+        self.word &= self.word - 1;
+        Some(SampleId(self.base + tz))
+    }
+}
+
+impl FromIterator<SampleId> for IdSet {
+    /// Collect ids into a set whose universe is one past the largest id.
+    fn from_iter<I: IntoIterator<Item = SampleId>>(iter: I) -> Self {
+        let ids: Vec<SampleId> = iter.into_iter().collect();
+        let universe = ids.iter().map(|i| i.0 + 1).max().unwrap_or(0);
+        let mut set = IdSet::new(universe);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<SampleId> for IdSet {
+    fn extend<I: IntoIterator<Item = SampleId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IdSet::new(200);
+        assert!(s.insert(SampleId(0)));
+        assert!(s.insert(SampleId(63)));
+        assert!(s.insert(SampleId(64)));
+        assert!(s.insert(SampleId(199)));
+        assert!(!s.insert(SampleId(0)), "double insert is not new");
+        assert_eq!(s.len(), 4);
+        assert!(s.remove(SampleId(63)));
+        assert!(!s.remove(SampleId(63)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(SampleId(64)));
+        assert!(!s.contains(SampleId(63)));
+    }
+
+    #[test]
+    fn out_of_universe_is_never_member() {
+        let s = IdSet::new(10);
+        assert!(!s.contains(SampleId(10)));
+        assert!(!s.contains(SampleId(u64::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        IdSet::new(10).insert(SampleId(10));
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let mut s = IdSet::new(300);
+        for id in [5u64, 250, 64, 65, 0] {
+            s.insert(SampleId(id));
+        }
+        let got: Vec<u64> = s.iter().map(|i| i.0).collect();
+        assert_eq!(got, vec![0, 5, 64, 65, 250]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: IdSet = (0..50).map(SampleId).collect();
+        assert_eq!(s.len(), 50);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(SampleId(3)));
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: IdSet = [SampleId(3), SampleId(9)].into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert_eq!(s.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        /// IdSet behaves exactly like a reference HashSet under arbitrary
+        /// insert/remove interleavings.
+        #[test]
+        fn matches_hashset(ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..300)) {
+            let mut set = IdSet::new(256);
+            let mut model: HashSet<u64> = HashSet::new();
+            for (id, insert) in ops {
+                if insert {
+                    prop_assert_eq!(set.insert(SampleId(id)), model.insert(id));
+                } else {
+                    prop_assert_eq!(set.remove(SampleId(id)), model.remove(&id));
+                }
+                prop_assert_eq!(set.len(), model.len());
+            }
+            let from_set: HashSet<u64> = set.iter().map(|s| s.0).collect();
+            prop_assert_eq!(from_set, model);
+        }
+    }
+}

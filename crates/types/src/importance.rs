@@ -1,0 +1,136 @@
+//! Importance values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The importance score assigned to a sample by an importance-sampling
+/// algorithm (the paper uses the loss-based algorithm of Jiang et al. \[18\]).
+///
+/// The wrapped value is guaranteed finite and non-negative, which makes the
+/// type totally ordered — a requirement for the H-heap, whose correctness
+/// depends on a strict weak ordering of keys.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::ImportanceValue;
+/// let hi = ImportanceValue::new(2.5)?;
+/// let lo = ImportanceValue::new(0.1)?;
+/// assert!(hi > lo);
+/// # Ok::<(), icache_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceValue(f64);
+
+impl ImportanceValue {
+    /// The lowest possible importance.
+    pub const ZERO: ImportanceValue = ImportanceValue(0.0);
+
+    /// Create an importance value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidImportance`] if `v` is NaN, infinite,
+    /// or negative.
+    pub fn new(v: f64) -> crate::Result<Self> {
+        if v.is_finite() && v >= 0.0 {
+            Ok(ImportanceValue(v))
+        } else {
+            Err(crate::Error::InvalidImportance(v))
+        }
+    }
+
+    /// Create an importance value, clamping invalid inputs.
+    ///
+    /// NaN maps to zero; negative values map to zero; `+inf` maps to
+    /// `f64::MAX`. Useful when importing raw loss values that may contain
+    /// numeric noise.
+    pub fn saturating(v: f64) -> Self {
+        if v.is_nan() || v <= 0.0 {
+            ImportanceValue(0.0)
+        } else if v.is_infinite() {
+            ImportanceValue(f64::MAX)
+        } else {
+            ImportanceValue(v)
+        }
+    }
+
+    /// The raw score.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for ImportanceValue {
+    fn default() -> Self {
+        ImportanceValue::ZERO
+    }
+}
+
+impl Eq for ImportanceValue {}
+
+impl PartialOrd for ImportanceValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ImportanceValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Invariant: both values are finite, so total ordering is safe.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("ImportanceValue invariant violated: non-finite value")
+    }
+}
+
+impl fmt::Display for ImportanceValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_finite_non_negative() {
+        assert!(ImportanceValue::new(0.0).is_ok());
+        assert!(ImportanceValue::new(123.456).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_nan_inf_negative() {
+        assert!(ImportanceValue::new(f64::NAN).is_err());
+        assert!(ImportanceValue::new(f64::INFINITY).is_err());
+        assert!(ImportanceValue::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(ImportanceValue::saturating(f64::NAN).get(), 0.0);
+        assert_eq!(ImportanceValue::saturating(-5.0).get(), 0.0);
+        assert_eq!(ImportanceValue::saturating(f64::INFINITY).get(), f64::MAX);
+        assert_eq!(ImportanceValue::saturating(1.5).get(), 1.5);
+    }
+
+    #[test]
+    fn ordering_is_total_on_valid_values() {
+        let mut v = vec![
+            ImportanceValue::new(3.0).unwrap(),
+            ImportanceValue::new(1.0).unwrap(),
+            ImportanceValue::new(2.0).unwrap(),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.iter().map(|x| x.get()).collect();
+        assert_eq!(raw, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ImportanceValue::default(), ImportanceValue::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! Common vocabulary types for the iCache reproduction.
+//!
+//! This crate defines the identifiers, unit newtypes, dataset descriptors,
+//! and error types shared by every other crate in the workspace:
+//!
+//! * [`SampleId`], [`JobId`], [`NodeId`], [`Epoch`] — strongly typed ids.
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-precision simulated time.
+//! * [`ByteSize`] — byte quantities with human-readable formatting.
+//! * [`ImportanceValue`] — a totally ordered, finite `f64` importance score.
+//! * [`Dataset`] — deterministic synthetic dataset descriptors standing in
+//!   for CIFAR-10 and ImageNet-1K (see `DESIGN.md` for the substitution
+//!   rationale).
+//! * [`Error`] — the crate-family error type.
+//!
+//! # Examples
+//!
+//! ```
+//! use icache_types::{Dataset, SampleId, ByteSize};
+//!
+//! let ds = Dataset::cifar10();
+//! assert_eq!(ds.len(), 50_000);
+//! let sz: ByteSize = ds.sample_size(SampleId(0));
+//! assert!(sz.as_u64() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bytesize;
+mod dataset;
+mod error;
+mod hist;
+mod ids;
+mod idset;
+mod importance;
+mod rngutil;
+mod time;
+
+pub use bytesize::ByteSize;
+pub use dataset::{Dataset, DatasetBuilder, SizeModel};
+pub use error::{Error, Result};
+pub use hist::LatencyHistogram;
+pub use ids::{Epoch, JobId, NodeId, SampleId};
+pub use idset::IdSet;
+pub use importance::ImportanceValue;
+pub use rngutil::{mix_seed, splitmix64, SeedSequence};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,427 @@
+//! Simulated time.
+//!
+//! The simulator advances a virtual clock with nanosecond resolution. Two
+//! newtypes keep instants and durations apart: [`SimTime`] is a point on the
+//! virtual timeline, [`SimDuration`] is a span. Arithmetic between them is
+//! defined the same way as for `std::time::{Instant, Duration}`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in nanoseconds since the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_micros(5);
+/// assert_eq!(t.as_nanos(), 5_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::SimDuration;
+/// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros_f64(), 2_500.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since the origin.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// actually later than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// nanosecond and saturating negative inputs to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float (for reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds as a float (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The longer of two spans.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The shorter of two spans.
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `self - other`, saturating at zero.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The ratio of two spans as a float.
+    ///
+    /// Returns `0.0` when `denom` is zero; callers report ratios and a
+    /// zero denominator means "nothing to compare against".
+    #[inline]
+    pub fn ratio(self, denom: SimDuration) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is uncertain.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
+    }
+
+    #[test]
+    fn instant_plus_duration_advances() {
+        let t = SimTime::ZERO + SimDuration::from_micros(3);
+        assert_eq!(t.as_nanos(), 3000);
+        let t2 = t + SimDuration::from_nanos(1);
+        assert_eq!((t2 - t).as_nanos(), 1);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(9);
+        assert_eq!(late.saturating_since(early).as_nanos(), 4);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e-9).as_nanos(), 1);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d.ratio(SimDuration::ZERO), 0.0);
+        assert!((d.ratio(SimDuration::from_micros(20)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d * 3u64, SimDuration::from_micros(30));
+        assert_eq!(d * 0.5f64, SimDuration::from_micros(5));
+        assert_eq!(d / 2, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn min_max_are_symmetric() {
+        let a = SimDuration::from_micros(1);
+        let b = SimDuration::from_micros(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.min(a), a);
+        let ta = SimTime::from_nanos(1);
+        let tb = SimTime::from_nanos(2);
+        assert_eq!(ta.max(tb), tb);
+        assert_eq!(tb.min(ta), ta);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Duration arithmetic is associative/commutative and instant
+        /// arithmetic is consistent with it.
+        #[test]
+        fn duration_arithmetic_laws(a in 0u64..1u64<<40, b in 0u64..1u64<<40, c in 0u64..1u64<<40) {
+            let (da, db, dc) = (
+                SimDuration::from_nanos(a),
+                SimDuration::from_nanos(b),
+                SimDuration::from_nanos(c),
+            );
+            prop_assert_eq!(da + db, db + da);
+            prop_assert_eq!((da + db) + dc, da + (db + dc));
+            let t = SimTime::ZERO + da + db;
+            prop_assert_eq!(t.saturating_since(SimTime::ZERO), da + db);
+            prop_assert_eq!(t - (SimTime::ZERO + da), db);
+        }
+
+        /// from_secs_f64 round-trips within a nanosecond for sane inputs.
+        #[test]
+        fn secs_f64_roundtrip(ns in 0u64..1u64<<50) {
+            let d = SimDuration::from_nanos(ns);
+            let back = SimDuration::from_secs_f64(d.as_secs_f64());
+            let err = back.as_nanos().abs_diff(d.as_nanos());
+            // f64 has 52 bits of mantissa: exact below 2^52 ns up to rounding.
+            prop_assert!(err <= 1, "roundtrip error {err}ns for {ns}ns");
+        }
+
+        /// Ordering agrees with raw nanosecond ordering.
+        #[test]
+        fn ordering_matches_nanos(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(
+                SimTime::from_nanos(a).cmp(&SimTime::from_nanos(b)),
+                a.cmp(&b)
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Cache explorer: drive the iCache manager by hand and watch
+//! Algorithm 1 decide — H-hits, importance-based eviction, L-cache
+//! substitution, and dynamic packaging.
+//!
+//! ```sh
+//! cargo run --release --example cache_explorer
+//! ```
+
+use icache::core::{CacheSystem, FetchOutcome, IcacheConfig, IcacheManager};
+use icache::sampling::{HList, ImportanceTable};
+use icache::storage::{Pfs, PfsConfig, StorageBackend};
+use icache::types::{ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
+
+fn show(fetch: &icache::core::Fetch, requested: SampleId) {
+    let what = match fetch.outcome {
+        FetchOutcome::HitH => "H-cache hit".to_string(),
+        FetchOutcome::HitL => "L-cache hit".to_string(),
+        FetchOutcome::Miss => "storage read".to_string(),
+        FetchOutcome::Substituted { by, .. } => format!("substituted by {by}"),
+    };
+    println!("  fetch {requested:>4} -> {what:<22} ready at {}", fetch.ready_at);
+}
+
+fn main() -> Result<(), icache::types::Error> {
+    // A small synthetic dataset so every decision is easy to follow.
+    let dataset: Dataset = DatasetBuilder::new("toy", 1_000)
+        .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+        .build()?;
+    let mut cache = IcacheManager::new(IcacheConfig::for_dataset(&dataset, 0.2)?, &dataset)?;
+    let mut storage = Pfs::new(PfsConfig::orangefs_default())?;
+    let job = JobId(0);
+
+    // Invent importance values: samples 0..100 are the hard ones.
+    let mut table = ImportanceTable::new(dataset.len());
+    for id in dataset.ids() {
+        table.record_loss(id, if id.0 < 100 { 10.0 + id.0 as f64 } else { 0.05 });
+    }
+    let hlist = HList::top_fraction(&table, 0.5);
+    cache.update_hlist(job, &hlist);
+    cache.on_epoch_start(job, Epoch(0));
+    println!(
+        "H-list holds {} samples; admission bar starts at {}",
+        hlist.len(),
+        hlist.min_importance().expect("non-empty")
+    );
+    println!(
+        "regions: H-cache {} + L-cache {} = {}\n",
+        cache.h_capacity(),
+        cache.l_capacity(),
+        cache.capacity()
+    );
+
+    let mut now = SimTime::ZERO;
+    println!("cold H-sample reads (miss -> admitted by importance):");
+    for id in [SampleId(0), SampleId(1), SampleId(2)] {
+        let f = cache.fetch(job, id, dataset.sample_size(id), now, &mut storage);
+        show(&f, id);
+        now = f.ready_at;
+    }
+
+    println!("\nsame samples again (H-cache hits, microseconds not milliseconds):");
+    for id in [SampleId(0), SampleId(1), SampleId(2)] {
+        let f = cache.fetch(job, id, dataset.sample_size(id), now, &mut storage);
+        show(&f, id);
+        now = f.ready_at;
+    }
+
+    println!("\nL-sample reads (cold L-cache -> storage, loader packs in background):");
+    for id in [SampleId(900), SampleId(901)] {
+        let f = cache.fetch(job, id, dataset.sample_size(id), now, &mut storage);
+        show(&f, id);
+        now = f.ready_at;
+    }
+
+    // Give the loading thread a moment of virtual time, then miss again.
+    now = now + icache::types::SimDuration::from_millis(500);
+    println!("\nafter the loading thread lands a package (hits or substitution):");
+    for id in [SampleId(902), SampleId(903), SampleId(904)] {
+        let f = cache.fetch(job, id, dataset.sample_size(id), now, &mut storage);
+        show(&f, id);
+        now = f.ready_at;
+    }
+
+    let s = cache.stats();
+    println!(
+        "\ntotals: {} H-hits, {} L-hits, {} substitutions, {} misses ({} inserted, {} evicted)",
+        s.h_hits, s.l_hits, s.substitutions, s.misses, s.insertions, s.evictions
+    );
+    println!(
+        "cache holds {} / {} across {} H-samples and {} L-samples",
+        cache.used_bytes(),
+        cache.capacity(),
+        cache.h_len(),
+        cache.l_len()
+    );
+    println!("storage served {} reads", storage.stats().total_reads());
+    Ok(())
+}

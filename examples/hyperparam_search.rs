@@ -1,0 +1,89 @@
+//! Hyper-parameter search: several jobs train different models on the
+//! *same* dataset and share one cache — the paper's §V-H scenario.
+//!
+//! Compares an uncoordinated shared LRU against iCache's multi-job module
+//! (cache-benefit probing + aggregated importance values).
+//!
+//! ```sh
+//! cargo run --release --example hyperparam_search
+//! ```
+
+use icache::baselines::LruCache;
+use icache::core::{IcacheConfig, IcacheManager};
+use icache::dnn::ModelProfile;
+use icache::sim::{run_multi_job, JobConfig, RunMetrics, SamplingMode};
+use icache::storage::{Pfs, PfsConfig};
+use icache::types::{Dataset, JobId};
+
+fn jobs(dataset: &Dataset, iis: bool) -> Vec<JobConfig> {
+    // A small "search": the same dataset, two different architectures.
+    let models = [ModelProfile::shufflenet(), ModelProfile::resnet50()];
+    models
+        .into_iter()
+        .enumerate()
+        .map(|(k, model)| {
+            let mut c = JobConfig::new(JobId(k as u32), model, dataset.clone());
+            c.epochs = 4;
+            c.seed = 77 + k as u64 * 1_000_003;
+            if iis {
+                c.sampling = SamplingMode::Iis { fraction: 0.7 };
+            }
+            c
+        })
+        .collect()
+}
+
+fn describe(label: &str, out: &[RunMetrics]) {
+    println!("{label}:");
+    for m in out {
+        println!(
+            "  {:10} epoch {:>9}  hit {:>5.1}%  top1 {:.2}",
+            m.model,
+            format!("{}", m.avg_epoch_time_steady()),
+            m.epochs[1..]
+                .iter()
+                .map(|e| e.job_hit_ratio())
+                .sum::<f64>()
+                / (m.epochs.len() - 1) as f64
+                * 100.0,
+            m.final_top1()
+        );
+    }
+    let completion = out
+        .iter()
+        .map(|m| m.total_time().as_secs_f64())
+        .fold(0.0f64, f64::max);
+    println!("  completion (slowest job): {completion:.2}s\n");
+}
+
+fn main() -> Result<(), icache::types::Error> {
+    let dataset = Dataset::cifar10().scaled(0.1)?;
+
+    // Uncoordinated: one shared LRU.
+    let mut lru = LruCache::new(dataset.total_bytes().scaled(0.2));
+    let mut pfs = Pfs::new(PfsConfig::orangefs_default())?;
+    let base = run_multi_job(jobs(&dataset, false), &mut lru, &mut pfs)?;
+
+    // Coordinated: iCache with the multi-job module enabled.
+    let mut cfg = IcacheConfig::for_dataset(&dataset, 0.2)?;
+    cfg.multi_job = true;
+    cfg.probe_samples = 20 * 64;
+    let mut manager = IcacheManager::new(cfg, &dataset)?;
+    let mut pfs = Pfs::new(PfsConfig::orangefs_default())?;
+    let coord = run_multi_job(jobs(&dataset, true), &mut manager, &mut pfs)?;
+
+    println!("two jobs sharing one cache over a simulated OrangeFS\n");
+    describe("shared LRU (uncoordinated)", &base);
+    describe("iCache multi-job coordination", &coord);
+
+    for job in [JobId(0), JobId(1)] {
+        if let Some(benefit) = manager.coordinator().benefit(job) {
+            println!(
+                "benefit probe {job}: ratio {:.2} -> {}",
+                benefit.ratio,
+                if benefit.eligible { "cache-eligible" } else { "not eligible" }
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: train one model behind iCache and behind a plain LRU
+//! cache, and compare epoch times, hit ratios, and final accuracy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use icache::sim::{Scenario, SystemKind};
+
+fn main() -> Result<(), icache::types::Error> {
+    // ShuffleNet on a 10% slice of CIFAR-10 (the paper's most I/O-bound
+    // model), data on a simulated 4-server OrangeFS, cache = 20%.
+    let configure = |system| {
+        Scenario::cifar10(system)
+            .model(icache::dnn::ModelProfile::shufflenet())
+            .scale_dataset(0.1)
+            .expect("valid scale")
+            .epochs(6)
+    };
+
+    println!("training ShuffleNet/CIFAR-10 against a simulated OrangeFS...\n");
+
+    let default = configure(SystemKind::Default).run()?;
+    let icache = configure(SystemKind::Icache).run()?;
+
+    let d = default.avg_epoch_time_steady();
+    let i = icache.avg_epoch_time_steady();
+
+    println!("                 Default (LRU)   iCache");
+    println!(
+        "epoch time       {:>13}   {:>6}",
+        format!("{d}"),
+        format!("{i}")
+    );
+    println!(
+        "stall time       {:>13}   {:>6}",
+        format!("{}", default.avg_stall_time_steady()),
+        format!("{}", icache.avg_stall_time_steady())
+    );
+    println!(
+        "cache hit ratio  {:>12.1}%   {:>5.1}%",
+        default.avg_hit_ratio_steady() * 100.0,
+        icache.avg_hit_ratio_steady() * 100.0
+    );
+    println!(
+        "top-1 accuracy   {:>12.2}    {:>6.2}",
+        default.final_top1(),
+        icache.final_top1()
+    );
+    println!();
+    println!(
+        "iCache speedup: {:.2}x (the paper reports up to 2.3x over Default for ShuffleNet)",
+        d.as_secs_f64() / i.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # iCache — importance-sampling-informed caching for DNN training
+//!
+//! Facade crate re-exporting the whole iCache reproduction workspace.
+//! See the individual crates for details:
+//!
+//! * [`types`] — identifiers, units, datasets, errors.
+//! * [`storage`] — simulated PFS/NFS/local storage substrate.
+//! * [`sampling`] — importance-sampling algorithms (CIS and IIS).
+//! * [`dnn`] — DNN compute, loss-dynamics, and accuracy models.
+//! * [`core`] — the iCache contribution (H-cache, L-cache, manager,
+//!   multi-job coordination, distributed cache).
+//! * [`baselines`] — LRU (Default), CoorDL, Quiver, iLFU, Oracle.
+//! * [`sim`] — training-loop simulator, metrics, canonical scenarios.
+//!
+//! # Examples
+//!
+//! ```
+//! use icache::types::Dataset;
+//! let ds = Dataset::cifar10();
+//! assert_eq!(ds.len(), 50_000);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use icache_baselines as baselines;
+pub use icache_core as core;
+pub use icache_dnn as dnn;
+pub use icache_sampling as sampling;
+pub use icache_sim as sim;
+pub use icache_storage as storage;
+pub use icache_types as types;

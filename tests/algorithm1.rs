@@ -1,0 +1,178 @@
+//! Behavioural conformance of Algorithm 1 through the public API:
+//! H-list routing, importance-based admission and eviction, L-cache
+//! substitution, and dynamic packaging.
+
+use icache::core::{CacheSystem, FetchOutcome, IcacheConfig, IcacheManager, Substitution};
+use icache::sampling::{HList, ImportanceTable};
+use icache::storage::{LocalTier, Pfs, PfsConfig, StorageBackend};
+use icache::types::{ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
+
+fn dataset(n: u64) -> Dataset {
+    DatasetBuilder::new("alg1", n)
+        .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+        .build()
+        .expect("valid dataset")
+}
+
+fn manager(ds: &Dataset, frac: f64) -> IcacheManager {
+    IcacheManager::new(IcacheConfig::for_dataset(ds, frac).expect("cfg"), ds).expect("manager")
+}
+
+/// Build an H-list where samples `0..hot` carry descending high losses.
+fn hot_hlist(ds: &Dataset, hot: u64, fraction: f64) -> HList {
+    let mut t = ImportanceTable::new(ds.len());
+    for id in ds.ids() {
+        t.record_loss(id, if id.0 < hot { 100.0 - id.0 as f64 * 0.01 } else { 0.01 });
+    }
+    HList::top_fraction(&t, fraction)
+}
+
+#[test]
+fn h_samples_route_to_h_cache_and_l_samples_to_l_cache() {
+    let ds = dataset(1_000);
+    let mut m = manager(&ds, 0.2);
+    let mut st = LocalTier::tmpfs();
+    m.update_hlist(JobId(0), &hot_hlist(&ds, 200, 0.2));
+    m.on_epoch_start(JobId(0), Epoch(0));
+
+    let mut now = SimTime::ZERO;
+    // Fault in one H-sample and re-read: must be an H hit.
+    for _ in 0..2 {
+        let f = m.fetch(JobId(0), SampleId(5), ds.sample_size(SampleId(5)), now, &mut st);
+        now = f.ready_at;
+    }
+    assert_eq!(m.stats().h_hits, 1);
+    assert_eq!(m.stats().l_hits, 0);
+
+    // L-samples never enter the H-region.
+    let h_before = m.h_len();
+    for i in 500..520u64 {
+        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        now = f.ready_at;
+    }
+    assert_eq!(m.h_len(), h_before, "L-path must not insert into H-cache");
+}
+
+#[test]
+fn full_h_cache_admits_only_higher_importance() {
+    let ds = dataset(4_000);
+    // Tiny cache: H-region holds ~60 samples.
+    let mut m = manager(&ds, 0.05);
+    let mut st = LocalTier::tmpfs();
+    m.update_hlist(JobId(0), &hot_hlist(&ds, 2_000, 0.5));
+    m.on_epoch_start(JobId(0), Epoch(0));
+
+    let mut now = SimTime::ZERO;
+    // Fill with mid-importance H-samples (ids near 1999 have lowest hot loss).
+    for i in 1_000..1_999u64 {
+        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        now = f.ready_at;
+    }
+    let evictions_before = m.stats().evictions;
+    // Now the hottest samples arrive: they must displace.
+    for i in 0..50u64 {
+        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        now = f.ready_at;
+    }
+    assert!(m.stats().evictions > evictions_before, "hotter samples must evict colder ones");
+    // And they stay resident.
+    let f = m.fetch(JobId(0), SampleId(0), ds.sample_size(SampleId(0)), now, &mut st);
+    assert_eq!(f.outcome, FetchOutcome::HitH);
+}
+
+#[test]
+fn l_miss_substitution_returns_resident_sample_and_logs_io() {
+    let ds = dataset(2_000);
+    let mut m = manager(&ds, 0.2);
+    let mut st = Pfs::new(PfsConfig::orangefs_default()).expect("pfs");
+    m.update_hlist(JobId(0), &hot_hlist(&ds, 400, 0.2));
+    m.on_epoch_start(JobId(0), Epoch(0));
+
+    // Touch L-samples until packages land and substitution kicks in.
+    let mut now = SimTime::ZERO;
+    let mut substituted = Vec::new();
+    for i in 400..1_400u64 {
+        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        now = f.ready_at;
+        if let FetchOutcome::Substituted { by, from_h } = f.outcome {
+            assert!(!from_h, "default policy substitutes from L-cache");
+            assert_eq!(f.served_id, by);
+            substituted.push(by);
+        }
+    }
+    assert!(!substituted.is_empty(), "substitution never engaged");
+    // Substitutes are unique within the epoch.
+    let mut dedup = substituted.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), substituted.len());
+    // Dynamic packaging produced real package I/O.
+    assert!(st.stats().package_reads > 0, "loading thread must issue package reads");
+}
+
+#[test]
+fn substitution_policies_change_the_served_source() {
+    let ds = dataset(2_000);
+    let run = |policy: Substitution| {
+        let mut cfg = IcacheConfig::for_dataset(&ds, 0.2).expect("cfg");
+        cfg.substitution = policy;
+        let mut m = IcacheManager::new(cfg, &ds).expect("manager");
+        let mut st = LocalTier::tmpfs();
+        m.update_hlist(JobId(0), &hot_hlist(&ds, 400, 0.2));
+        m.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        // Prime H-cache so ST_HC has residents to serve.
+        for i in 0..200u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+        let mut outcomes = Vec::new();
+        for i in 1_000..1_400u64 {
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+            outcomes.push(f.outcome);
+        }
+        outcomes
+    };
+
+    let none = run(Substitution::None);
+    assert!(
+        none.iter().all(|o| !matches!(o, FetchOutcome::Substituted { .. })),
+        "Def policy never substitutes"
+    );
+    let from_h = run(Substitution::FromH);
+    assert!(
+        from_h
+            .iter()
+            .any(|o| matches!(o, FetchOutcome::Substituted { from_h: true, .. })),
+        "ST_HC substitutes from the H-region"
+    );
+}
+
+#[test]
+fn epoch_rebalancing_follows_access_frequencies() {
+    // Large enough that the one-package L-cache floor (1 MiB) is well
+    // below the frequency-driven split.
+    let ds = dataset(8_000);
+    let mut m = manager(&ds, 0.2);
+    let mut st = LocalTier::tmpfs();
+    m.update_hlist(JobId(0), &hot_hlist(&ds, 4_000, 0.5));
+    m.on_epoch_start(JobId(0), Epoch(0));
+    let mut now = SimTime::ZERO;
+    // 90% of accesses to H-samples.
+    for rep in 0..3 {
+        for i in 0..300u64 {
+            let _ = rep;
+            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            now = f.ready_at;
+        }
+    }
+    for i in 7_900..8_000u64 {
+        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        now = f.ready_at;
+    }
+    m.on_epoch_end(JobId(0), Epoch(0));
+    let h_share = m.h_capacity().as_f64() / m.capacity().as_f64();
+    assert!(h_share > 0.7, "frequency 9:1 should give H most of the cache, got {h_share:.2}");
+    assert_eq!(m.h_capacity() + m.l_capacity(), m.capacity());
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration tests across the whole workspace: every system
+//! builds and trains, the paper's headline orderings hold, and full runs
+//! are deterministic.
+
+use icache::sim::{Scenario, SystemKind};
+
+fn quick(kind: SystemKind) -> Scenario {
+    Scenario::cifar10(kind)
+        .scale_dataset(0.05)
+        .expect("valid scale")
+        .epochs(4)
+}
+
+#[test]
+fn every_system_trains_to_completion() {
+    for kind in [
+        SystemKind::Default,
+        SystemKind::Base,
+        SystemKind::IisLru,
+        SystemKind::Quiver,
+        SystemKind::CoorDl,
+        SystemKind::Ilfu,
+        SystemKind::IcacheNoL,
+        SystemKind::Icache,
+        SystemKind::IcacheNoSub,
+        SystemKind::IcacheSubH,
+        SystemKind::Oracle,
+    ] {
+        let m = quick(kind).run().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(m.epochs.len(), 4, "{kind:?}");
+        assert!(m.final_top1() > 0.0, "{kind:?}");
+        assert!(m.avg_epoch_time().as_secs_f64() > 0.0, "{kind:?}");
+    }
+}
+
+#[test]
+fn headline_ordering_icache_between_default_and_oracle() {
+    let default = quick(SystemKind::Default).run().unwrap();
+    let icache = quick(SystemKind::Icache).run().unwrap();
+    let oracle = quick(SystemKind::Oracle).run().unwrap();
+    let d = default.avg_epoch_time_steady();
+    let i = icache.avg_epoch_time_steady();
+    let o = oracle.avg_epoch_time_steady();
+    assert!(i < d, "iCache must beat Default: {i} vs {d}");
+    assert!(o < i, "Oracle is the lower bound: {o} vs {i}");
+    let speedup = d.ratio(i);
+    assert!(
+        (1.3..4.0).contains(&speedup),
+        "speedup {speedup:.2} outside the paper's plausible band"
+    );
+}
+
+#[test]
+fn icache_beats_every_published_baseline() {
+    let icache = quick(SystemKind::Icache).run().unwrap().avg_epoch_time_steady();
+    for kind in [SystemKind::Base, SystemKind::Quiver, SystemKind::CoorDl, SystemKind::Ilfu] {
+        let other = quick(kind).run().unwrap().avg_epoch_time_steady();
+        assert!(icache < other, "{kind:?} should lose to iCache: {other} vs {icache}");
+    }
+}
+
+#[test]
+fn io_oriented_sampling_reduces_fetches_and_io() {
+    let default = quick(SystemKind::Default).run().unwrap();
+    let icache = quick(SystemKind::Icache).run().unwrap();
+    assert!(icache.epochs[1].samples_fetched < default.epochs[1].samples_fetched);
+    assert!(icache.avg_stall_time_steady() < default.avg_stall_time_steady());
+    assert!(
+        icache.avg_hit_ratio_steady() > default.avg_hit_ratio_steady() + 0.1,
+        "importance-informed caching must raise the hit ratio substantially"
+    );
+}
+
+#[test]
+fn accuracy_stays_within_paper_band_over_long_runs() {
+    let run = |kind| {
+        Scenario::cifar10(kind)
+            .scale_dataset(0.05)
+            .expect("valid scale")
+            .epochs(90)
+            .run()
+            .unwrap()
+    };
+    let default = run(SystemKind::Default);
+    let icache = run(SystemKind::Icache);
+    let delta = default.final_top1() - icache.final_top1();
+    assert!(
+        (0.0..1.8).contains(&delta),
+        "iCache accuracy delta {delta:.2} outside [0, 1.8]"
+    );
+    let delta5 = default.final_top5() - icache.final_top5();
+    assert!(delta5 < 1.2, "top5 delta {delta5:.2}");
+}
+
+#[test]
+fn substitution_policy_ordering_matches_table3() {
+    let run = |kind| {
+        Scenario::cifar10(kind)
+            .scale_dataset(0.05)
+            .expect("valid scale")
+            .epochs(90)
+            .run()
+            .unwrap()
+            .final_top1()
+    };
+    let def = run(SystemKind::IcacheNoSub);
+    let st_lc = run(SystemKind::Icache);
+    let st_hc = run(SystemKind::IcacheSubH);
+    assert!(def > st_lc, "Def {def:.2} must beat ST_LC {st_lc:.2}");
+    assert!(st_lc > st_hc, "ST_LC {st_lc:.2} must beat ST_HC {st_hc:.2}");
+}
+
+#[test]
+fn full_stack_runs_are_deterministic() {
+    let a = quick(SystemKind::Icache).seed(99).run().unwrap();
+    let b = quick(SystemKind::Icache).seed(99).run().unwrap();
+    assert_eq!(a, b);
+    let c = quick(SystemKind::Icache).seed(100).run().unwrap();
+    assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn base_matches_default_io_but_cuts_compute() {
+    let default = quick(SystemKind::Default).run().unwrap();
+    let base = quick(SystemKind::Base).run().unwrap();
+    // CIS fetches everything…
+    assert_eq!(base.epochs[1].samples_fetched, default.epochs[1].samples_fetched);
+    // …but computes less.
+    assert!(base.epochs[1].compute_time < default.epochs[1].compute_time);
+    // Total time barely moves on I/O-bound training (§II-B).
+    let ratio = default.avg_epoch_time_steady().ratio(base.avg_epoch_time_steady());
+    assert!(
+        (0.9..1.25).contains(&ratio),
+        "CIS total-time speedup {ratio:.2} should be marginal"
+    );
+}

@@ -1,0 +1,89 @@
+//! Integration tests of multi-job coordination (§III-D) through the
+//! simulator: benefit probing, AIV aggregation, and the INDA/INDB
+//! favouritism the paper's Figure 14 demonstrates.
+
+use icache::baselines::LruCache;
+use icache::core::{IcacheConfig, IcacheManager};
+use icache::dnn::ModelProfile;
+use icache::sim::{run_multi_job, JobConfig, RunMetrics, SamplingMode};
+use icache::storage::{Pfs, PfsConfig};
+use icache::types::{Dataset, JobId};
+
+fn jobs(dataset: &Dataset, iis: bool) -> Vec<JobConfig> {
+    let mut a = JobConfig::new(JobId(0), ModelProfile::shufflenet(), dataset.clone());
+    let mut b = JobConfig::new(JobId(1), ModelProfile::resnet50(), dataset.clone());
+    for (i, c) in [&mut a, &mut b].into_iter().enumerate() {
+        c.epochs = 4;
+        c.seed = 11 + i as u64 * 999_983;
+        if iis {
+            c.sampling = SamplingMode::Iis { fraction: 0.7 };
+        }
+    }
+    vec![a, b]
+}
+
+fn icache_with(dataset: &Dataset, filter: Option<JobId>, multi_job: bool) -> IcacheManager {
+    let mut cfg = IcacheConfig::for_dataset(dataset, 0.2).expect("cfg");
+    cfg.hlist_filter = filter;
+    cfg.multi_job = multi_job;
+    cfg.probe_samples = (dataset.len() / 20).max(32);
+    IcacheManager::new(cfg, dataset).expect("manager")
+}
+
+fn job_hit(m: &RunMetrics) -> f64 {
+    m.epochs[1..].iter().map(|e| e.job_hit_ratio()).sum::<f64>() / (m.epochs.len() - 1) as f64
+}
+
+#[test]
+fn inda_favours_its_job_and_starves_the_other() {
+    let dataset = Dataset::cifar10().scaled(0.05).expect("scale");
+    let mut cache = icache_with(&dataset, Some(JobId(0)), false);
+    let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("pfs");
+    let out = run_multi_job(jobs(&dataset, true), &mut cache, &mut pfs).expect("runs");
+    assert!(
+        job_hit(&out[0]) > job_hit(&out[1]) + 0.1,
+        "INDA must favour job0: {:.2} vs {:.2}",
+        job_hit(&out[0]),
+        job_hit(&out[1])
+    );
+}
+
+#[test]
+fn coordination_balances_hit_ratios() {
+    let dataset = Dataset::cifar10().scaled(0.05).expect("scale");
+    let mut cache = icache_with(&dataset, None, true);
+    let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("pfs");
+    let out = run_multi_job(jobs(&dataset, true), &mut cache, &mut pfs).expect("runs");
+    let (h0, h1) = (job_hit(&out[0]), job_hit(&out[1]));
+    assert!(h0 > 0.05 && h1 > 0.05, "both jobs must benefit: {h0:.2}, {h1:.2}");
+    assert!(
+        (h0 - h1).abs() < 0.2,
+        "coordinated hit ratios should be comparable: {h0:.2} vs {h1:.2}"
+    );
+    // Benefit probes completed and produced verdicts.
+    assert!(cache.coordinator().benefit(JobId(0)).is_some());
+    assert!(cache.coordinator().benefit(JobId(1)).is_some());
+}
+
+#[test]
+fn coordinated_icache_beats_uncoordinated_lru_on_completion() {
+    let dataset = Dataset::cifar10().scaled(0.05).expect("scale");
+
+    let mut lru = LruCache::new(dataset.total_bytes().scaled(0.2));
+    let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("pfs");
+    let base = run_multi_job(jobs(&dataset, false), &mut lru, &mut pfs).expect("runs");
+
+    let mut cache = icache_with(&dataset, None, true);
+    let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("pfs");
+    let coord = run_multi_job(jobs(&dataset, true), &mut cache, &mut pfs).expect("runs");
+
+    let completion = |out: &[RunMetrics]| {
+        out.iter().map(|m| m.total_time().as_secs_f64()).fold(0.0f64, f64::max)
+    };
+    assert!(
+        completion(&coord) < completion(&base),
+        "coordination should cut completion: {:.2}s vs {:.2}s",
+        completion(&coord),
+        completion(&base)
+    );
+}

@@ -1,0 +1,123 @@
+//! Property-based integration tests: system-level invariants that must
+//! hold for arbitrary workloads driven through the public facade.
+
+use icache::core::{CacheSystem, IcacheConfig, IcacheManager};
+use icache::sampling::{HList, ImportanceTable};
+use icache::storage::LocalTier;
+use icache::types::{
+    ByteSize, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the request stream, the cache never exceeds its capacity,
+    /// virtual time never runs backwards, and every delivered sample
+    /// belongs to the dataset.
+    #[test]
+    fn cache_invariants_under_random_workloads(
+        seed in 0u64..1_000,
+        requests in proptest::collection::vec((0u64..800, 0u32..4), 50..400),
+        cache_frac in 0.05f64..0.5,
+        hot in 1u64..400,
+    ) {
+        let ds = DatasetBuilder::new("prop", 800)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .seed(seed)
+            .build()
+            .expect("dataset");
+        let mut cfg = IcacheConfig::for_dataset(&ds, cache_frac).expect("cfg");
+        cfg.seed = seed;
+        let mut cache = IcacheManager::new(cfg, &ds).expect("manager");
+        let mut st = LocalTier::tmpfs();
+
+        let mut table = ImportanceTable::new(ds.len());
+        for id in ds.ids() {
+            table.record_loss(id, if id.0 < hot { 50.0 } else { 0.1 });
+        }
+        cache.update_hlist(JobId(0), &HList::top_fraction(&table, 0.5));
+        cache.on_epoch_start(JobId(0), Epoch(0));
+
+        let mut now = SimTime::ZERO;
+        for (raw, _) in requests {
+            let id = SampleId(raw);
+            let f = cache.fetch(JobId(0), id, ds.sample_size(id), now, &mut st);
+            prop_assert!(f.ready_at >= now, "time went backwards");
+            prop_assert!(ds.contains(f.served_id), "served unknown sample");
+            prop_assert!(cache.used_bytes() <= cache.capacity(),
+                "capacity violated: {} > {}", cache.used_bytes(), cache.capacity());
+            now = f.ready_at;
+        }
+        // Accounting is self-consistent.
+        let s = cache.stats();
+        prop_assert_eq!(
+            s.requests(),
+            s.h_hits + s.l_hits + s.substitutions + s.misses
+        );
+    }
+
+    /// Epoch boundaries preserve the capacity split exactly.
+    #[test]
+    fn rebalancing_conserves_capacity(
+        seed in 0u64..500,
+        epochs in 1usize..4,
+    ) {
+        let ds = DatasetBuilder::new("prop2", 500)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .expect("dataset");
+        let mut cfg = IcacheConfig::for_dataset(&ds, 0.2).expect("cfg");
+        cfg.seed = seed;
+        let mut cache = IcacheManager::new(cfg, &ds).expect("manager");
+        let mut st = LocalTier::tmpfs();
+        let mut table = ImportanceTable::new(ds.len());
+        for id in ds.ids() {
+            table.record_loss(id, (id.0 % 97) as f64);
+        }
+        let mut now = SimTime::ZERO;
+        for e in 0..epochs {
+            cache.update_hlist(JobId(0), &HList::top_fraction(&table, 0.5));
+            cache.on_epoch_start(JobId(0), Epoch(e as u32));
+            for i in 0..200u64 {
+                let id = SampleId((i * 7 + e as u64 * 13) % 500);
+                let f = cache.fetch(JobId(0), id, ds.sample_size(id), now, &mut st);
+                now = f.ready_at;
+            }
+            cache.on_epoch_end(JobId(0), Epoch(e as u32));
+            prop_assert_eq!(cache.h_capacity() + cache.l_capacity(), cache.capacity());
+            prop_assert!(cache.used_bytes() <= cache.capacity());
+        }
+    }
+}
+
+/// Identical seeds give identical traces through the full cache stack.
+#[test]
+fn facade_level_determinism() {
+    let run = || {
+        let ds = DatasetBuilder::new("det", 400)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .expect("dataset");
+        let mut cache =
+            IcacheManager::new(IcacheConfig::for_dataset(&ds, 0.2).expect("cfg"), &ds)
+                .expect("manager");
+        let mut st = LocalTier::tmpfs();
+        let mut table = ImportanceTable::new(ds.len());
+        for id in ds.ids() {
+            table.record_loss(id, (id.0 % 31) as f64);
+        }
+        cache.update_hlist(JobId(0), &HList::top_fraction(&table, 0.5));
+        cache.on_epoch_start(JobId(0), Epoch(0));
+        let mut now = SimTime::ZERO;
+        let mut trace = Vec::new();
+        for i in 0..300u64 {
+            let id = SampleId(i * 11 % 400);
+            let f = cache.fetch(JobId(0), id, ds.sample_size(id), now, &mut st);
+            trace.push((f.served_id, f.ready_at));
+            now = f.ready_at;
+        }
+        trace
+    };
+    assert_eq!(run(), run());
+}

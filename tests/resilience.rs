@@ -1,0 +1,82 @@
+//! Failure-injection integration tests: training through periodic storage
+//! brownouts. A cache system should absorb most of the degradation; a
+//! cacheless loader cannot.
+
+use icache::baselines::LruCache;
+use icache::core::{CacheSystem, IcacheConfig, IcacheManager};
+use icache::dnn::ModelProfile;
+use icache::sim::{run_single_job, JobConfig, RunMetrics, SamplingMode};
+use icache::storage::{BrownoutConfig, DegradedStorage, Pfs, PfsConfig};
+use icache::types::{Dataset, JobId, SimDuration};
+
+fn brownouts() -> BrownoutConfig {
+    BrownoutConfig {
+        period: SimDuration::from_millis(200),
+        duration: SimDuration::from_millis(50),
+        extra_latency: SimDuration::from_millis(2),
+    }
+}
+
+fn run(dataset: &Dataset, icache: bool, degraded: bool) -> RunMetrics {
+    let mut job = JobConfig::new(JobId(0), ModelProfile::shufflenet(), dataset.clone());
+    job.epochs = 3;
+    let mut cache: Box<dyn CacheSystem> = if icache {
+        job.sampling = SamplingMode::Iis { fraction: 0.7 };
+        Box::new(
+            IcacheManager::new(
+                IcacheConfig::for_dataset(dataset, 0.2).expect("cfg"),
+                dataset,
+            )
+            .expect("manager"),
+        )
+    } else {
+        Box::new(LruCache::new(dataset.total_bytes().scaled(0.2)))
+    };
+    let pfs = Pfs::new(PfsConfig::orangefs_default()).expect("pfs");
+    if degraded {
+        let mut storage = DegradedStorage::new(pfs, brownouts()).expect("valid schedule");
+        let m = run_single_job(job, cache.as_mut(), &mut storage).expect("runs");
+        assert!(storage.degraded_requests() > 0, "brownouts must actually fire");
+        m
+    } else {
+        let mut storage = pfs;
+        run_single_job(job, cache.as_mut(), &mut storage).expect("runs")
+    }
+}
+
+#[test]
+fn brownouts_slow_training_down() {
+    let dataset = Dataset::cifar10().scaled(0.04).expect("scale");
+    let clean = run(&dataset, false, false);
+    let degraded = run(&dataset, false, true);
+    assert!(
+        degraded.avg_epoch_time_steady() > clean.avg_epoch_time_steady(),
+        "injected latency must be visible end to end"
+    );
+}
+
+#[test]
+fn icache_still_beats_default_under_brownouts() {
+    let dataset = Dataset::cifar10().scaled(0.04).expect("scale");
+    let default = run(&dataset, false, true);
+    let icache = run(&dataset, true, true);
+    let speedup = default.avg_epoch_time_steady().ratio(icache.avg_epoch_time_steady());
+    assert!(speedup > 1.3, "speedup under degradation only {speedup:.2}x");
+}
+
+#[test]
+fn icache_absorbs_degradation_better_than_default() {
+    let dataset = Dataset::cifar10().scaled(0.04).expect("scale");
+    // Relative slowdown caused by the same brownout schedule.
+    let d_clean = run(&dataset, false, false).avg_epoch_time_steady();
+    let d_degr = run(&dataset, false, true).avg_epoch_time_steady();
+    let i_clean = run(&dataset, true, false).avg_epoch_time_steady();
+    let i_degr = run(&dataset, true, true).avg_epoch_time_steady();
+
+    let default_penalty = d_degr.ratio(d_clean);
+    let icache_penalty = i_degr.ratio(i_clean);
+    assert!(
+        icache_penalty <= default_penalty * 1.02,
+        "iCache should degrade no worse than Default: {icache_penalty:.3} vs {default_penalty:.3}"
+    );
+}
