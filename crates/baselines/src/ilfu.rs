@@ -233,7 +233,10 @@ mod tests {
         for k in 1..=5 {
             now = fetch(&mut c, &mut st, 2, now).ready_at;
             let _ = k;
-            assert!(c.contains(SampleId(1)), "stale-hot sample survives access {k}");
+            assert!(
+                c.contains(SampleId(1)),
+                "stale-hot sample survives access {k}"
+            );
         }
         now = fetch(&mut c, &mut st, 2, now).ready_at;
         let _ = now;

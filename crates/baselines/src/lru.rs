@@ -35,7 +35,10 @@ pub struct LruCore {
 impl LruCore {
     /// An empty LRU with the given byte capacity.
     pub fn new(capacity: ByteSize) -> Self {
-        LruCore { capacity, ..Default::default() }
+        LruCore {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Configured capacity.
@@ -133,7 +136,12 @@ impl LruCache {
 
     /// An LRU cache with explicit timing parameters.
     pub fn with_timings(capacity: ByteSize, timings: BaselineTimings) -> Self {
-        LruCache { lru: LruCore::new(capacity), timings, stats: CacheStats::default(), sizes: HashMap::new() }
+        LruCache {
+            lru: LruCore::new(capacity),
+            timings,
+            stats: CacheStats::default(),
+            sizes: HashMap::new(),
+        }
     }
 }
 
@@ -234,9 +242,21 @@ mod tests {
     fn cache_miss_then_hit_timing() {
         let mut c = LruCache::new(ByteSize::mib(1));
         let mut st = LocalTier::nvme_ssd();
-        let miss = c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), SimTime::ZERO, &mut st);
+        let miss = c.fetch(
+            JobId(0),
+            SampleId(1),
+            ByteSize::kib(3),
+            SimTime::ZERO,
+            &mut st,
+        );
         assert_eq!(miss.outcome, FetchOutcome::Miss);
-        let hit = c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), miss.ready_at, &mut st);
+        let hit = c.fetch(
+            JobId(0),
+            SampleId(1),
+            ByteSize::kib(3),
+            miss.ready_at,
+            &mut st,
+        );
         assert_eq!(hit.outcome, FetchOutcome::HitH);
         assert!(
             hit.ready_at.saturating_since(miss.ready_at)
@@ -262,6 +282,10 @@ mod tests {
                 now = f.ready_at;
             }
         }
-        assert!(c.stats().hit_ratio() < 0.3, "hit ratio {}", c.stats().hit_ratio());
+        assert!(
+            c.stats().hit_ratio() < 0.3,
+            "hit ratio {}",
+            c.stats().hit_ratio()
+        );
     }
 }

@@ -38,7 +38,11 @@ impl OracleSource {
 
     /// An oracle with explicit timing parameters.
     pub fn with_timings(dataset_bytes: ByteSize, timings: BaselineTimings) -> Self {
-        OracleSource { dataset_bytes, timings, stats: CacheStats::default() }
+        OracleSource {
+            dataset_bytes,
+            timings,
+            stats: CacheStats::default(),
+        }
     }
 }
 

@@ -1,7 +1,9 @@
 //! The Quiver baseline: substitutability for any sample.
 
 use crate::BaselineTimings;
-use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome, LCache, LCacheConfig, LFetch, Packager};
+use icache_core::{
+    CacheStats, CacheSystem, Fetch, FetchOutcome, LCache, LCacheConfig, LFetch, Packager,
+};
 use icache_storage::StorageBackend;
 use icache_types::{ByteSize, Dataset, Epoch, JobId, Result, SampleId, SimTime};
 use rand::rngs::StdRng;
@@ -43,7 +45,10 @@ impl QuiverCache {
     pub fn new(dataset: &Dataset, capacity: ByteSize, seed: u64) -> Result<Self> {
         let chunk_size = ByteSize::mib(1).min(capacity / 2).max(ByteSize::new(1));
         Ok(QuiverCache {
-            cache: LCache::new(LCacheConfig { capacity, num_samples: dataset.len() }),
+            cache: LCache::new(LCacheConfig {
+                capacity,
+                num_samples: dataset.len(),
+            }),
             packager: Packager::new(chunk_size, seed ^ 0x0417)?,
             dataset: dataset.clone(),
             pool: dataset.ids().collect(),
@@ -64,7 +69,9 @@ impl QuiverCache {
         }
         let missed = self.cache.take_missed(4 * 1024);
         let sizes = |id: SampleId| self.dataset.sample_size(id);
-        let pkg = self.packager.build_with_target(&missed, &self.pool, sizes, self.chunk_size);
+        let pkg = self
+            .packager
+            .build_with_target(&missed, &self.pool, sizes, self.chunk_size);
         if pkg.is_empty() {
             return;
         }
@@ -115,7 +122,10 @@ impl CacheSystem for QuiverCache {
                     served_id: sub,
                     // Quiver substitutes blindly; the simulator classifies
                     // whether `sub` was an H-sample for accuracy purposes.
-                    outcome: FetchOutcome::Substituted { by: sub, from_h: false },
+                    outcome: FetchOutcome::Substituted {
+                        by: sub,
+                        from_h: false,
+                    },
                 }
             }
             LFetch::Empty => {
@@ -176,7 +186,13 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut from_cache = 0;
         for i in 0..400u64 {
-            let f = q.fetch(JobId(0), SampleId(i * 5 % 2000), ds.sample_size(SampleId(0)), now, &mut st);
+            let f = q.fetch(
+                JobId(0),
+                SampleId(i * 5 % 2000),
+                ds.sample_size(SampleId(0)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
             if f.outcome.served_from_cache() {
                 from_cache += 1;
@@ -196,7 +212,13 @@ mod tests {
         q.on_epoch_start(JobId(0), Epoch(0));
         let mut now = SimTime::ZERO;
         for i in 0..1000u64 {
-            let f = q.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = q.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
         }
         let s = st.stats();
@@ -217,13 +239,23 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut served = Vec::new();
         for i in 0..1500u64 {
-            let f = q.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = q.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
             if let FetchOutcome::Substituted { by, .. } = f.outcome {
                 served.push(by);
             }
         }
         let unique: std::collections::HashSet<_> = served.iter().collect();
-        assert_eq!(unique.len(), served.len(), "no repeated substitutes in one epoch");
+        assert_eq!(
+            unique.len(),
+            served.len(),
+            "no repeated substitutes in one epoch"
+        );
     }
 }

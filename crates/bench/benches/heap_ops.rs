@@ -27,7 +27,9 @@ fn filled_shadow(n: u64) -> ShadowedHeap {
 }
 
 fn fresh_keys(n: u64) -> HashMap<SampleId, ImportanceValue> {
-    (0..n).map(|i| (SampleId(i), iv(((i * 40_503) % 999_983) as f64))).collect()
+    (0..n)
+        .map(|i| (SampleId(i), iv(((i * 40_503) % 999_983) as f64)))
+        .collect()
 }
 
 fn bench_basic_ops(c: &mut Criterion) {

@@ -9,10 +9,10 @@ use icache_baselines::LruCache;
 use icache_bench::{banner, BenchEnv};
 use icache_core::{IcacheConfig, IcacheManager};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, run_multi_job, JobConfig, SamplingMode};
 use icache_storage::{Pfs, PfsConfig};
 use icache_types::{Dataset, JobId};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -22,7 +22,9 @@ fn main() {
         &env,
     );
 
-    let dataset = Dataset::cifar10().scaled(env.cifar_scale).expect("scale in range");
+    let dataset = Dataset::cifar10()
+        .scaled(env.cifar_scale)
+        .expect("scale in range");
     let thresholds = [1.05f64, 1.5, 3.0, 10.0];
 
     let jobs = |seed: u64| -> Vec<JobConfig> {
@@ -43,8 +45,10 @@ fn main() {
         let mut cache = LruCache::new(dataset.total_bytes().scaled(0.2));
         let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("valid pfs");
         let out = run_multi_job(jobs(env.seed), &mut cache, &mut pfs).expect("runs");
-        let completion =
-            out[0].total_time().as_secs_f64().max(out[1].total_time().as_secs_f64());
+        let completion = out[0]
+            .total_time()
+            .as_secs_f64()
+            .max(out[1].total_time().as_secs_f64());
         table.row(vec!["(LRU)".into(), report::secs(completion), "-".into()]);
     }
 
@@ -57,8 +61,10 @@ fn main() {
         let mut cache = IcacheManager::new(cfg, &dataset).expect("valid manager");
         let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("valid pfs");
         let out = run_multi_job(jobs(env.seed), &mut cache, &mut pfs).expect("runs");
-        let completion =
-            out[0].total_time().as_secs_f64().max(out[1].total_time().as_secs_f64());
+        let completion = out[0]
+            .total_time()
+            .as_secs_f64()
+            .max(out[1].total_time().as_secs_f64());
         let hits: Vec<String> = out
             .iter()
             .map(|m| {
@@ -68,7 +74,11 @@ fn main() {
                 )
             })
             .collect();
-        table.row(vec![format!("{th:.2}"), report::secs(completion), hits.join(" / ")]);
+        table.row(vec![
+            format!("{th:.2}"),
+            report::secs(completion),
+            hits.join(" / "),
+        ]);
         report::json_line(
             "ablation_benefit_threshold",
             &json!({"threshold": th, "completion_seconds": completion}),
@@ -77,5 +87,7 @@ fn main() {
 
     println!("{}", table.render());
     println!();
-    println!("expectation: moderate thresholds (~1.5) do best; extreme thresholds lose coordination");
+    println!(
+        "expectation: moderate thresholds (~1.5) do best; extreme thresholds lose coordination"
+    );
 }

@@ -4,9 +4,9 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sampling::ImportanceCriterion;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -17,7 +17,11 @@ fn main() {
     );
 
     let mut table = report::Table::with_columns(&[
-        "criterion", "epoch time", "hit ratio", "top1 @30", "top1 delta vs Default",
+        "criterion",
+        "epoch time",
+        "hit ratio",
+        "top1 @30",
+        "top1 delta vs Default",
     ]);
 
     // Default baseline for the accuracy reference.

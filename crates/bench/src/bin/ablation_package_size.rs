@@ -8,10 +8,10 @@
 use icache_bench::{banner, BenchEnv};
 use icache_core::{IcacheConfig, IcacheManager};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, run_single_job, JobConfig, SamplingMode};
 use icache_storage::{Pfs, PfsConfig};
 use icache_types::{ByteSize, Dataset, JobId};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -21,8 +21,15 @@ fn main() {
         &env,
     );
 
-    let dataset = Dataset::cifar10().scaled(env.cifar_scale).expect("scale in range");
-    let sizes = [ByteSize::kib(64), ByteSize::kib(256), ByteSize::mib(1), ByteSize::mib(4)];
+    let dataset = Dataset::cifar10()
+        .scaled(env.cifar_scale)
+        .expect("scale in range");
+    let sizes = [
+        ByteSize::kib(64),
+        ByteSize::kib(256),
+        ByteSize::mib(1),
+        ByteSize::mib(4),
+    ];
 
     let mut table =
         report::Table::with_columns(&["package", "epoch time", "hit ratio", "pkg reads/epoch"]);
@@ -61,5 +68,7 @@ fn main() {
 
     println!("{}", table.render());
     println!();
-    println!("expectation: very small packages do more, less efficient reads; 1 MiB is a sweet spot");
+    println!(
+        "expectation: very small packages do more, less efficient reads; 1 MiB is a sweet spot"
+    );
 }

@@ -9,10 +9,10 @@
 use icache_bench::{banner, BenchEnv};
 use icache_core::{IcacheConfig, IcacheManager, PmTierConfig};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, run_single_job, JobConfig, SamplingMode};
 use icache_storage::{Pfs, PfsConfig};
 use icache_types::{Dataset, JobId};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -22,7 +22,9 @@ fn main() {
         &env,
     );
 
-    let dataset = Dataset::cifar10().scaled(env.cifar_scale).expect("scale in range");
+    let dataset = Dataset::cifar10()
+        .scaled(env.cifar_scale)
+        .expect("scale in range");
     let pm_fracs: [Option<f64>; 4] = [None, Some(0.1), Some(0.3), Some(0.6)];
 
     let mut table =

@@ -8,8 +8,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, StorageKind, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -41,7 +41,10 @@ fn main() {
         let pfs_cis = run(SystemKind::Base, StorageKind::OrangeFs);
 
         let compute = |m: &icache_sim::RunMetrics| {
-            m.epochs[1..].iter().map(|e| e.compute_time).sum::<icache_types::SimDuration>()
+            m.epochs[1..]
+                .iter()
+                .map(|e| e.compute_time)
+                .sum::<icache_types::SimDuration>()
         };
         let compute_speedup =
             compute(&tmpfs_default).as_secs_f64() / compute(&tmpfs_cis).as_secs_f64();

@@ -9,10 +9,10 @@
 use icache_baselines::LruCache;
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, JobConfig, SamplingMode, TrainingJob};
 use icache_storage::{Pfs, PfsConfig};
 use icache_types::{JobId, SampleId};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -35,7 +35,11 @@ fn main() {
     let mut storage = Pfs::new(PfsConfig::orangefs_default()).expect("valid pfs");
 
     // Track three samples spread across the difficulty spectrum.
-    let tracked = [SampleId(0), SampleId(dataset.len() / 2), SampleId(dataset.len() - 1)];
+    let tracked = [
+        SampleId(0),
+        SampleId(dataset.len() / 2),
+        SampleId(dataset.len() - 1),
+    ];
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); tracked.len()];
 
     while !job.is_done() {
@@ -49,12 +53,12 @@ fn main() {
     }
 
     let mut table = report::Table::with_columns(&["epoch", "sample0", "sample1", "sample2"]);
-    for e in 0..series[0].len() {
+    for (e, ((s0, s1), s2)) in series[0].iter().zip(&series[1]).zip(&series[2]).enumerate() {
         table.row(vec![
             e.to_string(),
-            format!("{:.3}", series[0][e]),
-            format!("{:.3}", series[1][e]),
-            format!("{:.3}", series[2][e]),
+            format!("{s0:.3}"),
+            format!("{s1:.3}"),
+            format!("{s2:.3}"),
         ]);
     }
     println!("{}", table.render());

@@ -5,17 +5,23 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, Scenario, SystemKind};
-use serde_json::json;
 
 fn curves(name: &str, base: impl Fn(SystemKind) -> Scenario, epochs: u32) {
-    let default = base(SystemKind::Default).epochs(epochs).run().expect("runs");
+    let default = base(SystemKind::Default)
+        .epochs(epochs)
+        .run()
+        .expect("runs");
     let icache = base(SystemKind::Icache).epochs(epochs).run().expect("runs");
 
     println!("--- {name} ---");
     let mut table = report::Table::with_columns(&["epoch", "Default top5", "iCache top5", "gap"]);
     let step = (epochs as usize / 15).max(1);
-    for e in (0..epochs as usize).step_by(step).chain([epochs as usize - 1]) {
+    for e in (0..epochs as usize)
+        .step_by(step)
+        .chain([epochs as usize - 1])
+    {
         let d = default.epochs[e].top5;
         let i = icache.epochs[e].top5;
         table.row(vec![

@@ -8,8 +8,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, Scenario, SystemKind};
-use serde_json::json;
 
 fn run_family(
     family: &str,
@@ -28,7 +28,11 @@ fn run_family(
         let mut cells = vec![model.name().to_string()];
         let mut secs = Vec::new();
         for &sys in &lineup {
-            let m = base(sys).model(model.clone()).epochs(epochs).run().expect("runs");
+            let m = base(sys)
+                .model(model.clone())
+                .epochs(epochs)
+                .run()
+                .expect("runs");
             let t = m.avg_epoch_time_steady().as_secs_f64();
             secs.push(t);
             cells.push(report::secs(t));

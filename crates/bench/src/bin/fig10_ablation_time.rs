@@ -7,8 +7,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -43,7 +43,11 @@ fn main() {
                 base_time = t;
             }
             table.row(vec![
-                if i == 0 { model.name().to_string() } else { String::new() },
+                if i == 0 {
+                    model.name().to_string()
+                } else {
+                    String::new()
+                },
                 labels[i].to_string(),
                 report::secs(t),
                 report::speedup(base_time, t),

@@ -6,8 +6,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -36,7 +36,11 @@ fn main() {
                 .expect("runs");
             let hit = m.avg_hit_ratio_steady();
             table.row(vec![
-                if i == 0 { model.name().to_string() } else { String::new() },
+                if i == 0 {
+                    model.name().to_string()
+                } else {
+                    String::new()
+                },
                 labels[i].to_string(),
                 report::pct(hit),
             ]);

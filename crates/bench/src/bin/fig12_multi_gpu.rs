@@ -7,8 +7,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -19,8 +19,7 @@ fn main() {
     );
 
     let gpus = [1usize, 2, 4, 8];
-    let mut table =
-        report::Table::with_columns(&["gpus", "Default", "iCache", "speedup"]);
+    let mut table = report::Table::with_columns(&["gpus", "Default", "iCache", "speedup"]);
     let mut avg = 0.0;
     let mut default_times = Vec::new();
 

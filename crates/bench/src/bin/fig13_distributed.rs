@@ -11,10 +11,10 @@ use icache_baselines::LruCache;
 use icache_bench::{banner, BenchEnv};
 use icache_core::{CacheSystem, DistributedCache, DistributedConfig};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, run_multi_job, JobConfig, PerJobCache, SamplingMode};
 use icache_storage::{Nfs, NfsConfig};
 use icache_types::{JobId, SimDuration};
-use serde_json::json;
 
 fn job_configs(
     model: &ModelProfile,
@@ -118,8 +118,18 @@ fn main() {
 
     println!("{}", table.render());
     println!();
-    let s2: f64 = speedups.iter().filter(|(n, _)| *n == 2).map(|(_, s)| s).sum::<f64>() / 2.0;
-    let s4: f64 = speedups.iter().filter(|(n, _)| *n == 4).map(|(_, s)| s).sum::<f64>() / 2.0;
+    let s2: f64 = speedups
+        .iter()
+        .filter(|(n, _)| *n == 2)
+        .map(|(_, s)| s)
+        .sum::<f64>()
+        / 2.0;
+    let s4: f64 = speedups
+        .iter()
+        .filter(|(n, _)| *n == 4)
+        .map(|(_, s)| s)
+        .sum::<f64>()
+        / 2.0;
     println!("mean speedup: 2S {s2:.2}x, 4S {s4:.2}x (paper: >=8.6x and >=7.6x; shape: 2S >= 4S)");
     println!("shape check: iCache much faster on NFS; speedup at 4 servers below 2 servers");
 }

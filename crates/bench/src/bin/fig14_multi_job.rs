@@ -12,10 +12,10 @@ use icache_baselines::LruCache;
 use icache_bench::{banner, BenchEnv};
 use icache_core::{CacheSystem, IcacheConfig, IcacheManager};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, run_multi_job, JobConfig, RunMetrics, SamplingMode};
 use icache_storage::{Pfs, PfsConfig};
 use icache_types::{Dataset, JobId};
-use serde_json::json;
 
 fn jobs(dataset: &Dataset, epochs: u32, seed: u64, iis: bool) -> Vec<JobConfig> {
     let mut a = JobConfig::new(JobId(0), ModelProfile::shufflenet(), dataset.clone());
@@ -52,7 +52,9 @@ fn main() {
         &env,
     );
 
-    let dataset = Dataset::cifar10().scaled(env.cifar_scale).expect("scale in range");
+    let dataset = Dataset::cifar10()
+        .scaled(env.cifar_scale)
+        .expect("scale in range");
     let cap_frac = 0.2;
     let epochs = env.perf_epochs;
 
@@ -67,7 +69,11 @@ fn main() {
     };
 
     let schemes: Vec<(&str, Box<dyn CacheSystem>, bool)> = vec![
-        ("Default", Box::new(LruCache::new(dataset.total_bytes().scaled(cap_frac))), false),
+        (
+            "Default",
+            Box::new(LruCache::new(dataset.total_bytes().scaled(cap_frac))),
+            false,
+        ),
         ("INDA", icache_variant(Some(JobId(0)), false), true),
         ("INDB", icache_variant(Some(JobId(1)), false), true),
         ("iCache", icache_variant(None, true), true),

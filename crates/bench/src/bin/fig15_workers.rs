@@ -7,8 +7,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -19,8 +19,7 @@ fn main() {
     );
 
     let workers = [2usize, 4, 6, 8, 16];
-    let mut table =
-        report::Table::with_columns(&["workers", "Default", "iCache", "speedup"]);
+    let mut table = report::Table::with_columns(&["workers", "Default", "iCache", "speedup"]);
     let mut speedups = Vec::new();
 
     for &w in &workers {

@@ -6,8 +6,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -19,7 +19,12 @@ fn main() {
 
     let sizes = [0.2f64, 0.4, 0.6, 0.8];
     let mut table = report::Table::with_columns(&[
-        "cache", "Default", "iCache", "speedup", "Default hit", "iCache hit",
+        "cache",
+        "Default",
+        "iCache",
+        "speedup",
+        "Default hit",
+        "iCache hit",
     ]);
 
     for &frac in &sizes {

@@ -11,7 +11,11 @@
 //! Flags: `--pattern uniform|zipf|scan|shuffle`, `--skew <f>` (zipf),
 //! `--requests <n>`, `--universe <n>`, `--cache-frac <f>`,
 //! `--storage orangefs|nfs|tmpfs|ssd`, `--seed <n>`,
-//! `--trace <file.jsonl>` (overrides `--pattern`).
+//! `--trace <file.jsonl>` (overrides `--pattern`),
+//! `--trace-out <file.jsonl>` (write the structured event trace of the
+//! replay — one JSON object per line, per-policy events interleaved),
+//! `--json <file.json>` (write a per-policy summary with the
+//! observability counters and latency histograms).
 
 use icache_baselines::{IlfuCache, LruCache, MinIoCache, QuiverCache};
 use icache_core::{CacheSystem, IcacheConfig, IcacheManager};
@@ -40,10 +44,18 @@ fn parse_args() -> Result<HashMap<String, String>, String> {
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
-    let universe: u64 = get("universe", "20000").parse().map_err(|e| format!("--universe: {e}"))?;
-    let requests: usize = get("requests", "50000").parse().map_err(|e| format!("--requests: {e}"))?;
-    let cache_frac: f64 = get("cache-frac", "0.1").parse().map_err(|e| format!("--cache-frac: {e}"))?;
-    let seed: u64 = get("seed", "7").parse().map_err(|e| format!("--seed: {e}"))?;
+    let universe: u64 = get("universe", "20000")
+        .parse()
+        .map_err(|e| format!("--universe: {e}"))?;
+    let requests: usize = get("requests", "50000")
+        .parse()
+        .map_err(|e| format!("--requests: {e}"))?;
+    let cache_frac: f64 = get("cache-frac", "0.1")
+        .parse()
+        .map_err(|e| format!("--cache-frac: {e}"))?;
+    let seed: u64 = get("seed", "7")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
     let storage_kind = match get("storage", "orangefs").as_str() {
         "orangefs" => StorageKind::OrangeFs,
         "nfs" => StorageKind::Nfs,
@@ -59,13 +71,17 @@ fn run() -> Result<(), String> {
         let pattern = match get("pattern", "zipf").as_str() {
             "uniform" => AccessPattern::Uniform,
             "zipf" => AccessPattern::Zipf {
-                s: get("skew", "1.1").parse().map_err(|e| format!("--skew: {e}"))?,
+                s: get("skew", "1.1")
+                    .parse()
+                    .map_err(|e| format!("--skew: {e}"))?,
             },
             "scan" => AccessPattern::Scan,
             "shuffle" => AccessPattern::EpochShuffle,
             other => return Err(format!("unknown pattern `{other}`")),
         };
-        pattern.generate(universe, requests, JobId(0), seed).map_err(|e| e.to_string())?
+        pattern
+            .generate(universe, requests, JobId(0), seed)
+            .map_err(|e| e.to_string())?
     };
 
     let dataset = DatasetBuilder::new("replay", universe)
@@ -94,6 +110,8 @@ fn run() -> Result<(), String> {
         cache_frac * 100.0
     );
 
+    let obs = icache_obs::Obs::new();
+    let mut policy_summaries: Vec<(String, icache_obs::Json)> = Vec::new();
     let mut out = report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed"]);
     let policies: Vec<(&str, Box<dyn CacheSystem>)> = vec![
         ("lru", Box::new(LruCache::new(cap))),
@@ -113,6 +131,8 @@ fn run() -> Result<(), String> {
 
     for (name, mut cache) in policies {
         let mut storage = storage_kind.build().map_err(|e| e.to_string())?;
+        cache.set_obs(obs.clone());
+        storage.set_obs(obs.clone());
         cache.on_epoch_start(JobId(0), icache_types::Epoch(0));
         let rep = replay(&trace, &dataset, cache.as_mut(), storage.as_mut());
         out.row(vec![
@@ -123,9 +143,41 @@ fn run() -> Result<(), String> {
             format!("{}", rep.elapsed),
         ]);
         println!("{name:8} {}", summarize(&rep));
+        // Per-policy counters: snapshot, then reset the registry (but not
+        // the trace ring, which accumulates across policies).
+        policy_summaries.push((name.to_string(), obs.metrics_snapshot()));
+        obs.with_metrics(|m| m.clear());
     }
     println!();
     println!("{}", out.render());
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, obs.trace_jsonl()).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!("wrote {} trace events to {path}", obs.trace_len());
+    }
+    if let Some(path) = args.get("json") {
+        let summary = icache_obs::Json::Obj(vec![
+            ("policies".into(), icache_obs::Json::Obj(policy_summaries)),
+            (
+                "trace".into(),
+                icache_obs::Json::Obj(vec![
+                    (
+                        "emitted".into(),
+                        icache_obs::Json::UInt(obs.trace_emitted()),
+                    ),
+                    (
+                        "recorded".into(),
+                        icache_obs::Json::UInt(obs.trace_len() as u64),
+                    ),
+                    (
+                        "dropped".into(),
+                        icache_obs::Json::UInt(obs.trace_dropped()),
+                    ),
+                ]),
+            ),
+        ]);
+        std::fs::write(path, format!("{summary}\n")).map_err(|e| format!("--json {path}: {e}"))?;
+        println!("wrote replay summary to {path}");
+    }
     Ok(())
 }
 

@@ -22,8 +22,12 @@
 //! | `--workers` | `6` | data-loader workers |
 //! | `--gpus` | `1` | data-parallel GPUs |
 //! | `--seed` | `0x5EED` | run seed |
-//! | `--json` | off | emit per-epoch JSON lines |
+//! | `--json` | - | write the machine-readable run summary (per-epoch metrics + counters + latency histograms) to this JSON path |
+//! | `--trace` | - | write the structured event trace (one JSON object per line) to this JSONL path |
 //! | `--csv` | - | also write per-epoch metrics to this CSV path |
+//!
+//! `--trace` and `--json` output is deterministic: the same configuration
+//! and seed produce byte-identical files.
 
 use icache_dnn::ModelProfile;
 use icache_sampling::ImportanceCriterion;
@@ -36,12 +40,10 @@ fn parse_args() -> Result<HashMap<String, String>, String> {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let Some(key) = flag.strip_prefix("--") else {
-            return Err(format!("unexpected argument `{flag}` (flags start with --)"));
+            return Err(format!(
+                "unexpected argument `{flag}` (flags start with --)"
+            ));
         };
-        if key == "json" {
-            out.insert("json".to_string(), "1".to_string());
-            continue;
-        }
         if key == "help" {
             return Err("see the flag table in the module docs (src/bin/icache_sim.rs)".into());
         }
@@ -92,14 +94,15 @@ fn criterion_of(name: &str) -> Result<ImportanceCriterion, String> {
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
-    let parse_f64 =
-        |k: &str, d: &str| get(k, d).parse::<f64>().map_err(|e| format!("--{k}: {e}"));
-    let parse_usize =
-        |k: &str, d: &str| get(k, d).parse::<usize>().map_err(|e| format!("--{k}: {e}"));
+    let parse_f64 = |k: &str, d: &str| get(k, d).parse::<f64>().map_err(|e| format!("--{k}: {e}"));
+    let parse_usize = |k: &str, d: &str| {
+        get(k, d)
+            .parse::<usize>()
+            .map_err(|e| format!("--{k}: {e}"))
+    };
 
     let system = system_of(&get("system", "icache"))?;
-    let model =
-        ModelProfile::by_name(&get("model", "shufflenet")).map_err(|e| e.to_string())?;
+    let model = ModelProfile::by_name(&get("model", "shufflenet")).map_err(|e| e.to_string())?;
     let base = match get("dataset", "cifar10").as_str() {
         "cifar10" => Scenario::cifar10(system),
         "imagenet" => Scenario::imagenet(system),
@@ -132,7 +135,8 @@ fn run() -> Result<(), String> {
         get("model", "shufflenet"),
         scenario.dataset_ref()
     );
-    let metrics = scenario.run().map_err(|e| e.to_string())?;
+    let obs = icache_obs::Obs::new();
+    let metrics = scenario.run_with_obs(&obs).map_err(|e| e.to_string())?;
 
     let mut table = report::Table::with_columns(&[
         "epoch", "wall", "stall", "compute", "fetched", "hit%", "p50", "p99", "top1", "top5",
@@ -150,15 +154,26 @@ fn run() -> Result<(), String> {
             format!("{:.2}", e.top1),
             format!("{:.2}", e.top5),
         ]);
-        if args.contains_key("json") {
-            report::json_line("epoch", e);
-        }
     }
     println!("{}", table.render());
     if let Some(path) = args.get("csv") {
         std::fs::write(path, report::run_metrics_csv(&metrics))
             .map_err(|e| format!("--csv {path}: {e}"))?;
         println!("wrote per-epoch CSV to {path}");
+    }
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, obs.trace_jsonl()).map_err(|e| format!("--trace {path}: {e}"))?;
+        println!(
+            "wrote {} trace events to {path} ({} emitted, {} dropped by the ring)",
+            obs.trace_len(),
+            obs.trace_emitted(),
+            obs.trace_dropped()
+        );
+    }
+    if let Some(path) = args.get("json") {
+        let summary = report::run_summary(std::slice::from_ref(&metrics), &obs);
+        std::fs::write(path, format!("{summary}\n")).map_err(|e| format!("--json {path}: {e}"))?;
+        println!("wrote run summary to {path}");
     }
     println!();
     println!(

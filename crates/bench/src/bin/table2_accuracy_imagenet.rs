@@ -5,8 +5,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -16,10 +16,20 @@ fn main() {
         &env,
     );
 
-    let systems =
-        [SystemKind::Default, SystemKind::Quiver, SystemKind::CoorDl, SystemKind::Icache];
+    let systems = [
+        SystemKind::Default,
+        SystemKind::Quiver,
+        SystemKind::CoorDl,
+        SystemKind::Icache,
+    ];
     let mut table = report::Table::with_columns(&[
-        "model", "metric", "Default", "Quiver", "CoorDL", "iCache", "iCache-delta",
+        "model",
+        "metric",
+        "Default",
+        "Quiver",
+        "CoorDL",
+        "iCache",
+        "iCache-delta",
     ]);
 
     for model in ModelProfile::imagenet_models() {

@@ -7,8 +7,8 @@
 
 use icache_bench::{banner, BenchEnv};
 use icache_dnn::ModelProfile;
+use icache_obs::json;
 use icache_sim::{report, SystemKind};
-use serde_json::json;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -18,7 +18,11 @@ fn main() {
         &env,
     );
 
-    let policies = [SystemKind::IcacheNoSub, SystemKind::IcacheSubH, SystemKind::Icache];
+    let policies = [
+        SystemKind::IcacheNoSub,
+        SystemKind::IcacheSubH,
+        SystemKind::Icache,
+    ];
     let labels = ["Def", "ST_HC", "ST_LC"];
 
     let mut table = report::Table::with_columns(&[

@@ -45,7 +45,11 @@ pub struct IcacheClient {
 impl IcacheClient {
     /// A client for `job` training on `dataset`.
     pub fn new(job: JobId, dataset: &Dataset) -> Self {
-        IcacheClient { job, dataset: dataset.clone(), hlist: HList::empty(dataset.len()) }
+        IcacheClient {
+            job,
+            dataset: dataset.clone(),
+            hlist: HList::empty(dataset.len()),
+        }
     }
 
     /// The job this client belongs to.

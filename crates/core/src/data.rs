@@ -77,8 +77,14 @@ mod tests {
     #[test]
     fn digest_depends_on_id_and_size() {
         let base = SampleData::generate(SampleId(1), ByteSize::new(10));
-        assert_ne!(base.digest(), SampleData::generate(SampleId(2), ByteSize::new(10)).digest());
-        assert_ne!(base.digest(), SampleData::generate(SampleId(1), ByteSize::new(11)).digest());
+        assert_ne!(
+            base.digest(),
+            SampleData::generate(SampleId(2), ByteSize::new(10)).digest()
+        );
+        assert_ne!(
+            base.digest(),
+            SampleData::generate(SampleId(1), ByteSize::new(11)).digest()
+        );
     }
 
     #[test]

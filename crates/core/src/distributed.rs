@@ -202,9 +202,8 @@ impl CacheSystem for DistributedCache {
         match self.classify(job, id) {
             RemoteFetchKind::RemoteCache => {
                 // Serve over the interconnect; do not duplicate locally.
-                let transfer = SimDuration::from_secs_f64(
-                    size.as_f64() / self.config.interconnect_bandwidth,
-                );
+                let transfer =
+                    SimDuration::from_secs_f64(size.as_f64() / self.config.interconnect_bandwidth);
                 self.remote_hits += 1;
                 self.remote_bytes += size;
                 Fetch {
@@ -323,7 +322,10 @@ mod tests {
         assert_eq!(dc.directory().lookup(SampleId(5)), Some(NodeId(0)));
 
         // Job 1 (node 1) now reads it from node 0, not storage.
-        assert_eq!(dc.classify(JobId(1), SampleId(5)), RemoteFetchKind::RemoteCache);
+        assert_eq!(
+            dc.classify(JobId(1), SampleId(5)),
+            RemoteFetchKind::RemoteCache
+        );
         let before = st.stats().sample_reads;
         let f1 = dc.fetch(JobId(1), SampleId(5), sz, f0.ready_at, &mut st);
         assert!(f1.outcome.served_from_cache());
@@ -350,7 +352,10 @@ mod tests {
         let t_remote = remote.ready_at.saturating_since(local.ready_at);
 
         assert!(t_local < t_remote, "local {t_local} vs remote {t_remote}");
-        assert!(t_remote < t_storage, "remote {t_remote} vs storage {t_storage}");
+        assert!(
+            t_remote < t_storage,
+            "remote {t_remote} vs storage {t_storage}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub struct HCache {
 impl HCache {
     /// An empty H-cache with the given byte capacity.
     pub fn new(capacity: ByteSize) -> Self {
-        HCache { capacity, ..Default::default() }
+        HCache {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Configured capacity.
@@ -94,7 +97,10 @@ impl HCache {
         let id = data.id();
         if self.items.contains_key(&id) {
             self.heap.update_key(id, iv);
-            return AdmitResult { admitted: true, evicted: Vec::new() };
+            return AdmitResult {
+                admitted: true,
+                evicted: Vec::new(),
+            };
         }
         if data.size() > self.capacity {
             return AdmitResult::default();
@@ -102,7 +108,10 @@ impl HCache {
         // Fast path: free space available.
         if self.used + data.size() <= self.capacity {
             self.insert_unchecked(data, iv);
-            return AdmitResult { admitted: true, evicted: Vec::new() };
+            return AdmitResult {
+                admitted: true,
+                evicted: Vec::new(),
+            };
         }
         // Full: pop victims while they are strictly less important.
         let mut popped: Vec<(SampleId, ImportanceValue)> = Vec::new();
@@ -133,7 +142,10 @@ impl HCache {
             })
             .collect();
         self.insert_unchecked(data, iv);
-        AdmitResult { admitted: true, evicted }
+        AdmitResult {
+            admitted: true,
+            evicted,
+        }
     }
 
     /// Remove `id` outright (used when a sample is demoted or the region

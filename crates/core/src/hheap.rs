@@ -41,7 +41,10 @@ impl HHeap {
 
     /// An empty heap with room for `cap` nodes.
     pub fn with_capacity(cap: usize) -> Self {
-        HHeap { nodes: Vec::with_capacity(cap), pos: HashMap::with_capacity(cap) }
+        HHeap {
+            nodes: Vec::with_capacity(cap),
+            pos: HashMap::with_capacity(cap),
+        }
     }
 
     /// Number of nodes.
@@ -140,7 +143,10 @@ impl HHeap {
             }
         }
         self.pos.len() == self.nodes.len()
-            && self.pos.iter().all(|(&id, &i)| self.nodes.get(i).map(|n| n.1) == Some(id))
+            && self
+                .pos
+                .iter()
+                .all(|(&id, &i)| self.nodes.get(i).map(|n| n.1) == Some(id))
     }
 
     #[inline]
@@ -357,9 +363,9 @@ mod proptests {
                     }
                     Op::Update(id, v) => {
                         let did = heap.update_key(SampleId(id), ImportanceValue::new(v as f64).unwrap());
-                        if model.contains_key(&id) {
+                        if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(id) {
                             prop_assert!(did);
-                            model.insert(id, v);
+                            e.insert(v);
                         } else {
                             prop_assert!(!did);
                         }

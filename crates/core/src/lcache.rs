@@ -81,17 +81,32 @@ pub struct Packager {
 }
 
 impl Packager {
-    /// A packager producing packages of at least `target_size` bytes.
+    /// A packager producing packages filled up to `target_size` bytes.
+    ///
+    /// Packages never overshoot the target — the L-region is sized in
+    /// package units, so an oversized package would not fit its slot. The
+    /// paper's "at least 1 MB" rule is realised by *filling*: random pool
+    /// draws are appended until the next sample would cross the target, so
+    /// a package stops within one sample size of it. Only when the very
+    /// first sample alone exceeds the target (or the pool runs out of
+    /// distinct samples) does a package come up short.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] when `target_size` is zero.
     pub fn new(target_size: ByteSize, seed: u64) -> Result<Self> {
         if target_size.is_zero() {
-            return Err(Error::invalid_config("target_size", "package size must be non-zero"));
+            return Err(Error::invalid_config(
+                "target_size",
+                "package size must be non-zero",
+            ));
         }
         use rand::SeedableRng;
-        Ok(Packager { target_size, rng: StdRng::seed_from_u64(seed), next_id: 0 })
+        Ok(Packager {
+            target_size,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        })
     }
 
     /// Target package size.
@@ -174,7 +189,13 @@ impl Packager {
         }
         let id = PackageId(self.next_id);
         self.next_id += 1;
-        Package::new(id, chosen.into_iter().map(|i| SampleData::generate(i, size_of(i))).collect())
+        Package::new(
+            id,
+            chosen
+                .into_iter()
+                .map(|i| SampleData::generate(i, size_of(i)))
+                .collect(),
+        )
     }
 }
 
@@ -454,12 +475,66 @@ mod tests {
     fn pkg(id: u64, ids: std::ops::Range<u64>, sz: u64) -> Package {
         Package::new(
             PackageId(id),
-            ids.map(|i| SampleData::generate(SampleId(i), ByteSize::new(sz))).collect(),
+            ids.map(|i| SampleData::generate(SampleId(i), ByteSize::new(sz)))
+                .collect(),
         )
     }
 
     fn lc(capacity: u64) -> LCache {
-        LCache::new(LCacheConfig { capacity: ByteSize::new(capacity), num_samples: 1_000 })
+        LCache::new(LCacheConfig {
+            capacity: ByteSize::new(capacity),
+            num_samples: 1_000,
+        })
+    }
+
+    #[test]
+    fn packager_never_overshoots_the_target() {
+        let mut p = Packager::new(ByteSize::kib(10), 7).unwrap();
+        let pool: Vec<SampleId> = (0..100).map(SampleId).collect();
+        for _ in 0..20 {
+            let pkg = p.build(&[], &pool, |_| ByteSize::kib(3));
+            assert!(
+                pkg.total_bytes() <= ByteSize::kib(10),
+                "{}",
+                pkg.total_bytes()
+            );
+            // 3 KiB samples fill a 10 KiB target to 9 KiB exactly.
+            assert_eq!(pkg.total_bytes(), ByteSize::kib(9));
+        }
+    }
+
+    #[test]
+    fn packager_pool_too_small_to_reach_target_still_packs_everything() {
+        // A pool whose every distinct sample together cannot reach the
+        // target: the package must contain them all and stop short.
+        let mut p = Packager::new(ByteSize::mib(1), 7).unwrap();
+        let pool: Vec<SampleId> = (0..4).map(SampleId).collect();
+        let pkg = p.build(&[], &pool, |_| ByteSize::kib(3));
+        assert!(
+            !pkg.is_empty(),
+            "a reachable pool must never yield an empty package"
+        );
+        assert_eq!(pkg.len(), 4, "all distinct pool samples get packed");
+        assert_eq!(pkg.total_bytes(), ByteSize::kib(12));
+        assert!(pkg.total_bytes() < ByteSize::mib(1));
+    }
+
+    #[test]
+    fn packager_single_oversized_sample_is_the_only_overshoot() {
+        // The very first sample may exceed the target so misses always
+        // ship; fill samples never push past it.
+        let mut p = Packager::new(ByteSize::kib(1), 7).unwrap();
+        let pkg = p.build(&[SampleId(0)], &[], |_| ByteSize::kib(4));
+        assert_eq!(pkg.len(), 1);
+        assert_eq!(pkg.total_bytes(), ByteSize::kib(4));
+    }
+
+    #[test]
+    fn packager_empty_inputs_give_empty_package() {
+        let mut p = Packager::new(ByteSize::mib(1), 7).unwrap();
+        let pkg = p.build(&[], &[], |_| ByteSize::kib(3));
+        assert!(pkg.is_empty());
+        assert_eq!(pkg.total_bytes(), ByteSize::ZERO);
     }
 
     #[test]
@@ -502,7 +577,11 @@ mod tests {
         }
         served.sort_unstable();
         served.dedup();
-        assert_eq!(served.len(), 5, "each fresh sample substituted at most once");
+        assert_eq!(
+            served.len(),
+            5,
+            "each fresh sample substituted at most once"
+        );
         // All fresh exhausted: next miss has nothing to offer.
         assert_eq!(c.lookup(SampleId(105), &mut rng), LFetch::Empty);
         assert!(c.wants_load(), "exhausted cache asks for a new package");
@@ -571,7 +650,9 @@ mod tests {
     fn packager_prioritises_missed_then_fills_randomly() {
         let mut p = Packager::new(ByteSize::new(1_000), 1).unwrap();
         let pool: Vec<SampleId> = (0..100).map(SampleId).collect();
-        let pkg = p.build(&[SampleId(42), SampleId(42), SampleId(7)], &pool, |_| ByteSize::new(100));
+        let pkg = p.build(&[SampleId(42), SampleId(42), SampleId(7)], &pool, |_| {
+            ByteSize::new(100)
+        });
         let ids: Vec<u64> = pkg.samples().iter().map(|s| s.id().0).collect();
         assert_eq!(&ids[..2], &[42, 7], "deduplicated missed ids first");
         assert_eq!(pkg.len(), 10, "filled to target size");

@@ -80,5 +80,5 @@ pub use multijob::{BenefitProbe, JobBenefit, MultiJobCoordinator, ProbePhase};
 pub use server::{IcacheServer, Request, Response};
 pub use shadow::ShadowedHeap;
 pub use stats::CacheStats;
-pub use victim::{PmTierConfig, VictimCache};
 pub use system::{CacheSystem, Fetch, FetchOutcome};
+pub use victim::{PmTierConfig, VictimCache};

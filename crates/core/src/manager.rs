@@ -4,11 +4,11 @@ use crate::{
     CacheStats, CacheSystem, Fetch, FetchOutcome, HCache, LCache, LCacheConfig, LFetch,
     MultiJobCoordinator, Packager, PmTierConfig, SampleData, VictimCache,
 };
+use icache_obs::{Obs, TraceEvent};
 use icache_sampling::HList;
 use icache_storage::StorageBackend;
 use icache_types::{
-    ByteSize, Dataset, Epoch, Error, ImportanceValue, JobId, Result, SampleId, SimDuration,
-    SimTime,
+    ByteSize, Dataset, Epoch, Error, ImportanceValue, JobId, Result, SampleId, SimDuration, SimTime,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,16 +104,25 @@ impl IcacheConfig {
             return Err(Error::invalid_config("capacity", "must be non-zero"));
         }
         if !(self.initial_h_fraction >= 0.0 && self.initial_h_fraction <= 1.0) {
-            return Err(Error::invalid_config("initial_h_fraction", "must be in [0, 1]"));
+            return Err(Error::invalid_config(
+                "initial_h_fraction",
+                "must be in [0, 1]",
+            ));
         }
         if self.package_size.is_zero() {
             return Err(Error::invalid_config("package_size", "must be non-zero"));
         }
         if !(self.dram_bandwidth > 0.0 && self.dram_bandwidth.is_finite()) {
-            return Err(Error::invalid_config("dram_bandwidth", "must be positive and finite"));
+            return Err(Error::invalid_config(
+                "dram_bandwidth",
+                "must be positive and finite",
+            ));
         }
         if !(self.loader_bandwidth > 0.0 && self.loader_bandwidth.is_finite()) {
-            return Err(Error::invalid_config("loader_bandwidth", "must be positive and finite"));
+            return Err(Error::invalid_config(
+                "loader_bandwidth",
+                "must be positive and finite",
+            ));
         }
         Ok(())
     }
@@ -156,6 +165,10 @@ pub struct IcacheManager {
     h_sub_used: std::collections::HashSet<SampleId>,
     victim: Option<VictimCache>,
     primary_job: Option<JobId>,
+    /// Shared observability handle (metrics registry + trace ring).
+    obs: Obs,
+    /// Epoch of the primary job, for event attribution.
+    current_epoch: u64,
 }
 
 impl IcacheManager {
@@ -179,13 +192,19 @@ impl IcacheManager {
             ByteSize::ZERO
         };
         let h_capacity = config.capacity.saturating_sub(l_capacity);
-        let coordinator =
-            MultiJobCoordinator::new(dataset.len(), config.benefit_threshold, config.probe_samples)?;
+        let coordinator = MultiJobCoordinator::new(
+            dataset.len(),
+            config.benefit_threshold,
+            config.probe_samples,
+        )?;
         let victim = config.pm_tier.clone().map(VictimCache::new).transpose()?;
         Ok(IcacheManager {
             victim,
             hcache: HCache::new(h_capacity),
-            lcache: LCache::new(LCacheConfig { capacity: l_capacity, num_samples: dataset.len() }),
+            lcache: LCache::new(LCacheConfig {
+                capacity: l_capacity,
+                num_samples: dataset.len(),
+            }),
             packager: Packager::new(config.package_size, config.seed ^ 0xFACC)?,
             coordinator,
             effective_iv: HashMap::new(),
@@ -198,6 +217,8 @@ impl IcacheManager {
             l_accesses: 0,
             h_sub_used: std::collections::HashSet::new(),
             primary_job: None,
+            obs: Obs::noop(),
+            current_epoch: 0,
             dataset: dataset.clone(),
             config,
         })
@@ -245,11 +266,28 @@ impl IcacheManager {
         self.job_stats.get(&job).copied().unwrap_or_default()
     }
 
+    /// Record H-region evictions in the registry and the event trace.
+    fn note_evictions(&mut self, evicted: &[SampleId]) {
+        self.obs.add("cache.evictions", evicted.len() as u64);
+        for &id in evicted {
+            self.obs.emit(TraceEvent::Eviction {
+                sample: id.0,
+                bytes: self.dataset.sample_size(id).as_u64(),
+            });
+        }
+    }
+
     /// Spill evicted H-samples into the PM tier.
     fn spill_to_pm(&mut self, evicted: &[SampleId]) {
         if let Some(pm) = &mut self.victim {
             for &id in evicted {
-                pm.insert(id, self.dataset.sample_size(id));
+                let size = self.dataset.sample_size(id);
+                pm.insert(id, size);
+                self.obs.inc("cache.pm_spills");
+                self.obs.emit(TraceEvent::SpillToPm {
+                    sample: id.0,
+                    bytes: size.as_u64(),
+                });
             }
         }
     }
@@ -284,10 +322,20 @@ impl IcacheManager {
         let sizes = |id: SampleId| self.dataset.sample_size(id);
         // Never build a package larger than the L-region itself.
         let target = self.config.package_size.min(self.lcache.capacity());
-        let pkg = self.packager.build_with_target(&missed, &self.l_pool, sizes, target);
+        let pkg = self
+            .packager
+            .build_with_target(&missed, &self.l_pool, sizes, target);
         if pkg.is_empty() {
             return;
         }
+        self.obs.inc("lcache.packages_built");
+        self.obs
+            .add("lcache.package_bytes", pkg.total_bytes().as_u64());
+        self.obs.emit(TraceEvent::PackageBuild {
+            package: pkg.id().0,
+            samples: pkg.len() as u64,
+            bytes: pkg.total_bytes().as_u64(),
+        });
         let ready = storage.read_package(pkg.total_bytes(), now);
         // The loading thread also pays its re-packing/decode budget: it
         // cannot start the next package before its own bandwidth allows.
@@ -298,8 +346,11 @@ impl IcacheManager {
     }
 
     fn rebuild_l_pool(&mut self) {
-        self.l_pool =
-            self.dataset.ids().filter(|&id| !self.coordinator.is_h_for_any(id)).collect();
+        self.l_pool = self
+            .dataset
+            .ids()
+            .filter(|&id| !self.coordinator.is_h_for_any(id))
+            .collect();
     }
 
     fn fetch_h(
@@ -314,6 +365,11 @@ impl IcacheManager {
         if self.hcache.contains(id) {
             self.stats.h_hits += 1;
             self.stats.bytes_from_cache += size;
+            self.obs.inc("cache.h_hits");
+            self.obs.emit(TraceEvent::HHit {
+                job: job.0 as u64,
+                sample: id.0,
+            });
             return Fetch {
                 ready_at: now + self.hit_service(size),
                 served_id: id,
@@ -321,33 +377,55 @@ impl IcacheManager {
             };
         }
         // PM victim tier: promoted back into DRAM on a hit (§VI).
-        if let Some(pm) = &mut self.victim {
-            if pm.promote(id).is_some() {
-                self.stats.pm_hits += 1;
-                self.stats.bytes_from_cache += size;
-                let ready = now + self.config.rpc_overhead + pm.read_cost(size);
-                let iv = self.admission_value(job, id);
-                let result = self.hcache.admit(SampleData::generate(id, size), iv);
-                if result.admitted {
-                    self.stats.insertions += 1;
-                    self.stats.evictions += result.evicted.len() as u64;
-                }
-                let evicted = result.evicted;
-                self.spill_to_pm(&evicted);
-                return Fetch { ready_at: ready, served_id: id, outcome: FetchOutcome::HitH };
+        if self
+            .victim
+            .as_mut()
+            .is_some_and(|pm| pm.promote(id).is_some())
+        {
+            self.stats.pm_hits += 1;
+            self.stats.bytes_from_cache += size;
+            self.obs.inc("cache.pm_hits");
+            self.obs.emit(TraceEvent::HHit {
+                job: job.0 as u64,
+                sample: id.0,
+            });
+            let pm = self.victim.as_ref().expect("checked above");
+            let ready = now + self.config.rpc_overhead + pm.read_cost(size);
+            let iv = self.admission_value(job, id);
+            let result = self.hcache.admit(SampleData::generate(id, size), iv);
+            if result.admitted {
+                self.stats.insertions += 1;
+                self.stats.evictions += result.evicted.len() as u64;
+                self.obs.inc("cache.insertions");
+                self.note_evictions(&result.evicted);
             }
+            let evicted = result.evicted;
+            self.spill_to_pm(&evicted);
+            return Fetch {
+                ready_at: ready,
+                served_id: id,
+                outcome: FetchOutcome::HitH,
+            };
         }
         // Miss: read from storage and decide admission (Alg. 1 lines 8–16).
         let done = storage.read_sample(id, size, now);
         self.stats.misses += 1;
         self.stats.bytes_from_storage += size;
+        self.obs.inc("cache.misses");
+        self.obs.emit(TraceEvent::Miss {
+            job: job.0 as u64,
+            sample: id.0,
+        });
         let iv = self.admission_value(job, id);
         let result = self.hcache.admit(SampleData::generate(id, size), iv);
         if result.admitted {
             self.stats.insertions += 1;
             self.stats.evictions += result.evicted.len() as u64;
+            self.obs.inc("cache.insertions");
+            self.note_evictions(&result.evicted);
         } else {
             self.stats.rejections += 1;
+            self.obs.inc("cache.rejections");
         }
         self.spill_to_pm(&result.evicted);
         Fetch {
@@ -359,6 +437,7 @@ impl IcacheManager {
 
     fn fetch_l(
         &mut self,
+        job: JobId,
         id: SampleId,
         size: ByteSize,
         now: SimTime,
@@ -367,31 +446,17 @@ impl IcacheManager {
     ) -> Fetch {
         self.l_accesses += 1;
         if !self.config.enable_lcache {
-            return self.storage_miss(id, size, now, storage);
+            return self.storage_miss(job, id, size, now, storage);
         }
         if !allow_substitute || self.config.substitution == Substitution::None {
             return if self.lcache.lookup_no_substitute(id) {
-                self.stats.l_hits += 1;
-                self.stats.bytes_from_cache += size;
-                Fetch {
-                    ready_at: now + self.hit_service(size),
-                    served_id: id,
-                    outcome: FetchOutcome::HitL,
-                }
+                self.l_hit(job, id, size, now)
             } else {
-                self.storage_miss(id, size, now, storage)
+                self.storage_miss(job, id, size, now, storage)
             };
         }
         match self.lcache.lookup(id, &mut self.rng) {
-            LFetch::Hit => {
-                self.stats.l_hits += 1;
-                self.stats.bytes_from_cache += size;
-                Fetch {
-                    ready_at: now + self.hit_service(size),
-                    served_id: id,
-                    outcome: FetchOutcome::HitL,
-                }
-            }
+            LFetch::Hit => self.l_hit(job, id, size, now),
             // The L-cache proposes an un-accessed L resident; the final
             // decision follows the configured §V-E policy.
             LFetch::Substitute(sub) => match self.config.substitution {
@@ -399,24 +464,50 @@ impl IcacheManager {
                     self.stats.substitutions += 1;
                     let sub_size = self.dataset.sample_size(sub);
                     self.stats.bytes_from_cache += sub_size;
+                    self.obs.inc("cache.substitutions");
+                    self.obs.emit(TraceEvent::Substitution {
+                        job: job.0 as u64,
+                        requested: id.0,
+                        substitute: sub.0,
+                        kind: "st_lc",
+                    });
                     Fetch {
                         ready_at: now + self.hit_service(sub_size),
                         served_id: sub,
-                        outcome: FetchOutcome::Substituted { by: sub, from_h: false },
+                        outcome: FetchOutcome::Substituted {
+                            by: sub,
+                            from_h: false,
+                        },
                     }
                 }
-                Substitution::FromH => self.substitute_from_h(id, size, now, storage),
-                Substitution::None => self.storage_miss(id, size, now, storage),
+                Substitution::FromH => self.substitute_from_h(job, id, size, now, storage),
+                Substitution::None => self.storage_miss(job, id, size, now, storage),
             },
             LFetch::Empty => match self.config.substitution {
-                Substitution::FromH => self.substitute_from_h(id, size, now, storage),
-                _ => self.storage_miss(id, size, now, storage),
+                Substitution::FromH => self.substitute_from_h(job, id, size, now, storage),
+                _ => self.storage_miss(job, id, size, now, storage),
             },
+        }
+    }
+
+    fn l_hit(&mut self, job: JobId, id: SampleId, size: ByteSize, now: SimTime) -> Fetch {
+        self.stats.l_hits += 1;
+        self.stats.bytes_from_cache += size;
+        self.obs.inc("cache.l_hits");
+        self.obs.emit(TraceEvent::LHit {
+            job: job.0 as u64,
+            sample: id.0,
+        });
+        Fetch {
+            ready_at: now + self.hit_service(size),
+            served_id: id,
+            outcome: FetchOutcome::HitL,
         }
     }
 
     fn substitute_from_h(
         &mut self,
+        job: JobId,
         id: SampleId,
         size: ByteSize,
         now: SimTime,
@@ -441,18 +532,29 @@ impl IcacheManager {
                 self.stats.substitutions += 1;
                 let sub_size = self.dataset.sample_size(sub);
                 self.stats.bytes_from_cache += sub_size;
+                self.obs.inc("cache.substitutions");
+                self.obs.emit(TraceEvent::Substitution {
+                    job: job.0 as u64,
+                    requested: id.0,
+                    substitute: sub.0,
+                    kind: "st_hc",
+                });
                 Fetch {
                     ready_at: now + self.hit_service(sub_size),
                     served_id: sub,
-                    outcome: FetchOutcome::Substituted { by: sub, from_h: true },
+                    outcome: FetchOutcome::Substituted {
+                        by: sub,
+                        from_h: true,
+                    },
                 }
             }
-            None => self.storage_miss(id, size, now, storage),
+            None => self.storage_miss(job, id, size, now, storage),
         }
     }
 
     fn storage_miss(
         &mut self,
+        job: JobId,
         id: SampleId,
         size: ByteSize,
         now: SimTime,
@@ -461,6 +563,11 @@ impl IcacheManager {
         let done = storage.read_sample(id, size, now);
         self.stats.misses += 1;
         self.stats.bytes_from_storage += size;
+        self.obs.inc("cache.misses");
+        self.obs.emit(TraceEvent::Miss {
+            job: job.0 as u64,
+            sample: id.0,
+        });
         Fetch {
             ready_at: done + self.config.rpc_overhead,
             served_id: id,
@@ -494,11 +601,21 @@ impl CacheSystem for IcacheManager {
                 let done = storage.read_sample(id, size, now) + self.config.rpc_overhead;
                 self.stats.misses += 1;
                 self.stats.bytes_from_storage += size;
+                self.obs.inc("cache.misses");
+                self.obs.emit(TraceEvent::Miss {
+                    job: job.0 as u64,
+                    sample: id.0,
+                });
                 let per_job = self.job_stats.entry(job).or_default();
                 per_job.misses += 1;
                 per_job.bytes_from_storage += size;
-                self.coordinator.record_fetch(job, done.saturating_since(now));
-                return Fetch { ready_at: done, served_id: id, outcome: FetchOutcome::Miss };
+                self.coordinator
+                    .record_fetch(job, done.saturating_since(now));
+                return Fetch {
+                    ready_at: done,
+                    served_id: id,
+                    outcome: FetchOutcome::Miss,
+                };
             }
         }
 
@@ -511,8 +628,10 @@ impl CacheSystem for IcacheManager {
         let fetch = if is_h {
             self.fetch_h(job, id, size, now, storage)
         } else {
-            self.fetch_l(id, size, now, storage, have_hlist)
+            self.fetch_l(job, id, size, now, storage, have_hlist)
         };
+        self.obs
+            .observe("cache.fetch", fetch.ready_at.saturating_since(now));
         // Attribute this fetch's counter movement to the requesting job.
         let delta = self.stats.delta_since(&before);
         let per_job = self.job_stats.entry(job).or_default();
@@ -528,7 +647,8 @@ impl CacheSystem for IcacheManager {
         per_job.bytes_from_storage += delta.bytes_from_storage;
 
         if self.config.multi_job {
-            self.coordinator.record_fetch(job, fetch.ready_at.saturating_since(now));
+            self.coordinator
+                .record_fetch(job, fetch.ready_at.saturating_since(now));
         }
         self.maybe_trigger_load(now, storage);
         fetch
@@ -545,10 +665,14 @@ impl CacheSystem for IcacheManager {
             hlist.entries().iter().map(|e| (e.id, e.iv)).collect()
         };
         self.hcache.begin_refresh(&self.effective_iv);
+        self.obs.emit(TraceEvent::ShadowHeapRefill {
+            epoch: self.current_epoch,
+            entries: self.effective_iv.len() as u64,
+        });
         self.rebuild_l_pool();
     }
 
-    fn on_epoch_start(&mut self, job: JobId, _epoch: Epoch) {
+    fn on_epoch_start(&mut self, job: JobId, epoch: Epoch) {
         if self.config.multi_job {
             self.coordinator.register_job(job);
             self.coordinator.on_epoch_start(job);
@@ -557,12 +681,13 @@ impl CacheSystem for IcacheManager {
             self.primary_job = Some(job);
         }
         if self.primary_job == Some(job) {
+            self.current_epoch = epoch.0 as u64;
             self.lcache.on_epoch_start();
             self.h_sub_used.clear();
         }
     }
 
-    fn on_epoch_end(&mut self, job: JobId, _epoch: Epoch) {
+    fn on_epoch_end(&mut self, job: JobId, epoch: Epoch) {
         if self.primary_job != Some(job) {
             return;
         }
@@ -581,11 +706,23 @@ impl CacheSystem for IcacheManager {
                 .min(self.config.capacity.saturating_sub(min_l));
             let evicted = self.hcache.resize(h_cap);
             self.stats.evictions += evicted.len() as u64;
+            self.note_evictions(&evicted);
             self.spill_to_pm(&evicted);
-            self.lcache.set_capacity(self.config.capacity.saturating_sub(h_cap));
+            let l_cap = self.config.capacity.saturating_sub(h_cap);
+            self.lcache.set_capacity(l_cap);
+            self.obs.emit(TraceEvent::RegionRebalance {
+                epoch: epoch.0 as u64,
+                h_bytes: h_cap.as_u64(),
+                l_bytes: l_cap.as_u64(),
+                evicted: evicted.len() as u64,
+            });
         }
         self.h_accesses = 0;
         self.l_accesses = 0;
+    }
+
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        self.obs = obs;
     }
 
     fn stats(&self) -> CacheStats {
@@ -667,19 +804,34 @@ mod tests {
         m.on_epoch_start(JobId(0), Epoch(0));
 
         // First L request misses (cache cold) and kicks the loader.
-        let f0 = m.fetch(JobId(0), SampleId(999), ds.sample_size(SampleId(999)), SimTime::ZERO, &mut st);
+        let f0 = m.fetch(
+            JobId(0),
+            SampleId(999),
+            ds.sample_size(SampleId(999)),
+            SimTime::ZERO,
+            &mut st,
+        );
         assert_eq!(f0.outcome, FetchOutcome::Miss);
         // Give the loader time to land packages, then request more L samples.
         let mut now = SimTime::from_nanos(50_000_000);
         let mut served_from_cache = 0;
         for i in 900..999u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
             if f.outcome.served_from_cache() {
                 served_from_cache += 1;
             }
         }
-        assert!(served_from_cache > 50, "only {served_from_cache} L requests served from cache");
+        assert!(
+            served_from_cache > 50,
+            "only {served_from_cache} L requests served from cache"
+        );
         assert!(m.l_len() > 0);
     }
 
@@ -692,7 +844,13 @@ mod tests {
         // Fill H-cache with hot samples.
         let mut now = SimTime::ZERO;
         for i in 0..50u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
         }
         assert!(m.h_len() > 0);
@@ -713,12 +871,24 @@ mod tests {
         for rep in 0..9 {
             for i in 0..100u64 {
                 let _ = rep;
-                let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+                let f = m.fetch(
+                    JobId(0),
+                    SampleId(i),
+                    ds.sample_size(SampleId(i)),
+                    now,
+                    &mut st,
+                );
                 now = f.ready_at;
             }
         }
         for i in 900..1000u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
         }
         let h_before = m.h_capacity();
@@ -740,14 +910,26 @@ mod tests {
 
         let mut now = SimTime::ZERO;
         for i in 0..5u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             assert_eq!(f.outcome, FetchOutcome::Miss, "probe phase 1 bypasses");
             now = f.ready_at;
         }
         // Phase 2: H hits now count (samples 0..5 were NOT admitted during
         // bypass, so fetch them again: misses first, then hits).
         for i in 0..5u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
         }
         assert!(m.coordinator().benefit(JobId(0)).is_some());
@@ -762,7 +944,13 @@ mod tests {
         m.on_epoch_start(JobId(0), Epoch(0));
         let mut now = SimTime::ZERO;
         for i in 0..1000u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
         }
         assert!(m.used_bytes() <= m.capacity());
@@ -789,7 +977,11 @@ mod tests {
         assert_eq!(s0.requests() + s1.requests(), total.requests());
         assert_eq!(s0.requests(), 30);
         assert_eq!(s1.requests(), 30);
-        assert_eq!(m.stats_for(JobId(9)).requests(), 0, "unknown jobs are zeroed");
+        assert_eq!(
+            m.stats_for(JobId(9)).requests(),
+            0,
+            "unknown jobs are zeroed"
+        );
     }
 
     #[test]
@@ -807,7 +999,13 @@ mod tests {
         for pass in 0..2 {
             for i in 0..500u64 {
                 let _ = pass;
-                let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+                let f = m.fetch(
+                    JobId(0),
+                    SampleId(i),
+                    ds.sample_size(SampleId(i)),
+                    now,
+                    &mut st,
+                );
                 now = f.ready_at;
             }
         }

@@ -39,7 +39,9 @@ impl BenefitProbe {
     /// A probe measuring `probe_len` samples per phase.
     pub fn new(probe_len: u64) -> Self {
         BenefitProbe {
-            phase: ProbePhase::Uncached { remaining: probe_len },
+            phase: ProbePhase::Uncached {
+                remaining: probe_len,
+            },
             probe_len,
             t_uncached: SimDuration::ZERO,
             t_cached: SimDuration::ZERO,
@@ -62,9 +64,13 @@ impl BenefitProbe {
             ProbePhase::Uncached { remaining } => {
                 self.t_uncached += service;
                 self.phase = if remaining <= 1 {
-                    ProbePhase::Cached { remaining: self.probe_len }
+                    ProbePhase::Cached {
+                        remaining: self.probe_len,
+                    }
                 } else {
-                    ProbePhase::Uncached { remaining: remaining - 1 }
+                    ProbePhase::Uncached {
+                        remaining: remaining - 1,
+                    }
                 };
             }
             ProbePhase::Cached { remaining } => {
@@ -72,7 +78,9 @@ impl BenefitProbe {
                 self.phase = if remaining <= 1 {
                     ProbePhase::Done
                 } else {
-                    ProbePhase::Cached { remaining: remaining - 1 }
+                    ProbePhase::Cached {
+                        remaining: remaining - 1,
+                    }
                 };
             }
             ProbePhase::Done => {}
@@ -160,12 +168,20 @@ impl MultiJobCoordinator {
     /// zero probe length.
     pub fn new(num_samples: u64, threshold: f64, probe_len: u64) -> Result<Self> {
         if !(threshold > 0.0 && threshold.is_finite()) {
-            return Err(Error::invalid_config("threshold", "must be positive and finite"));
+            return Err(Error::invalid_config(
+                "threshold",
+                "must be positive and finite",
+            ));
         }
         if probe_len == 0 {
             return Err(Error::invalid_config("probe_len", "must be at least 1"));
         }
-        Ok(MultiJobCoordinator { num_samples, threshold, probe_len, jobs: HashMap::new() })
+        Ok(MultiJobCoordinator {
+            num_samples,
+            threshold,
+            probe_len,
+            jobs: HashMap::new(),
+        })
     }
 
     /// Number of registered jobs.
@@ -201,7 +217,10 @@ impl MultiJobCoordinator {
         if let Some(s) = self.jobs.get_mut(&job) {
             s.probe.record(service);
             if let Some(ratio) = s.probe.ratio() {
-                s.last_benefit = Some(JobBenefit { ratio, eligible: ratio > threshold });
+                s.last_benefit = Some(JobBenefit {
+                    ratio,
+                    eligible: ratio > threshold,
+                });
             }
         }
     }
@@ -247,13 +266,17 @@ impl MultiJobCoordinator {
                 *aiv.entry(entry.id).or_insert(0.0) += ratio * riv;
             }
         }
-        aiv.into_iter().map(|(id, v)| (id, ImportanceValue::saturating(v))).collect()
+        aiv.into_iter()
+            .map(|(id, v)| (id, ImportanceValue::saturating(v)))
+            .collect()
     }
 
     /// Whether `id` is an H-sample for *any* registered job (used to build
     /// the L-sample pool).
     pub fn is_h_for_any(&self, id: SampleId) -> bool {
-        self.jobs.values().any(|s| s.hlist.as_ref().is_some_and(|h| h.contains(id)))
+        self.jobs
+            .values()
+            .any(|s| s.hlist.as_ref().is_some_and(|h| h.contains(id)))
     }
 
     /// Whether any job has pulled an H-list yet (false during warm-up).
@@ -322,7 +345,13 @@ mod tests {
         // Ratio 3.0 -> eligible.
         c.record_fetch(JobId(0), dur(30));
         c.record_fetch(JobId(0), dur(10));
-        assert_eq!(c.benefit(JobId(0)), Some(JobBenefit { ratio: 3.0, eligible: true }));
+        assert_eq!(
+            c.benefit(JobId(0)),
+            Some(JobBenefit {
+                ratio: 3.0,
+                eligible: true
+            })
+        );
 
         c.register_job(JobId(1));
         // Ratio 1.2 -> not eligible.

@@ -96,7 +96,11 @@ pub struct IcacheServer<C> {
 impl<C: CacheSystem> IcacheServer<C> {
     /// Wrap `cache` (serving `dataset`) behind the request interface.
     pub fn new(cache: C, dataset: Dataset) -> Self {
-        IcacheServer { cache, dataset, requests_served: 0 }
+        IcacheServer {
+            cache,
+            dataset,
+            requests_served: 0,
+        }
     }
 
     /// The wrapped cache (read access).
@@ -125,7 +129,9 @@ impl<C: CacheSystem> IcacheServer<C> {
                     if !self.dataset.contains(id) {
                         return Response::UnknownSample(id);
                     }
-                    let f = self.cache.fetch(job, id, self.dataset.sample_size(id), t, storage);
+                    let f = self
+                        .cache
+                        .fetch(job, id, self.dataset.sample_size(id), t, storage);
                     t = f.ready_at;
                     out.push(f);
                 }
@@ -174,10 +180,16 @@ mod tests {
     fn load_then_stats_roundtrip() {
         let (mut srv, mut st, _ds) = server();
         let r = srv.handle(
-            Request::Load { job: JobId(0), ids: (0..8).map(SampleId).collect(), now: SimTime::ZERO },
+            Request::Load {
+                job: JobId(0),
+                ids: (0..8).map(SampleId).collect(),
+                now: SimTime::ZERO,
+            },
             &mut st,
         );
-        let Response::Batch(fetches) = r else { panic!("expected batch") };
+        let Response::Batch(fetches) = r else {
+            panic!("expected batch")
+        };
         assert_eq!(fetches.len(), 8);
         let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else {
             panic!("expected stats")
@@ -204,11 +216,17 @@ mod tests {
         // An H-sample loads, then hits the H-region.
         for _ in 0..2 {
             srv.handle(
-                Request::Load { job: JobId(0), ids: vec![SampleId(5)], now: SimTime::ZERO },
+                Request::Load {
+                    job: JobId(0),
+                    ids: vec![SampleId(5)],
+                    now: SimTime::ZERO,
+                },
                 &mut st,
             );
         }
-        let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else { panic!() };
+        let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else {
+            panic!()
+        };
         assert_eq!(stats.h_hits, 1);
     }
 
@@ -216,11 +234,17 @@ mod tests {
     fn unknown_samples_are_rejected_without_side_effects() {
         let (mut srv, mut st, _ds) = server();
         let r = srv.handle(
-            Request::Load { job: JobId(0), ids: vec![SampleId(9_999)], now: SimTime::ZERO },
+            Request::Load {
+                job: JobId(0),
+                ids: vec![SampleId(9_999)],
+                now: SimTime::ZERO,
+            },
             &mut st,
         );
         assert_eq!(r, Response::UnknownSample(SampleId(9_999)));
-        let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else { panic!() };
+        let Response::Stats(stats) = srv.handle(Request::Stats, &mut st) else {
+            panic!()
+        };
         assert_eq!(stats.requests(), 0);
     }
 
@@ -228,11 +252,23 @@ mod tests {
     fn epoch_notifications_ack() {
         let (mut srv, mut st, _ds) = server();
         assert_eq!(
-            srv.handle(Request::EpochStart { job: JobId(0), epoch: Epoch(0) }, &mut st),
+            srv.handle(
+                Request::EpochStart {
+                    job: JobId(0),
+                    epoch: Epoch(0)
+                },
+                &mut st
+            ),
             Response::Ack
         );
         assert_eq!(
-            srv.handle(Request::EpochEnd { job: JobId(0), epoch: Epoch(0) }, &mut st),
+            srv.handle(
+                Request::EpochEnd {
+                    job: JobId(0),
+                    epoch: Epoch(0)
+                },
+                &mut st
+            ),
             Response::Ack
         );
         let cache = srv.into_cache();

@@ -101,7 +101,12 @@ impl ShadowedHeap {
             Some(r) => r
                 .shadow
                 .key_of(id)
-                .or_else(|| r.pending.get(&id).copied().filter(|_| r.frozen.contains(id)))
+                .or_else(|| {
+                    r.pending
+                        .get(&id)
+                        .copied()
+                        .filter(|_| r.frozen.contains(id))
+                })
                 .or_else(|| r.frozen.key_of(id)),
             None => self.active.key_of(id),
         }
@@ -115,7 +120,11 @@ impl ShadowedHeap {
             self.finish_refresh();
         }
         let frozen = std::mem::take(&mut self.active);
-        self.refresh = Some(RefreshState { frozen, shadow: HHeap::new(), pending: fresh });
+        self.refresh = Some(RefreshState {
+            frozen,
+            shadow: HHeap::new(),
+            pending: fresh,
+        });
     }
 
     /// Close the refresh window: migrate every remaining frozen node into
@@ -266,11 +275,19 @@ mod tests {
     fn eviction_during_refresh_uses_frozen_order() {
         let mut h = heap_with(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
         // New values invert the order, but evictions still follow the old.
-        let fresh: HashMap<_, _> =
-            [(SampleId(1), iv(30.0)), (SampleId(2), iv(20.0)), (SampleId(3), iv(10.0))].into();
+        let fresh: HashMap<_, _> = [
+            (SampleId(1), iv(30.0)),
+            (SampleId(2), iv(20.0)),
+            (SampleId(3), iv(10.0)),
+        ]
+        .into();
         h.begin_refresh(fresh);
         assert!(h.is_refreshing());
-        assert_eq!(h.pop_evict().unwrap().0, SampleId(1), "frozen min, stale key");
+        assert_eq!(
+            h.pop_evict().unwrap().0,
+            SampleId(1),
+            "frozen min, stale key"
+        );
     }
 
     #[test]
@@ -280,7 +297,11 @@ mod tests {
         h.finish_refresh();
         assert!(!h.is_refreshing());
         assert_eq!(h.key_of(SampleId(1)), Some(iv(9.0)));
-        assert_eq!(h.key_of(SampleId(2)), Some(iv(2.0)), "no pending key keeps old");
+        assert_eq!(
+            h.key_of(SampleId(2)),
+            Some(iv(2.0)),
+            "no pending key keeps old"
+        );
         assert_eq!(h.peek_evict_candidate().unwrap().0, SampleId(2));
     }
 
@@ -339,8 +360,9 @@ mod tests {
     #[test]
     fn rebuild_naive_matches_finish_refresh_result() {
         let vals: Vec<(u64, f64)> = (0..30).map(|i| (i, (i * 7 % 30) as f64)).collect();
-        let fresh: HashMap<SampleId, ImportanceValue> =
-            (0..30).map(|i| (SampleId(i), iv(((i * 13) % 30) as f64))).collect();
+        let fresh: HashMap<SampleId, ImportanceValue> = (0..30)
+            .map(|i| (SampleId(i), iv(((i * 13) % 30) as f64)))
+            .collect();
 
         let mut a = heap_with(&vals);
         a.begin_refresh(fresh.clone());
@@ -374,12 +396,16 @@ mod proptests {
     use proptest::prelude::*;
     use std::collections::BTreeMap;
 
+    /// Frozen heap, shadow heap, and pending insertions of an in-flight
+    /// refresh in the reference model.
+    type RefreshState = (BTreeMap<u64, u32>, BTreeMap<u64, u32>, HashMap<u64, u32>);
+
     /// A naive map-based re-implementation of the shadow protocol used as
     /// the reference model.
     #[derive(Default)]
     struct Model {
         active: BTreeMap<u64, u32>,
-        refresh: Option<(BTreeMap<u64, u32>, BTreeMap<u64, u32>, HashMap<u64, u32>)>,
+        refresh: Option<RefreshState>,
     }
 
     impl Model {
@@ -391,7 +417,10 @@ mod proptests {
         }
 
         fn min_of(map: &BTreeMap<u64, u32>) -> Option<(u64, u32)> {
-            map.iter().map(|(&id, &k)| (k, id)).min().map(|(k, id)| (id, k))
+            map.iter()
+                .map(|(&id, &k)| (k, id))
+                .min()
+                .map(|(k, id)| (id, k))
         }
 
         fn auto_finish(&mut self) {

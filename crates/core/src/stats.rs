@@ -1,7 +1,6 @@
 //! Cache statistics.
 
 use icache_types::ByteSize;
-use serde::{Deserialize, Serialize};
 
 /// Counters describing how a cache system served requests.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// as a hit — the request was served from memory — which
 /// [`CacheStats::hit_ratio`] reproduces; [`CacheStats::strict_hit_ratio`]
 /// excludes substitutions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CacheStats {
     /// Requests served from the H-region (or the single region of a
     /// baseline cache) with the requested sample.
@@ -79,6 +78,24 @@ impl CacheStats {
     }
 }
 
+impl icache_obs::ToJson for CacheStats {
+    fn to_json(&self) -> icache_obs::Json {
+        icache_obs::json!({
+            "h_hits": self.h_hits,
+            "l_hits": self.l_hits,
+            "pm_hits": self.pm_hits,
+            "substitutions": self.substitutions,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejections": self.rejections,
+            "bytes_from_cache": self.bytes_from_cache.as_u64(),
+            "bytes_from_storage": self.bytes_from_storage.as_u64(),
+            "hit_ratio": self.hit_ratio(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,7 +109,13 @@ mod tests {
 
     #[test]
     fn substitutions_count_as_paper_hits_only() {
-        let s = CacheStats { h_hits: 2, l_hits: 1, substitutions: 3, misses: 4, ..Default::default() };
+        let s = CacheStats {
+            h_hits: 2,
+            l_hits: 1,
+            substitutions: 3,
+            misses: 4,
+            ..Default::default()
+        };
         assert_eq!(s.requests(), 10);
         assert!((s.hit_ratio() - 0.6).abs() < 1e-12);
         assert!((s.strict_hit_ratio() - 0.3).abs() < 1e-12);
@@ -100,8 +123,17 @@ mod tests {
 
     #[test]
     fn delta_is_counterwise() {
-        let early = CacheStats { h_hits: 1, misses: 2, ..Default::default() };
-        let late = CacheStats { h_hits: 5, misses: 7, evictions: 1, ..Default::default() };
+        let early = CacheStats {
+            h_hits: 1,
+            misses: 2,
+            ..Default::default()
+        };
+        let late = CacheStats {
+            h_hits: 5,
+            misses: 7,
+            evictions: 1,
+            ..Default::default()
+        };
         let d = late.delta_since(&early);
         assert_eq!(d.h_hits, 4);
         assert_eq!(d.misses, 5);

@@ -81,6 +81,13 @@ pub trait CacheSystem {
         let _ = (job, epoch);
     }
 
+    /// Attach an observability handle (metrics registry + trace buffer).
+    /// Systems that emit structured events store a clone; the default
+    /// implementation ignores it, so baselines stay untouched.
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        let _ = obs;
+    }
+
     /// Accumulated statistics.
     fn stats(&self) -> CacheStats;
 
@@ -102,7 +109,11 @@ mod tests {
     fn outcome_classification() {
         assert!(FetchOutcome::HitH.served_from_cache());
         assert!(FetchOutcome::HitL.served_from_cache());
-        assert!(FetchOutcome::Substituted { by: SampleId(1), from_h: false }.served_from_cache());
+        assert!(FetchOutcome::Substituted {
+            by: SampleId(1),
+            from_h: false
+        }
+        .served_from_cache());
         assert!(!FetchOutcome::Miss.served_from_cache());
     }
 }

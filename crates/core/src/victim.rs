@@ -9,11 +9,10 @@
 //! sample into DRAM.
 
 use icache_types::{ByteSize, Error, Result, SampleId, SimDuration};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Configuration of the PM victim tier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PmTierConfig {
     /// PM capacity (typically several times DRAM).
     pub capacity: ByteSize,
@@ -38,7 +37,10 @@ impl PmTierConfig {
             return Err(Error::invalid_config("pm capacity", "must be non-zero"));
         }
         if !(self.bandwidth > 0.0 && self.bandwidth.is_finite()) {
-            return Err(Error::invalid_config("pm bandwidth", "must be positive and finite"));
+            return Err(Error::invalid_config(
+                "pm bandwidth",
+                "must be positive and finite",
+            ));
         }
         Ok(())
     }
@@ -129,8 +131,7 @@ impl VictimCache {
 
     /// Service time of reading `size` bytes out of PM.
     pub fn read_cost(&self, size: ByteSize) -> SimDuration {
-        self.config.read_latency
-            + SimDuration::from_secs_f64(size.as_f64() / self.config.bandwidth)
+        self.config.read_latency + SimDuration::from_secs_f64(size.as_f64() / self.config.bandwidth)
     }
 
     /// Accept a DRAM eviction. Items larger than the tier are dropped;

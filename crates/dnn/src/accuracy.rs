@@ -2,14 +2,13 @@
 
 use crate::ModelProfile;
 use icache_types::{splitmix64, Epoch};
-use serde::{Deserialize, Serialize};
 
 /// A summary of how *good* one epoch's effective training set was.
 ///
 /// The training simulator fills this in at the end of each epoch; the
 /// accuracy model converts it into accuracy movement. All fields are in
 /// `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochQuality {
     /// Fraction of the dataset's current *loss mass* covered by the
     /// samples actually trained. Skipping low-loss samples (IIS) barely
@@ -55,7 +54,7 @@ impl EpochQuality {
 }
 
 /// Accuracy at the end of an epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracySnapshot {
     /// The epoch this snapshot closes.
     pub epoch: Epoch,
@@ -210,7 +209,11 @@ mod tests {
         let am = run(&ModelProfile::shufflenet(), EpochQuality::ideal(), 60);
         let hist = am.history();
         for w in hist.windows(2) {
-            assert!(w[1].top1 > w[0].top1 - 0.3, "non-noise regression at {:?}", w[1].epoch);
+            assert!(
+                w[1].top1 > w[0].top1 - 0.3,
+                "non-noise regression at {:?}",
+                w[1].epoch
+            );
         }
     }
 
@@ -238,9 +241,15 @@ mod tests {
             h_substitution_fraction: 0.0,
             l_substitution_fraction: 0.0,
         };
-        let st_lc = EpochQuality { l_substitution_fraction: 0.06, ..base };
-        let st_hc =
-            EpochQuality { h_substitution_fraction: 0.06, distinct_fraction: 0.93, ..base };
+        let st_lc = EpochQuality {
+            l_substitution_fraction: 0.06,
+            ..base
+        };
+        let st_hc = EpochQuality {
+            h_substitution_fraction: 0.06,
+            distinct_fraction: 0.93,
+            ..base
+        };
         let m = ModelProfile::resnet18();
         let a_def = run(&m, base, 90).top1();
         let a_lc = run(&m, st_lc, 90).top1();
@@ -253,10 +262,19 @@ mod tests {
     fn quality_factor_penalises_each_component() {
         let ideal = EpochQuality::ideal().q();
         assert!((ideal - 1.0).abs() < 1e-12);
-        let low_cov = EpochQuality { loss_mass_coverage: 0.5, ..EpochQuality::ideal() };
+        let low_cov = EpochQuality {
+            loss_mass_coverage: 0.5,
+            ..EpochQuality::ideal()
+        };
         assert!(low_cov.q() < 0.9);
-        let h_sub = EpochQuality { h_substitution_fraction: 0.5, ..EpochQuality::ideal() };
-        let l_sub = EpochQuality { l_substitution_fraction: 0.5, ..EpochQuality::ideal() };
+        let h_sub = EpochQuality {
+            h_substitution_fraction: 0.5,
+            ..EpochQuality::ideal()
+        };
+        let l_sub = EpochQuality {
+            l_substitution_fraction: 0.5,
+            ..EpochQuality::ideal()
+        };
         assert!(h_sub.q() < l_sub.q());
     }
 

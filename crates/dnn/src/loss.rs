@@ -1,7 +1,6 @@
 //! Per-sample loss dynamics.
 
 use icache_types::{splitmix64, SampleId};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the loss-dynamics model.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///   sample is trained repeatedly;
 /// * individual observations carry multiplicative noise, so a sample's
 ///   importance value drifts between selections.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossModelConfig {
     /// Initial mean loss (≈ ln(num_classes) for cross-entropy).
     pub base_loss: f64,
@@ -124,7 +123,9 @@ impl LossModel {
     /// Sum of the *expected* current losses of every sample (no noise,
     /// no state change). Used for loss-mass coverage accounting.
     pub fn expected_loss_mass(&self) -> f64 {
-        (0..self.num_samples).map(|i| self.expected_loss(SampleId(i))).sum()
+        (0..self.num_samples)
+            .map(|i| self.expected_loss(SampleId(i)))
+            .sum()
     }
 
     /// Expected current loss of `id` (no noise, no state change).
@@ -147,7 +148,9 @@ impl LossModel {
         let expected = self.expected_loss(id);
         let i = id.index();
         let obs_hash = splitmix64(
-            self.seed ^ splitmix64(id.0).rotate_left(17) ^ splitmix64(self.train_counts[i] as u64 + 1),
+            self.seed
+                ^ splitmix64(id.0).rotate_left(17)
+                ^ splitmix64(self.train_counts[i] as u64 + 1),
         );
         let noise = (self.config.noise_sigma * hash_normal(obs_hash)).exp();
         self.train_counts[i] += 1;
@@ -175,7 +178,9 @@ mod tests {
         let mean: f64 = (0..10_000).map(|i| m.difficulty(SampleId(i))).sum::<f64>() / 10_000.0;
         // E[lognormal(0, 0.6)] = exp(0.18) ~= 1.2
         assert!((1.0..1.4).contains(&mean), "mean difficulty {mean}");
-        let min = (0..10_000).map(|i| m.difficulty(SampleId(i))).fold(f64::MAX, f64::min);
+        let min = (0..10_000)
+            .map(|i| m.difficulty(SampleId(i)))
+            .fold(f64::MAX, f64::min);
         assert!(min > 0.0);
     }
 

@@ -1,10 +1,9 @@
 //! Compute-time profiles of the paper's eight evaluated models.
 
 use icache_types::{Dataset, Error, Result, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Which dataset family a model is trained on in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetFamily {
     /// CIFAR-10 (ShuffleNet, ResNet18, MobileNet, ResNet50).
     Cifar10,
@@ -43,7 +42,7 @@ impl DatasetFamily {
 /// assert!(shuffle.batch_compute_time(256, 1)? < r50.batch_compute_time(256, 1)?);
 /// # Ok::<(), icache_types::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     name: String,
     family: DatasetFamily,
@@ -84,31 +83,113 @@ macro_rules! preset {
 }
 
 impl ModelProfile {
-    preset!(shufflenet, "shufflenet", DatasetFamily::Cifar10, 10.0, 0.15, 92.6, 99.66, 0.055,
-        "ShuffleNet on CIFAR-10: the lightest model, hence the most I/O-bound.");
-    preset!(resnet18, "resnet18", DatasetFamily::Cifar10, 22.0, 0.15, 95.3, 99.78, 0.060,
-        "ResNet18 on CIFAR-10.");
-    preset!(mobilenet, "mobilenet", DatasetFamily::Cifar10, 16.0, 0.15, 93.4, 99.70, 0.055,
-        "MobileNet on CIFAR-10.");
-    preset!(resnet50, "resnet50", DatasetFamily::Cifar10, 55.0, 0.15, 95.7, 99.80, 0.050,
-        "ResNet50 on CIFAR-10: the heaviest CIFAR model.");
-    preset!(vgg11, "vgg11", DatasetFamily::ImageNet, 260.0, 2.2, 70.4, 89.8, 0.050,
-        "VGG11 on ImageNet-1K: compute-heavy; the paper observes iCache ~= Oracle here.");
-    preset!(mnasnet, "mnasnet", DatasetFamily::ImageNet, 105.0, 2.2, 73.5, 91.5, 0.050,
-        "MnasNet on ImageNet-1K.");
-    preset!(squeezenet, "squeezenet", DatasetFamily::ImageNet, 85.0, 2.2, 58.1, 80.6, 0.055,
-        "SqueezeNet on ImageNet-1K: the lightest ImageNet model.");
-    preset!(densenet121, "densenet121", DatasetFamily::ImageNet, 240.0, 2.2, 76.5, 93.2, 0.045,
-        "DenseNet121 on ImageNet-1K: compute-heavy; the paper observes iCache ~= Oracle here.");
+    preset!(
+        shufflenet,
+        "shufflenet",
+        DatasetFamily::Cifar10,
+        10.0,
+        0.15,
+        92.6,
+        99.66,
+        0.055,
+        "ShuffleNet on CIFAR-10: the lightest model, hence the most I/O-bound."
+    );
+    preset!(
+        resnet18,
+        "resnet18",
+        DatasetFamily::Cifar10,
+        22.0,
+        0.15,
+        95.3,
+        99.78,
+        0.060,
+        "ResNet18 on CIFAR-10."
+    );
+    preset!(
+        mobilenet,
+        "mobilenet",
+        DatasetFamily::Cifar10,
+        16.0,
+        0.15,
+        93.4,
+        99.70,
+        0.055,
+        "MobileNet on CIFAR-10."
+    );
+    preset!(
+        resnet50,
+        "resnet50",
+        DatasetFamily::Cifar10,
+        55.0,
+        0.15,
+        95.7,
+        99.80,
+        0.050,
+        "ResNet50 on CIFAR-10: the heaviest CIFAR model."
+    );
+    preset!(
+        vgg11,
+        "vgg11",
+        DatasetFamily::ImageNet,
+        260.0,
+        2.2,
+        70.4,
+        89.8,
+        0.050,
+        "VGG11 on ImageNet-1K: compute-heavy; the paper observes iCache ~= Oracle here."
+    );
+    preset!(
+        mnasnet,
+        "mnasnet",
+        DatasetFamily::ImageNet,
+        105.0,
+        2.2,
+        73.5,
+        91.5,
+        0.050,
+        "MnasNet on ImageNet-1K."
+    );
+    preset!(
+        squeezenet,
+        "squeezenet",
+        DatasetFamily::ImageNet,
+        85.0,
+        2.2,
+        58.1,
+        80.6,
+        0.055,
+        "SqueezeNet on ImageNet-1K: the lightest ImageNet model."
+    );
+    preset!(
+        densenet121,
+        "densenet121",
+        DatasetFamily::ImageNet,
+        240.0,
+        2.2,
+        76.5,
+        93.2,
+        0.045,
+        "DenseNet121 on ImageNet-1K: compute-heavy; the paper observes iCache ~= Oracle here."
+    );
 
     /// The four CIFAR-10 models in the paper's order.
     pub fn cifar_models() -> Vec<ModelProfile> {
-        vec![Self::shufflenet(), Self::resnet18(), Self::mobilenet(), Self::resnet50()]
+        vec![
+            Self::shufflenet(),
+            Self::resnet18(),
+            Self::mobilenet(),
+            Self::resnet50(),
+        ]
     }
 
     /// The four ImageNet models in the paper's order.
     pub fn imagenet_models() -> Vec<ModelProfile> {
-        vec![Self::vgg11(), Self::mnasnet(), Self::squeezenet(), Self::densenet121()]
+        vec![
+            Self::vgg11(),
+            Self::mnasnet(),
+            Self::squeezenet(),
+            Self::densenet121(),
+        ]
     }
 
     /// All eight evaluated models.
@@ -197,7 +278,10 @@ mod tests {
 
     #[test]
     fn by_name_finds_presets_and_rejects_unknown() {
-        assert_eq!(ModelProfile::by_name("resnet18").unwrap().name(), "resnet18");
+        assert_eq!(
+            ModelProfile::by_name("resnet18").unwrap().name(),
+            "resnet18"
+        );
         assert!(ModelProfile::by_name("bert").is_err());
     }
 
@@ -236,9 +320,15 @@ mod tests {
 
     #[test]
     fn shufflenet_is_lightest_cifar_model() {
-        let light = ModelProfile::shufflenet().batch_compute_time(256, 1).unwrap();
+        let light = ModelProfile::shufflenet()
+            .batch_compute_time(256, 1)
+            .unwrap();
         for m in ModelProfile::cifar_models() {
-            assert!(m.batch_compute_time(256, 1).unwrap() >= light, "{}", m.name());
+            assert!(
+                m.batch_compute_time(256, 1).unwrap() >= light,
+                "{}",
+                m.name()
+            );
         }
     }
 
@@ -294,7 +384,10 @@ mod preset_tests {
     fn compute_heavy_imagenet_models_are_vgg_and_densenet() {
         // The paper observes iCache ~= Oracle exactly for these two.
         let heavy = |name: &str| {
-            ModelProfile::by_name(name).unwrap().batch_compute_time(256, 1).unwrap()
+            ModelProfile::by_name(name)
+                .unwrap()
+                .batch_compute_time(256, 1)
+                .unwrap()
         };
         assert!(heavy("vgg11") > heavy("mnasnet"));
         assert!(heavy("densenet121") > heavy("mnasnet"));

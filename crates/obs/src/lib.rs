@@ -1,0 +1,25 @@
+//! Observability for the iCache reproduction.
+//!
+//! Three pieces, layered bottom-up so every other crate can depend on
+//! this one:
+//!
+//! - [`mod@json`]: a dependency-free JSON value with a canonical writer, a
+//!   parser, and the [`json!`] literal macro. Canonical means identical
+//!   values always serialize to identical bytes — the foundation for
+//!   reproducible traces.
+//! - [`metrics`]: a [`MetricsRegistry`] of named counters, gauges, and
+//!   latency histograms (p50/p99 via `icache_types::LatencyHistogram`).
+//! - [`trace`]: typed [`TraceEvent`]s in a bounded ring buffer, shared
+//!   across layers through the clonable [`Obs`] handle, exported as
+//!   JSON Lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{Json, JsonError, ToJson};
+pub use metrics::MetricsRegistry;
+pub use trace::{Obs, TraceBuffer, TraceEvent, DEFAULT_TRACE_CAPACITY};

@@ -1,0 +1,235 @@
+//! A lightweight metrics registry: named counters, gauges, and latency
+//! histograms with deterministic (sorted) snapshots.
+//!
+//! The registry replaces the ad-hoc pattern of hand-computing deltas
+//! between `CacheStats` / `StorageStats` snapshots at every layer: each
+//! layer increments named metrics as events happen, and a single
+//! [`MetricsRegistry::snapshot`] at the end of a run yields one
+//! machine-readable summary.
+
+use crate::json::Json;
+use icache_types::{LatencyHistogram, SimDuration};
+use std::collections::BTreeMap;
+
+/// Named counters, gauges, and latency histograms.
+///
+/// Keys are free-form dotted names (`"hcache.hits"`, `"storage.degraded_requests"`).
+/// Snapshots iterate in sorted key order, so a snapshot of a given state
+/// is always byte-identical.
+///
+/// # Examples
+///
+/// ```
+/// use icache_obs::MetricsRegistry;
+/// use icache_types::SimDuration;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.inc("cache.h_hits");
+/// m.add("cache.h_hits", 2);
+/// m.set_gauge("cache.hit_ratio", 0.75);
+/// m.observe("fetch", SimDuration::from_micros(120));
+/// assert_eq!(m.counter("cache.h_hits"), 3);
+/// assert_eq!(m.gauge("cache.hit_ratio"), Some(0.75));
+/// assert_eq!(m.histogram("fetch").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Current value of a counter (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record a duration into a named histogram.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(d);
+        } else {
+            let mut h = LatencyHistogram::new();
+            h.record(d);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// A named histogram, if anything was observed under that name.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merge every metric from `other` into this registry: counters add,
+    /// gauges take `other`'s value, histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            self.add(name, *delta);
+        }
+        for (name, value) in &other.gauges {
+            self.set_gauge(name, *value);
+        }
+        for (name, hist) in &other.histograms {
+            if let Some(h) = self.histograms.get_mut(name) {
+                h.merge(hist);
+            } else {
+                self.histograms.insert(name.clone(), hist.clone());
+            }
+        }
+    }
+
+    /// Forget all metrics.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Deterministic JSON snapshot:
+    /// `{"counters": {...}, "gauges": {...}, "latency": {name: {count, mean_us, p50_us, p99_us, max_us}}}`.
+    pub fn snapshot(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Float(*v)))
+            .collect();
+        let latency = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("count".to_string(), Json::UInt(h.count())),
+                        ("mean_us".to_string(), Json::Float(h.mean().as_micros_f64())),
+                        (
+                            "p50_us".to_string(),
+                            Json::Float(h.quantile(0.5).as_micros_f64()),
+                        ),
+                        (
+                            "p99_us".to_string(),
+                            Json::Float(h.quantile(0.99).as_micros_f64()),
+                        ),
+                        ("max_us".to_string(), Json::Float(h.max().as_micros_f64())),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("latency".to_string(), Json::Obj(latency)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histograms_record_quantiles() {
+        let mut m = MetricsRegistry::new();
+        for us in [10u64, 20, 30, 40, 5_000] {
+            m.observe("fetch", SimDuration::from_micros(us));
+        }
+        let h = m.histogram("fetch").unwrap();
+        assert_eq!(h.count(), 5);
+        assert!(h.quantile(0.99) >= SimDuration::from_micros(4_000));
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.add("c", 1);
+        b.add("c", 2);
+        b.add("only_b", 7);
+        b.set_gauge("g", 0.5);
+        a.observe("h", SimDuration::from_micros(1));
+        b.observe("h", SimDuration::from_micros(3));
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.gauge("g"), Some(0.5));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.inc("z.last");
+        m.inc("a.first");
+        m.set_gauge("mid", 1.0);
+        m.observe("lat", SimDuration::from_micros(50));
+        let one = m.snapshot().to_string();
+        let two = m.snapshot().to_string();
+        assert_eq!(one, two);
+        // Sorted: "a.first" serialized before "z.last".
+        assert!(one.find("a.first").unwrap() < one.find("z.last").unwrap());
+        assert!(one.contains("\"p99_us\""));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = MetricsRegistry::new();
+        m.inc("c");
+        m.set_gauge("g", 1.0);
+        m.observe("h", SimDuration::from_micros(1));
+        m.clear();
+        assert_eq!(m, MetricsRegistry::new());
+    }
+}

@@ -19,10 +19,9 @@
 
 use crate::ImportanceTable;
 use icache_types::{Epoch, ImportanceValue, SampleId};
-use serde::{Deserialize, Serialize};
 
 /// A pluggable mapping from observed training signals to importance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ImportanceCriterion {
     /// Importance = smoothed loss (the paper's choice, \[18\]).
     #[default]
@@ -74,7 +73,7 @@ impl ImportanceCriterion {
 /// // GradNorm sharpens: 3.0 vs 1.0 becomes 9.0 vs 1.0.
 /// assert!(t.value(SampleId(0)).get() / t.value(SampleId(1)).get() > 8.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CriterionTable {
     table: ImportanceTable,
     criterion: ImportanceCriterion,
@@ -131,7 +130,9 @@ impl CriterionTable {
             ImportanceCriterion::Loss => raw,
             ImportanceCriterion::GradNorm => raw * raw,
             ImportanceCriterion::Staleness => {
-                let age = self.current_epoch.saturating_sub(self.last_seen[id.index()]);
+                let age = self
+                    .current_epoch
+                    .saturating_sub(self.last_seen[id.index()]);
                 raw * (1.0 + self.staleness_rate * age as f64)
             }
         };

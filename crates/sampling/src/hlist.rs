@@ -2,10 +2,9 @@
 
 use crate::ImportanceTable;
 use icache_types::{IdSet, ImportanceValue, SampleId};
-use serde::{Deserialize, Serialize};
 
 /// One `<ID, IV>` vector entry of the H-list (both 64-bit, as in §III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HListEntry {
     /// Sample identity.
     pub id: SampleId,
@@ -35,7 +34,7 @@ pub struct HListEntry {
 /// assert!(hl.contains(SampleId(99)), "highest-loss sample is an H-sample");
 /// assert!(!hl.contains(SampleId(0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HList {
     entries: Vec<HListEntry>,
     members: IdSet,
@@ -44,7 +43,10 @@ pub struct HList {
 impl HList {
     /// An empty H-list over a universe of `num_samples` ids.
     pub fn empty(num_samples: u64) -> Self {
-        HList { entries: Vec::new(), members: IdSet::new(num_samples) }
+        HList {
+            entries: Vec::new(),
+            members: IdSet::new(num_samples),
+        }
     }
 
     /// Build the H-list as the top `fraction` of samples by importance.
@@ -66,7 +68,10 @@ impl HList {
             .iter()
             .map(|&id| {
                 members.insert(id);
-                HListEntry { id, iv: table.value(id) }
+                HListEntry {
+                    id,
+                    iv: table.value(id),
+                }
             })
             .collect();
         HList { entries, members }

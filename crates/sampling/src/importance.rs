@@ -1,7 +1,6 @@
 //! Loss-based importance tracking.
 
 use icache_types::{ImportanceValue, SampleId};
-use serde::{Deserialize, Serialize};
 
 /// Per-sample importance values maintained as an exponential moving average
 /// of observed training losses (the loss-based algorithm of Jiang et al.
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(t.value(SampleId(0)).get() < t.value(SampleId(1)).get(),
 ///         "an observed low loss ranks below the optimistic prior");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImportanceTable {
     values: Vec<f64>,
     observed: Vec<bool>,
@@ -53,7 +52,10 @@ impl ImportanceTable {
             ema_alpha > 0.0 && ema_alpha <= 1.0,
             "ema_alpha must be in (0, 1]"
         );
-        assert!(prior.is_finite() && prior >= 0.0, "prior must be finite and non-negative");
+        assert!(
+            prior.is_finite() && prior >= 0.0,
+            "prior must be finite and non-negative"
+        );
         ImportanceTable {
             values: vec![prior; num_samples as usize],
             observed: vec![false; num_samples as usize],

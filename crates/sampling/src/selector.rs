@@ -5,7 +5,6 @@ use icache_types::{Epoch, Error, Result, SampleId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The plan for one training epoch: the ordered list of samples the data
 /// loader will *fetch*, and for each whether the GPU will *compute* it.
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// * Plain training / IIS: every fetched sample is computed.
 /// * CIS: everything is fetched, only a subset is computed — exactly the
 ///   asymmetry that makes CIS ineffective for I/O-bound jobs (§II-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochPlan {
     fetch_order: Vec<SampleId>,
     computed: Vec<bool>,
@@ -27,15 +26,27 @@ impl EpochPlan {
     ///
     /// Panics if the two vectors differ in length.
     pub fn new(fetch_order: Vec<SampleId>, computed: Vec<bool>) -> Self {
-        assert_eq!(fetch_order.len(), computed.len(), "plan vectors must parallel");
+        assert_eq!(
+            fetch_order.len(),
+            computed.len(),
+            "plan vectors must parallel"
+        );
         let num_computed = computed.iter().filter(|&&c| c).count();
-        EpochPlan { fetch_order, computed, num_computed }
+        EpochPlan {
+            fetch_order,
+            computed,
+            num_computed,
+        }
     }
 
     /// A plan that fetches and computes `order` in the given order.
     pub fn all_computed(order: Vec<SampleId>) -> Self {
         let n = order.len();
-        EpochPlan { fetch_order: order, computed: vec![true; n], num_computed: n }
+        EpochPlan {
+            fetch_order: order,
+            computed: vec![true; n],
+            num_computed: n,
+        }
     }
 
     /// Number of samples fetched this epoch.
@@ -65,7 +76,10 @@ impl EpochPlan {
 
     /// Iterate `(id, computed)` pairs in fetch order.
     pub fn iter(&self) -> impl Iterator<Item = (SampleId, bool)> + '_ {
-        self.fetch_order.iter().copied().zip(self.computed.iter().copied())
+        self.fetch_order
+            .iter()
+            .copied()
+            .zip(self.computed.iter().copied())
     }
 }
 
@@ -105,7 +119,12 @@ impl Selector for UniformSelector {
         "uniform"
     }
 
-    fn plan_epoch(&mut self, table: &ImportanceTable, _epoch: Epoch, rng: &mut StdRng) -> EpochPlan {
+    fn plan_epoch(
+        &mut self,
+        table: &ImportanceTable,
+        _epoch: Epoch,
+        rng: &mut StdRng,
+    ) -> EpochPlan {
         let mut order: Vec<SampleId> = (0..table.len()).map(SampleId).collect();
         order.shuffle(rng);
         EpochPlan::all_computed(order)
@@ -141,7 +160,9 @@ fn weighted_subset(
         })
         .collect();
     keyed.select_nth_unstable_by(k.saturating_sub(1).min(n - 1), |a, b| {
-        b.0.partial_cmp(&a.0).expect("keys are finite").then(a.1.cmp(&b.1))
+        b.0.partial_cmp(&a.0)
+            .expect("keys are finite")
+            .then(a.1.cmp(&b.1))
     });
     keyed.truncate(k);
     keyed.into_iter().map(|(_, i)| SampleId(i)).collect()
@@ -192,7 +213,10 @@ impl IisSelector {
         if !(fraction > 0.0 && fraction <= 1.0) {
             return Err(Error::invalid_config("fraction", "must be in (0, 1]"));
         }
-        Ok(IisSelector { fraction, exploration_floor: Self::DEFAULT_EXPLORATION_FLOOR })
+        Ok(IisSelector {
+            fraction,
+            exploration_floor: Self::DEFAULT_EXPLORATION_FLOOR,
+        })
     }
 
     /// Override the exploration floor.
@@ -203,7 +227,10 @@ impl IisSelector {
     /// non-finite.
     pub fn with_exploration_floor(mut self, floor: f64) -> Result<Self> {
         if !(floor.is_finite() && floor >= 0.0) {
-            return Err(Error::invalid_config("exploration_floor", "must be finite and >= 0"));
+            return Err(Error::invalid_config(
+                "exploration_floor",
+                "must be finite and >= 0",
+            ));
         }
         self.exploration_floor = floor;
         Ok(self)
@@ -257,7 +284,10 @@ impl CisSelector {
         if !(fraction > 0.0 && fraction <= 1.0) {
             return Err(Error::invalid_config("fraction", "must be in (0, 1]"));
         }
-        Ok(CisSelector { fraction, exploration_floor: IisSelector::DEFAULT_EXPLORATION_FLOOR })
+        Ok(CisSelector {
+            fraction,
+            exploration_floor: IisSelector::DEFAULT_EXPLORATION_FLOOR,
+        })
     }
 
     /// The configured per-epoch compute fraction.
@@ -374,7 +404,10 @@ mod tests {
         let mut rng = SeedSequence::new(5).rng("i");
         let plan = sel.plan_epoch(&t, Epoch(1), &mut rng);
         let cold = plan.fetch_order().iter().filter(|id| id.0 >= 10).count();
-        assert!(cold > 400, "cold samples must still be explored, got {cold}");
+        assert!(
+            cold > 400,
+            "cold samples must still be explored, got {cold}"
+        );
     }
 
     #[test]
@@ -404,7 +437,10 @@ mod tests {
         assert!(IisSelector::new(0.0).is_err());
         assert!(IisSelector::new(1.5).is_err());
         assert!(CisSelector::new(-0.1).is_err());
-        assert!(IisSelector::new(0.5).unwrap().with_exploration_floor(f64::NAN).is_err());
+        assert!(IisSelector::new(0.5)
+            .unwrap()
+            .with_exploration_floor(f64::NAN)
+            .is_err());
     }
 
     #[test]

@@ -6,9 +6,11 @@ fn main() {
     for kind in SystemKind::figure8_lineup() {
         let m = Scenario::cifar10(kind)
             .model(icache_dnn::ModelProfile::shufflenet())
-            .scale_dataset(frac).unwrap()
+            .scale_dataset(frac)
+            .unwrap()
             .epochs(4)
-            .run().unwrap();
+            .run()
+            .unwrap();
         println!(
             "{:10} epoch={:8.3}s stall={:8.3}s hit={:5.1}% fetched={:6} top1={:.2}",
             kind.label(),

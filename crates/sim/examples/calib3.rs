@@ -2,12 +2,20 @@
 use icache_sim::{Scenario, SystemKind};
 
 fn main() {
-    for kind in [SystemKind::Default, SystemKind::Quiver, SystemKind::CoorDl,
-                 SystemKind::Icache, SystemKind::IcacheNoSub, SystemKind::IcacheSubH] {
+    for kind in [
+        SystemKind::Default,
+        SystemKind::Quiver,
+        SystemKind::CoorDl,
+        SystemKind::Icache,
+        SystemKind::IcacheNoSub,
+        SystemKind::IcacheSubH,
+    ] {
         let m = Scenario::cifar10(kind)
-            .scale_dataset(0.1).unwrap()
+            .scale_dataset(0.1)
+            .unwrap()
             .epochs(90)
-            .run().unwrap();
+            .run()
+            .unwrap();
         let last = m.epochs.last().unwrap();
         let qbar: f64 = m.epochs.iter().map(|e| e.quality).sum::<f64>() / m.epochs.len() as f64;
         println!("{:12} top1={:6.2} top5={:6.2} qbar={:.3} cov={:.3} q={:.3} dist={:.3} subh={:.3} subl={:.3}",

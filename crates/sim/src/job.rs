@@ -12,10 +12,9 @@ use icache_types::{
     Dataset, Epoch, Error, IdSet, JobId, LatencyHistogram, Result, SimDuration, SimTime,
 };
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// How the job selects samples each epoch (§II-B/§III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SamplingMode {
     /// Conventional training: fetch and compute everything, shuffled.
     Uniform,
@@ -119,17 +118,26 @@ impl JobConfig {
             return Err(Error::invalid_config("gpus", "must be at least 1"));
         }
         if self.prefetch_factor == 0 {
-            return Err(Error::invalid_config("prefetch_factor", "must be at least 1"));
+            return Err(Error::invalid_config(
+                "prefetch_factor",
+                "must be at least 1",
+            ));
         }
         if self.epochs == 0 {
             return Err(Error::invalid_config("epochs", "must be at least 1"));
         }
         if !(self.h_list_fraction >= 0.0 && self.h_list_fraction <= 1.0) {
-            return Err(Error::invalid_config("h_list_fraction", "must be in [0, 1]"));
+            return Err(Error::invalid_config(
+                "h_list_fraction",
+                "must be in [0, 1]",
+            ));
         }
         if let Some((idx, world)) = self.shard {
             if world == 0 || idx >= world {
-                return Err(Error::invalid_config("shard", "requires index < world_size"));
+                return Err(Error::invalid_config(
+                    "shard",
+                    "requires index < world_size",
+                ));
             }
         }
         Ok(())
@@ -225,7 +233,13 @@ impl TrainingJob {
             current_hlist: HList::empty(n),
             plan: None,
             num_batches: 0,
-            workers: vec![WorkerState { cur: SimTime::ZERO, batch: None }; config.workers],
+            workers: vec![
+                WorkerState {
+                    cur: SimTime::ZERO,
+                    batch: None
+                };
+                config.workers
+            ],
             assign_next: 0,
             train_next: 0,
             batch_ready: Vec::new(),
@@ -368,7 +382,9 @@ impl TrainingJob {
     /// Train every batch whose data is ready, in batch order.
     fn drain_trainable(&mut self) {
         while self.train_next < self.num_batches {
-            let Some(ready) = self.batch_ready[self.train_next] else { break };
+            let Some(ready) = self.batch_ready[self.train_next] else {
+                break;
+            };
             let b = self.train_next;
             let batch_len = self.batch_lens[b] as usize;
             let full = self
@@ -380,8 +396,7 @@ impl TrainingJob {
                 // CIS: forward pass on everything, backward only on the
                 // selected subset (~35 % forward / 65 % backward split).
                 SamplingMode::Cis { .. } => {
-                    full * (0.35
-                        + 0.65 * self.computed_counts[b] as f64 / batch_len.max(1) as f64)
+                    full * (0.35 + 0.65 * self.computed_counts[b] as f64 / batch_len.max(1) as f64)
                 }
                 _ => full,
             };
@@ -427,7 +442,11 @@ impl TrainingJob {
 
         // Epoch quality for the accuracy model.
         let trained = self.accum.samples_trained.max(1);
-        let covered: f64 = self.distinct.iter().map(|id| self.start_losses[id.index()]).sum();
+        let covered: f64 = self
+            .distinct
+            .iter()
+            .map(|id| self.start_losses[id.index()])
+            .sum();
         let mass = self.start_loss_mass.max(f64::MIN_POSITIVE);
         // Substitution harm depends on the sampler's intent: under uniform
         // sampling a random cached substitute barely changes the trained
@@ -436,9 +455,7 @@ impl TrainingJob {
         // algorithm chose — substituting with over-trained H-samples most
         // of all (§V-E).
         let (subs_h, subs_l) = match self.config.sampling {
-            SamplingMode::Uniform => {
-                (0.0, 0.25 * (self.accum.subs_h + self.accum.subs_l) as f64)
-            }
+            SamplingMode::Uniform => (0.0, 0.25 * (self.accum.subs_h + self.accum.subs_l) as f64),
             _ => (self.accum.subs_h as f64, self.accum.subs_l as f64),
         };
         let quality = EpochQuality {
@@ -482,11 +499,7 @@ impl TrainingJob {
 
     /// Advance by one sample fetch (starting or finishing epochs as
     /// needed). Returns false once the run is complete.
-    pub fn step(
-        &mut self,
-        cache: &mut dyn CacheSystem,
-        storage: &mut dyn StorageBackend,
-    ) -> bool {
+    pub fn step(&mut self, cache: &mut dyn CacheSystem, storage: &mut dyn StorageBackend) -> bool {
         if self.done {
             return false;
         }
@@ -591,11 +604,7 @@ mod tests {
     }
 
     fn quick_config(n: u64, epochs: u32) -> JobConfig {
-        let mut c = JobConfig::new(
-            JobId(0),
-            ModelProfile::shufflenet(),
-            dataset(n),
-        );
+        let mut c = JobConfig::new(JobId(0), ModelProfile::shufflenet(), dataset(n));
         c.batch_size = 32;
         c.epochs = epochs;
         c
@@ -700,14 +709,17 @@ mod tests {
     }
 
     #[test]
-    fn next_event_time_is_monotone_while_running(){
+    fn next_event_time_is_monotone_while_running() {
         let mut job = TrainingJob::new(quick_config(320, 2)).unwrap();
         let mut cache = LruCache::new(ByteSize::kib(100));
         let mut storage = LocalTier::tmpfs();
         let mut last = SimTime::ZERO;
         while !job.is_done() {
             let t = job.next_event_time();
-            assert!(t >= last || job.current_epoch().0 > 0, "time went backwards");
+            assert!(
+                t >= last || job.current_epoch().0 > 0,
+                "time went backwards"
+            );
             last = t;
             job.step(&mut cache, &mut storage);
         }

@@ -3,10 +3,9 @@
 use icache_core::CacheStats;
 use icache_storage::StorageStats;
 use icache_types::{Epoch, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Everything measured about one training epoch of one job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochMetrics {
     /// Which epoch this is.
     pub epoch: Epoch,
@@ -75,7 +74,7 @@ impl EpochMetrics {
 }
 
 /// The full trace of one training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunMetrics {
     /// System name the run used (`"icache"`, `"lru"`, …).
     pub system: String,
@@ -108,7 +107,11 @@ impl RunMetrics {
     /// Average data-stall (I/O) time per epoch, excluding warm-up.
     pub fn avg_stall_time_steady(&self) -> SimDuration {
         if self.epochs.len() <= 1 {
-            return self.epochs.first().map(|e| e.stall_time).unwrap_or(SimDuration::ZERO);
+            return self
+                .epochs
+                .first()
+                .map(|e| e.stall_time)
+                .unwrap_or(SimDuration::ZERO);
         }
         let tail = &self.epochs[1..];
         tail.iter().map(|e| e.stall_time).sum::<SimDuration>() / tail.len() as u64
@@ -116,8 +119,11 @@ impl RunMetrics {
 
     /// Mean cache hit ratio over steady-state epochs.
     pub fn avg_hit_ratio_steady(&self) -> f64 {
-        let tail: &[EpochMetrics] =
-            if self.epochs.len() <= 1 { &self.epochs } else { &self.epochs[1..] };
+        let tail: &[EpochMetrics] = if self.epochs.len() <= 1 {
+            &self.epochs
+        } else {
+            &self.epochs[1..]
+        };
         if tail.is_empty() {
             return 0.0;
         }
@@ -137,6 +143,50 @@ impl RunMetrics {
     /// Total virtual time of the whole run.
     pub fn total_time(&self) -> SimDuration {
         self.epochs.iter().map(|e| e.wall_time).sum()
+    }
+}
+
+impl icache_obs::ToJson for EpochMetrics {
+    fn to_json(&self) -> icache_obs::Json {
+        icache_obs::json!({
+            "epoch": self.epoch.0,
+            "wall_s": self.wall_time.as_secs_f64(),
+            "stall_s": self.stall_time.as_secs_f64(),
+            "compute_s": self.compute_time.as_secs_f64(),
+            "fetch_s": self.fetch_time.as_secs_f64(),
+            "preprocess_s": self.preprocess_time.as_secs_f64(),
+            "samples_fetched": self.samples_fetched,
+            "samples_trained": self.samples_trained,
+            "served_from_cache": self.served_from_cache,
+            "distinct_trained": self.distinct_trained,
+            "substitutions_h": self.substitutions_h,
+            "substitutions_l": self.substitutions_l,
+            "cache": self.cache,
+            "storage": self.storage,
+            "fetch_p50_us": self.fetch_p50.as_micros_f64(),
+            "fetch_p99_us": self.fetch_p99.as_micros_f64(),
+            "coverage": self.coverage,
+            "quality": self.quality,
+            "top1": self.top1,
+            "top5": self.top5,
+        })
+    }
+}
+
+impl icache_obs::ToJson for RunMetrics {
+    fn to_json(&self) -> icache_obs::Json {
+        icache_obs::json!({
+            "system": self.system,
+            "model": self.model,
+            "epochs": self.epochs,
+            "avg_epoch_s": self.avg_epoch_time().as_secs_f64(),
+            "avg_epoch_steady_s": self.avg_epoch_time_steady().as_secs_f64(),
+            "avg_stall_steady_s": self.avg_stall_time_steady().as_secs_f64(),
+            "avg_hit_ratio_steady": self.avg_hit_ratio_steady(),
+            "final_top1": self.final_top1(),
+            "final_top5": self.final_top5(),
+            "total_s": self.total_time().as_secs_f64(),
+        })
     }
 }
 
@@ -174,7 +224,11 @@ mod tests {
         let run = RunMetrics {
             system: "x".into(),
             model: "m".into(),
-            epochs: vec![epoch(0, 100, 50, 10.0), epoch(1, 10, 5, 20.0), epoch(2, 20, 5, 30.0)],
+            epochs: vec![
+                epoch(0, 100, 50, 10.0),
+                epoch(1, 10, 5, 20.0),
+                epoch(2, 20, 5, 30.0),
+            ],
         };
         assert_eq!(run.avg_epoch_time(), SimDuration::from_nanos(43_333));
         assert_eq!(run.avg_epoch_time_steady(), SimDuration::from_micros(15));

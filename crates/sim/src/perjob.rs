@@ -38,7 +38,10 @@ impl PerJobCache {
     ///
     /// Panics if `caches` is empty.
     pub fn new(caches: Vec<Box<dyn CacheSystem>>) -> Self {
-        assert!(!caches.is_empty(), "PerJobCache requires at least one cache");
+        assert!(
+            !caches.is_empty(),
+            "PerJobCache requires at least one cache"
+        );
         PerJobCache { caches }
     }
 
@@ -155,7 +158,13 @@ mod tests {
         let mut pc = cluster(3);
         let mut st = LocalTier::tmpfs();
         for j in 0..3 {
-            pc.fetch(JobId(j), SampleId(0), ByteSize::kib(3), SimTime::ZERO, &mut st);
+            pc.fetch(
+                JobId(j),
+                SampleId(0),
+                ByteSize::kib(3),
+                SimTime::ZERO,
+                &mut st,
+            );
         }
         assert_eq!(pc.stats().misses, 3);
         assert_eq!(pc.capacity(), ByteSize::kib(192));

@@ -66,19 +66,18 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let v: serde_json::Value = serde_json::from_str(line).map_err(|e| {
-                Error::invalid_config("trace", format!("line {}: {e}", lineno + 1))
-            })?;
+            let v = icache_obs::Json::parse(line)
+                .map_err(|e| Error::invalid_config("trace", format!("line {}: {e}", lineno + 1)))?;
             let job = v["job"].as_u64().ok_or_else(|| {
                 Error::invalid_config("trace", format!("line {}: missing `job`", lineno + 1))
             })?;
             let sample = v["requested"].as_u64().ok_or_else(|| {
-                Error::invalid_config(
-                    "trace",
-                    format!("line {}: missing `requested`", lineno + 1),
-                )
+                Error::invalid_config("trace", format!("line {}: missing `requested`", lineno + 1))
             })?;
-            records.push(TraceRecord { job: JobId(job as u32), sample: SampleId(sample) });
+            records.push(TraceRecord {
+                job: JobId(job as u32),
+                sample: SampleId(sample),
+            });
         }
         Ok(Trace { records })
     }
@@ -118,7 +117,10 @@ impl AccessPattern {
         match self {
             AccessPattern::Uniform => {
                 for _ in 0..n {
-                    records.push(TraceRecord { job, sample: SampleId(rng.gen_range(0..universe)) });
+                    records.push(TraceRecord {
+                        job,
+                        sample: SampleId(rng.gen_range(0..universe)),
+                    });
                 }
             }
             AccessPattern::Zipf { s } => {
@@ -139,12 +141,18 @@ impl AccessPattern {
                 for _ in 0..n {
                     let u: f64 = rng.gen_range(0.0..total);
                     let idx = cdf.partition_point(|&c| c < u);
-                    records.push(TraceRecord { job, sample: SampleId(idx as u64) });
+                    records.push(TraceRecord {
+                        job,
+                        sample: SampleId(idx as u64),
+                    });
                 }
             }
             AccessPattern::Scan => {
                 for i in 0..n {
-                    records.push(TraceRecord { job, sample: SampleId(i as u64 % universe) });
+                    records.push(TraceRecord {
+                        job,
+                        sample: SampleId(i as u64 % universe),
+                    });
                 }
             }
             AccessPattern::EpochShuffle => {
@@ -154,7 +162,10 @@ impl AccessPattern {
                     if i == 0 {
                         order.shuffle(&mut rng);
                     }
-                    records.push(TraceRecord { job, sample: SampleId(order[i]) });
+                    records.push(TraceRecord {
+                        job,
+                        sample: SampleId(order[i]),
+                    });
                     i = (i + 1) % order.len();
                 }
             }
@@ -241,7 +252,9 @@ mod tests {
 
     #[test]
     fn epoch_shuffle_visits_everything_once_per_epoch() {
-        let t = AccessPattern::EpochShuffle.generate(50, 100, JobId(0), 7).unwrap();
+        let t = AccessPattern::EpochShuffle
+            .generate(50, 100, JobId(0), 7)
+            .unwrap();
         let first: std::collections::HashSet<u64> =
             t.records()[..50].iter().map(|r| r.sample.0).collect();
         assert_eq!(first.len(), 50, "first epoch is a permutation");
@@ -252,12 +265,16 @@ mod tests {
         let ds = dataset(10_000);
         let cap = ds.total_bytes().scaled(0.1);
 
-        let zipf = AccessPattern::Zipf { s: 1.1 }.generate(10_000, 30_000, JobId(0), 1).unwrap();
+        let zipf = AccessPattern::Zipf { s: 1.1 }
+            .generate(10_000, 30_000, JobId(0), 1)
+            .unwrap();
         let mut lru = LruCache::new(cap);
         let mut st = LocalTier::tmpfs();
         let z = replay(&zipf, &ds, &mut lru, &mut st);
 
-        let scan = AccessPattern::Scan.generate(10_000, 30_000, JobId(0), 1).unwrap();
+        let scan = AccessPattern::Scan
+            .generate(10_000, 30_000, JobId(0), 1)
+            .unwrap();
         let mut lru = LruCache::new(cap);
         let mut st = LocalTier::tmpfs();
         let s = replay(&scan, &ds, &mut lru, &mut st);
@@ -273,7 +290,9 @@ mod tests {
         let ds = dataset(100);
         let mut traced = TracingCache::new(LruCache::new(ByteSize::kib(64)), 256);
         let mut st = LocalTier::tmpfs();
-        let original = AccessPattern::Uniform.generate(100, 50, JobId(2), 3).unwrap();
+        let original = AccessPattern::Uniform
+            .generate(100, 50, JobId(2), 3)
+            .unwrap();
         replay(&original, &ds, &mut traced, &mut st);
         let parsed = Trace::parse_jsonl(&traced.to_jsonl()).unwrap();
         assert_eq!(parsed, original);
@@ -289,8 +308,12 @@ mod tests {
     #[test]
     fn generators_validate_inputs() {
         assert!(AccessPattern::Uniform.generate(0, 10, JobId(0), 1).is_err());
-        assert!(AccessPattern::Zipf { s: 0.0 }.generate(10, 10, JobId(0), 1).is_err());
-        assert!(AccessPattern::Zipf { s: f64::NAN }.generate(10, 10, JobId(0), 1).is_err());
+        assert!(AccessPattern::Zipf { s: 0.0 }
+            .generate(10, 10, JobId(0), 1)
+            .is_err());
+        assert!(AccessPattern::Zipf { s: f64::NAN }
+            .generate(10, 10, JobId(0), 1)
+            .is_err());
     }
 
     #[test]

@@ -4,8 +4,6 @@
 //! figure/table, and (b) one JSON line per row so EXPERIMENTS.md numbers
 //! are regenerable by machines.
 
-use serde::Serialize;
-
 /// An aligned text table builder.
 ///
 /// # Examples
@@ -28,7 +26,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: Vec<String>) -> Self {
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Convenience constructor from string slices.
@@ -66,10 +67,10 @@ impl Table {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut out = String::new();
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate() {
                 let empty = String::new();
                 let cell = cells.get(i).unwrap_or(&empty);
-                out.push_str(&format!("{:width$}", cell, width = widths[i]));
+                out.push_str(&format!("{cell:width$}"));
                 if i + 1 < cols {
                     out.push_str("  ");
                 }
@@ -138,11 +139,37 @@ pub fn run_metrics_csv(metrics: &crate::RunMetrics) -> String {
 
 /// Emit one JSON result line (prefixed so it can be grepped out of bench
 /// output).
-pub fn json_line<T: Serialize>(tag: &str, value: &T) {
-    match serde_json::to_string(value) {
-        Ok(js) => println!("JSON {tag} {js}"),
-        Err(e) => eprintln!("JSON {tag} serialization failed: {e}"),
-    }
+pub fn json_line<T: icache_obs::ToJson + ?Sized>(tag: &str, value: &T) {
+    println!("JSON {tag} {}", value.to_json());
+}
+
+/// Build the machine-readable run summary the bench binaries write for
+/// `--json <path>`: per-job metrics plus the observability registry
+/// (counters, gauges, latency histograms) and trace accounting.
+///
+/// The output is canonical — insertion-ordered objects, no timestamps —
+/// so identical runs serialize to identical bytes.
+pub fn run_summary(runs: &[crate::RunMetrics], obs: &icache_obs::Obs) -> icache_obs::Json {
+    use icache_obs::{Json, ToJson};
+    let jobs: Vec<Json> = runs.iter().map(|r| r.to_json()).collect();
+    let events: Vec<(String, Json)> = obs
+        .trace_event_counts()
+        .into_iter()
+        .map(|(name, n)| (name, n.to_json()))
+        .collect();
+    Json::Obj(vec![
+        ("jobs".into(), Json::Arr(jobs)),
+        ("metrics".into(), obs.metrics_snapshot()),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                ("emitted".into(), obs.trace_emitted().to_json()),
+                ("recorded".into(), (obs.trace_len() as u64).to_json()),
+                ("dropped".into(), obs.trace_dropped().to_json()),
+                ("events".into(), Json::Obj(events)),
+            ]),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -35,6 +35,29 @@ pub fn run_single_job(
     cache: &mut dyn CacheSystem,
     storage: &mut dyn StorageBackend,
 ) -> Result<RunMetrics> {
+    run_single_job_with_obs(config, cache, storage, &icache_obs::Obs::noop())
+}
+
+/// [`run_single_job`] with an observability handle installed on both the
+/// cache and the storage backend before the run starts.
+///
+/// Every layer records counters, latency histograms, and structured trace
+/// events into `obs`; the trace is a pure function of the job config and
+/// seed, so two runs with identical inputs produce byte-identical
+/// [`icache_obs::Obs::trace_jsonl`] output.
+///
+/// # Errors
+///
+/// Returns [`icache_types::Error::InvalidConfig`] when the job
+/// configuration is invalid.
+pub fn run_single_job_with_obs(
+    config: JobConfig,
+    cache: &mut dyn CacheSystem,
+    storage: &mut dyn StorageBackend,
+    obs: &icache_obs::Obs,
+) -> Result<RunMetrics> {
+    cache.set_obs(obs.clone());
+    storage.set_obs(obs.clone());
     let system = cache.name().to_string();
     let mut job = TrainingJob::new(config)?;
     while job.step(cache, storage) {}
@@ -57,8 +80,29 @@ pub fn run_multi_job(
     cache: &mut dyn CacheSystem,
     storage: &mut dyn StorageBackend,
 ) -> Result<Vec<RunMetrics>> {
+    run_multi_job_with_obs(configs, cache, storage, &icache_obs::Obs::noop())
+}
+
+/// [`run_multi_job`] with an observability handle installed on the shared
+/// cache and storage (see [`run_single_job_with_obs`]).
+///
+/// # Errors
+///
+/// Returns [`icache_types::Error::InvalidConfig`] when any job
+/// configuration is invalid (no job is run in that case).
+pub fn run_multi_job_with_obs(
+    configs: Vec<JobConfig>,
+    cache: &mut dyn CacheSystem,
+    storage: &mut dyn StorageBackend,
+    obs: &icache_obs::Obs,
+) -> Result<Vec<RunMetrics>> {
+    cache.set_obs(obs.clone());
+    storage.set_obs(obs.clone());
     let system = cache.name().to_string();
-    let mut jobs = configs.into_iter().map(TrainingJob::new).collect::<Result<Vec<_>>>()?;
+    let mut jobs = configs
+        .into_iter()
+        .map(TrainingJob::new)
+        .collect::<Result<Vec<_>>>()?;
     loop {
         let next = jobs
             .iter()

@@ -1,16 +1,15 @@
 //! Canonical experiment scenarios (§V-A vocabulary).
 
 use crate::{run_single_job, JobConfig, RunMetrics, SamplingMode};
-use icache_sampling::ImportanceCriterion;
 use icache_baselines::{IlfuCache, LruCache, MinIoCache, OracleSource, QuiverCache};
 use icache_core::{CacheSystem, IcacheConfig, IcacheManager, Substitution};
 use icache_dnn::ModelProfile;
+use icache_sampling::ImportanceCriterion;
 use icache_storage::{LocalTier, Nfs, NfsConfig, Pfs, PfsConfig, StorageBackend};
 use icache_types::{Dataset, JobId, Result};
-use serde::{Deserialize, Serialize};
 
 /// The cache/sampling systems compared in the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// **Default**: PyTorch + user-level LRU cache, uniform sampling.
     Default,
@@ -60,13 +59,17 @@ impl SystemKind {
             SystemKind::Default | SystemKind::Quiver | SystemKind::CoorDl | SystemKind::Oracle => {
                 SamplingMode::Uniform
             }
-            SystemKind::Base => SamplingMode::Cis { fraction: cis_fraction },
+            SystemKind::Base => SamplingMode::Cis {
+                fraction: cis_fraction,
+            },
             SystemKind::IisLru
             | SystemKind::Ilfu
             | SystemKind::IcacheNoL
             | SystemKind::Icache
             | SystemKind::IcacheNoSub
-            | SystemKind::IcacheSubH => SamplingMode::Iis { fraction: iis_fraction },
+            | SystemKind::IcacheSubH => SamplingMode::Iis {
+                fraction: iis_fraction,
+            },
         }
     }
 
@@ -85,7 +88,7 @@ impl SystemKind {
 }
 
 /// Which storage substrate backs the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageKind {
     /// The paper's OrangeFS deployment (4 servers, 64 KB stripes).
     OrangeFs,
@@ -347,6 +350,28 @@ impl Scenario {
         let mut storage = self.build_storage()?;
         run_single_job(self.job_config(JobId(0)), cache.as_mut(), storage.as_mut())
     }
+
+    /// Run the scenario with an observability handle collecting metrics
+    /// and structured trace events from every layer.
+    ///
+    /// The trace is deterministic: two runs of the same scenario with the
+    /// same seed fill `obs` with byte-identical
+    /// [`icache_obs::Obs::trace_jsonl`] output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from cache, storage, or job
+    /// construction.
+    pub fn run_with_obs(&self, obs: &icache_obs::Obs) -> Result<RunMetrics> {
+        let mut cache = self.build_cache()?;
+        let mut storage = self.build_storage()?;
+        crate::run_single_job_with_obs(
+            self.job_config(JobId(0)),
+            cache.as_mut(),
+            storage.as_mut(),
+            obs,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -376,7 +401,9 @@ mod tests {
             SystemKind::IcacheSubH,
             SystemKind::Oracle,
         ] {
-            let m = quick(kind).run().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let m = quick(kind)
+                .run()
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             assert_eq!(m.epochs.len(), 3, "{kind:?}");
         }
     }
@@ -385,7 +412,9 @@ mod tests {
     fn icache_beats_default_on_remote_storage() {
         let default = quick(SystemKind::Default).run().unwrap();
         let icache = quick(SystemKind::Icache).run().unwrap();
-        let speedup = default.avg_epoch_time_steady().ratio(icache.avg_epoch_time_steady());
+        let speedup = default
+            .avg_epoch_time_steady()
+            .ratio(icache.avg_epoch_time_steady());
         assert!(speedup > 1.2, "speedup only {speedup:.2}x");
     }
 

@@ -68,7 +68,12 @@ pub struct TracingCache<C> {
 impl<C: CacheSystem> TracingCache<C> {
     /// Wrap `inner`, recording at most `capacity` events.
     pub fn new(inner: C, capacity: usize) -> Self {
-        TracingCache { inner, events: Vec::new(), capacity, truncated: false }
+        TracingCache {
+            inner,
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
     }
 
     /// The recorded events, in fetch order.
@@ -183,13 +188,22 @@ mod tests {
     use icache_storage::LocalTier;
 
     fn traced(cap: usize) -> (TracingCache<LruCache>, LocalTier) {
-        (TracingCache::new(LruCache::new(ByteSize::kib(64)), cap), LocalTier::tmpfs())
+        (
+            TracingCache::new(LruCache::new(ByteSize::kib(64)), cap),
+            LocalTier::tmpfs(),
+        )
     }
 
     #[test]
     fn records_misses_then_hits() {
         let (mut c, mut st) = traced(16);
-        let f = c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), SimTime::ZERO, &mut st);
+        let f = c.fetch(
+            JobId(0),
+            SampleId(1),
+            ByteSize::kib(3),
+            SimTime::ZERO,
+            &mut st,
+        );
         c.fetch(JobId(0), SampleId(1), ByteSize::kib(3), f.ready_at, &mut st);
         let kinds: Vec<&str> = c.events().iter().map(FetchEvent::kind).collect();
         assert_eq!(kinds, vec!["miss", "hitH"]);
@@ -214,14 +228,20 @@ mod tests {
     #[test]
     fn jsonl_is_one_line_per_event() {
         let (mut c, mut st) = traced(16);
-        c.fetch(JobId(3), SampleId(9), ByteSize::kib(3), SimTime::ZERO, &mut st);
+        c.fetch(
+            JobId(3),
+            SampleId(9),
+            ByteSize::kib(3),
+            SimTime::ZERO,
+            &mut st,
+        );
         let jsonl = c.to_jsonl();
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.contains("\"job\":3"));
         assert!(jsonl.contains("\"kind\":\"miss\""));
         // Each line is valid JSON.
-        let parsed: serde_json::Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
-        assert_eq!(parsed["requested"], 9);
+        let parsed = icache_obs::Json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed["requested"].as_u64(), Some(9));
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub trait StorageBackend {
 
     /// Reset accumulated statistics (queue horizons are preserved).
     fn reset_stats(&mut self);
+
+    /// Attach an observability handle. Backends that participate in
+    /// structured tracing and the metrics registry store a clone; the
+    /// default implementation ignores it.
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        let _ = obs;
+    }
 }
 
 impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
@@ -72,6 +79,9 @@ impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
     }
     fn reset_stats(&mut self) {
         (**self).reset_stats()
+    }
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        (**self).set_obs(obs)
     }
 }
 

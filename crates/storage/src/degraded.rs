@@ -26,7 +26,10 @@ impl BrownoutConfig {
             return Err(Error::invalid_config("period", "must be non-zero"));
         }
         if self.duration > self.period {
-            return Err(Error::invalid_config("duration", "must not exceed the period"));
+            return Err(Error::invalid_config(
+                "duration",
+                "must not exceed the period",
+            ));
         }
         Ok(())
     }
@@ -66,6 +69,8 @@ pub struct DegradedStorage<B> {
     inner: B,
     config: BrownoutConfig,
     degraded_requests: u64,
+    name: String,
+    obs: icache_obs::Obs,
 }
 
 impl<B: StorageBackend> DegradedStorage<B> {
@@ -77,7 +82,14 @@ impl<B: StorageBackend> DegradedStorage<B> {
     /// longer than the period.
     pub fn new(inner: B, config: BrownoutConfig) -> Result<Self> {
         config.validate()?;
-        Ok(DegradedStorage { inner, config, degraded_requests: 0 })
+        let name = format!("degraded({})", inner.name());
+        Ok(DegradedStorage {
+            inner,
+            config,
+            degraded_requests: 0,
+            name,
+            obs: icache_obs::Obs::noop(),
+        })
     }
 
     /// Whether `now` falls inside a brownout window.
@@ -98,6 +110,11 @@ impl<B: StorageBackend> DegradedStorage<B> {
     fn penalty(&mut self, now: SimTime) -> SimDuration {
         if self.in_brownout(now) {
             self.degraded_requests += 1;
+            self.obs.inc("storage.degraded_requests");
+            self.obs.emit(icache_obs::TraceEvent::BrownoutDegradedRead {
+                backend: self.name.clone(),
+                penalty_nanos: self.config.extra_latency.as_nanos(),
+            });
             self.config.extra_latency
         } else {
             SimDuration::ZERO
@@ -107,7 +124,7 @@ impl<B: StorageBackend> DegradedStorage<B> {
 
 impl<B: StorageBackend> StorageBackend for DegradedStorage<B> {
     fn name(&self) -> &str {
-        "degraded"
+        &self.name
     }
 
     fn read_sample(&mut self, id: SampleId, size: ByteSize, now: SimTime) -> SimTime {
@@ -126,6 +143,11 @@ impl<B: StorageBackend> StorageBackend for DegradedStorage<B> {
 
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
+    }
+
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        self.obs = obs.clone();
+        self.inner.set_obs(obs);
     }
 }
 
@@ -177,6 +199,44 @@ mod tests {
         f.reset_stats();
         assert_eq!(f.stats().total_reads(), 0);
         assert_eq!(f.inner().stats().total_reads(), 0);
+    }
+
+    #[test]
+    fn name_identifies_the_wrapped_backend() {
+        let f = flaky();
+        assert_eq!(f.name(), "degraded(tmpfs)");
+        let nested = DegradedStorage::new(
+            flaky(),
+            BrownoutConfig {
+                period: SimDuration::from_millis(100),
+                duration: SimDuration::from_millis(10),
+                extra_latency: SimDuration::from_millis(3),
+            },
+        )
+        .unwrap();
+        assert_eq!(nested.name(), "degraded(degraded(tmpfs))");
+    }
+
+    #[test]
+    fn degraded_requests_surface_through_the_metrics_registry() {
+        let mut f = flaky();
+        let obs = icache_obs::Obs::new();
+        f.set_obs(obs.clone());
+        f.read_sample(SampleId(0), ByteSize::kib(3), SimTime::ZERO); // in window
+        f.read_sample(
+            SampleId(1),
+            ByteSize::kib(3),
+            SimTime::from_nanos(50_000_000),
+        );
+        assert_eq!(obs.counter("storage.degraded_requests"), 1);
+        assert_eq!(f.degraded_requests(), 1);
+        // The brownout also leaves a structured trace event.
+        let jsonl = obs.trace_jsonl();
+        assert!(
+            jsonl.contains(r#""event":"brownout_degraded_read""#),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains(r#""backend":"degraded(tmpfs)""#), "{jsonl}");
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub use local::{LocalTier, LocalTierConfig};
 pub use nfs::{Nfs, NfsConfig};
 pub use pfs::{Pfs, PfsConfig};
 pub use queue::FifoResource;
-pub use timeline::TimelineResource;
 pub use stats::StorageStats;
+pub use timeline::TimelineResource;

@@ -6,10 +6,9 @@
 
 use crate::{FifoResource, StorageBackend, StorageStats};
 use icache_types::{ByteSize, Error, Result, SampleId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a local storage tier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalTierConfig {
     /// Tier name for reports.
     pub name: String,
@@ -28,7 +27,10 @@ impl LocalTierConfig {
             return Err(Error::invalid_config("channels", "must be at least 1"));
         }
         if !(self.bandwidth > 0.0 && self.bandwidth.is_finite()) {
-            return Err(Error::invalid_config("bandwidth", "must be positive and finite"));
+            return Err(Error::invalid_config(
+                "bandwidth",
+                "must be positive and finite",
+            ));
         }
         Ok(())
     }
@@ -55,6 +57,7 @@ pub struct LocalTier {
     config: LocalTierConfig,
     channels: Vec<FifoResource>,
     stats: StorageStats,
+    obs: icache_obs::Obs,
 }
 
 impl LocalTier {
@@ -70,6 +73,7 @@ impl LocalTier {
             channels: vec![FifoResource::new(); config.channels],
             stats: StorageStats::default(),
             config,
+            obs: icache_obs::Obs::noop(),
         })
     }
 
@@ -126,19 +130,31 @@ impl StorageBackend for LocalTier {
     fn read_sample(&mut self, _id: SampleId, size: ByteSize, now: SimTime) -> SimTime {
         let service = self.service(size);
         let done = self.submit(now, service);
-        self.stats.record_sample(size, done.saturating_since(now));
+        let latency = done.saturating_since(now);
+        self.stats.record_sample(size, latency);
+        self.obs.inc("storage.sample_reads");
+        self.obs.add("storage.sample_bytes", size.as_u64());
+        self.obs.observe("storage.sample_read", latency);
         done
     }
 
     fn read_package(&mut self, size: ByteSize, now: SimTime) -> SimTime {
         let service = self.service(size);
         let done = self.submit(now, service);
-        self.stats.record_package(size, done.saturating_since(now));
+        let latency = done.saturating_since(now);
+        self.stats.record_package(size, latency);
+        self.obs.inc("storage.package_reads");
+        self.obs.add("storage.package_bytes", size.as_u64());
+        self.obs.observe("storage.package_read", latency);
         done
     }
 
     fn stats(&self) -> StorageStats {
         self.stats
+    }
+
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        self.obs = obs;
     }
 
     fn reset_stats(&mut self) {

@@ -2,10 +2,9 @@
 
 use crate::{StorageBackend, StorageStats, TimelineResource};
 use icache_types::{ByteSize, Error, Result, SampleId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the NFS model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NfsConfig {
     /// Fixed cost per request (RPC round trip + metadata + seek).
     pub request_overhead: SimDuration,
@@ -26,7 +25,10 @@ impl NfsConfig {
 
     fn validate(&self) -> Result<()> {
         if !(self.bandwidth > 0.0 && self.bandwidth.is_finite()) {
-            return Err(Error::invalid_config("bandwidth", "must be positive and finite"));
+            return Err(Error::invalid_config(
+                "bandwidth",
+                "must be positive and finite",
+            ));
         }
         Ok(())
     }
@@ -54,6 +56,7 @@ pub struct Nfs {
     config: NfsConfig,
     server: TimelineResource,
     stats: StorageStats,
+    obs: icache_obs::Obs,
 }
 
 impl Nfs {
@@ -64,7 +67,12 @@ impl Nfs {
     /// Returns [`Error::InvalidConfig`] for non-positive bandwidth.
     pub fn new(config: NfsConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Nfs { config, server: TimelineResource::new(), stats: StorageStats::default() })
+        Ok(Nfs {
+            config,
+            server: TimelineResource::new(),
+            stats: StorageStats::default(),
+            obs: icache_obs::Obs::noop(),
+        })
     }
 
     /// The configuration this instance was built with.
@@ -86,19 +94,31 @@ impl StorageBackend for Nfs {
     fn read_sample(&mut self, _id: SampleId, size: ByteSize, now: SimTime) -> SimTime {
         let service = self.service(size);
         let done = self.server.submit(now, service);
-        self.stats.record_sample(size, done.saturating_since(now));
+        let latency = done.saturating_since(now);
+        self.stats.record_sample(size, latency);
+        self.obs.inc("storage.sample_reads");
+        self.obs.add("storage.sample_bytes", size.as_u64());
+        self.obs.observe("storage.sample_read", latency);
         done
     }
 
     fn read_package(&mut self, size: ByteSize, now: SimTime) -> SimTime {
         let service = self.service(size);
         let done = self.server.submit(now, service);
-        self.stats.record_package(size, done.saturating_since(now));
+        let latency = done.saturating_since(now);
+        self.stats.record_package(size, latency);
+        self.obs.inc("storage.package_reads");
+        self.obs.add("storage.package_bytes", size.as_u64());
+        self.obs.observe("storage.package_read", latency);
         done
     }
 
     fn stats(&self) -> StorageStats {
         self.stats
+    }
+
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        self.obs = obs;
     }
 
     fn reset_stats(&mut self) {
@@ -113,7 +133,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_bandwidth() {
-        let cfg = NfsConfig { request_overhead: SimDuration::ZERO, bandwidth: -1.0 };
+        let cfg = NfsConfig {
+            request_overhead: SimDuration::ZERO,
+            bandwidth: -1.0,
+        };
         assert!(Nfs::new(cfg).is_err());
     }
 

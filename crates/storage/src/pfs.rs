@@ -2,13 +2,12 @@
 
 use crate::{StorageBackend, StorageStats, TimelineResource};
 use icache_types::{splitmix64, ByteSize, Error, Result, SampleId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the parallel file system model.
 ///
 /// Defaults mirror the paper's deployment (§V-A): four data servers,
 /// 64 KB stripes, 10 Gbps client link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PfsConfig {
     /// Number of data servers the dataset is striped over.
     pub num_servers: usize,
@@ -47,7 +46,10 @@ impl PfsConfig {
             return Err(Error::invalid_config("stripe_size", "must be non-zero"));
         }
         if !(self.server_bandwidth > 0.0 && self.server_bandwidth.is_finite()) {
-            return Err(Error::invalid_config("server_bandwidth", "must be positive and finite"));
+            return Err(Error::invalid_config(
+                "server_bandwidth",
+                "must be positive and finite",
+            ));
         }
         if !(self.client_link_bandwidth > 0.0 && self.client_link_bandwidth.is_finite()) {
             return Err(Error::invalid_config(
@@ -85,6 +87,7 @@ pub struct Pfs {
     client_link: TimelineResource,
     stats: StorageStats,
     name: String,
+    obs: icache_obs::Obs,
 }
 
 impl Pfs {
@@ -103,6 +106,7 @@ impl Pfs {
             stats: StorageStats::default(),
             config,
             name,
+            obs: icache_obs::Obs::noop(),
         })
     }
 
@@ -113,7 +117,10 @@ impl Pfs {
 
     /// Utilisation horizon of each data server (diagnostics).
     pub fn server_busy_until(&self) -> Vec<SimTime> {
-        self.servers.iter().map(TimelineResource::busy_until).collect()
+        self.servers
+            .iter()
+            .map(TimelineResource::busy_until)
+            .collect()
     }
 
     fn home_server(&self, id: SampleId) -> usize {
@@ -138,7 +145,8 @@ impl Pfs {
         let mut all_parts_done = now;
         for k in 0..servers_touched {
             let idx = (first_server + k) % n;
-            let service = self.config.request_overhead + self.transfer_time(share, self.config.server_bandwidth);
+            let service = self.config.request_overhead
+                + self.transfer_time(share, self.config.server_bandwidth);
             let done = self.servers[idx].submit(now, service);
             all_parts_done = all_parts_done.max(done);
         }
@@ -156,7 +164,11 @@ impl StorageBackend for Pfs {
     fn read_sample(&mut self, id: SampleId, size: ByteSize, now: SimTime) -> SimTime {
         let first = self.home_server(id);
         let done = self.striped_read(first, size, now);
-        self.stats.record_sample(size, done.saturating_since(now));
+        let latency = done.saturating_since(now);
+        self.stats.record_sample(size, latency);
+        self.obs.inc("storage.sample_reads");
+        self.obs.add("storage.sample_bytes", size.as_u64());
+        self.obs.observe("storage.sample_read", latency);
         done
     }
 
@@ -166,12 +178,20 @@ impl StorageBackend for Pfs {
         // spreads even for small packages.
         let first = (self.stats.package_reads as usize) % self.config.num_servers;
         let done = self.striped_read(first, size, now);
-        self.stats.record_package(size, done.saturating_since(now));
+        let latency = done.saturating_since(now);
+        self.stats.record_package(size, latency);
+        self.obs.inc("storage.package_reads");
+        self.obs.add("storage.package_bytes", size.as_u64());
+        self.obs.observe("storage.package_read", latency);
         done
     }
 
     fn stats(&self) -> StorageStats {
         self.stats
+    }
+
+    fn set_obs(&mut self, obs: icache_obs::Obs) {
+        self.obs = obs;
     }
 
     fn reset_stats(&mut self) {
@@ -238,7 +258,10 @@ mod tests {
         }
         let per_second = n as f64 / last.as_secs_f64();
         // 4 servers / ~909us ~= 4400/s; placement skew allows slack.
-        assert!((3000.0..5000.0).contains(&per_second), "throughput {per_second}/s");
+        assert!(
+            (3000.0..5000.0).contains(&per_second),
+            "throughput {per_second}/s"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! FIFO resource primitive.
 
 use icache_types::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A single-server FIFO queue over simulated time.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.as_nanos(), 10_000);
 /// assert_eq!(b.as_nanos(), 20_000); // queued behind `a`
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FifoResource {
     busy_until: SimTime,
     busy_time: SimDuration,

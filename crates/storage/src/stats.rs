@@ -1,14 +1,13 @@
 //! Aggregate storage statistics.
 
 use icache_types::{ByteSize, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Counters describing the I/O a backend has served.
 ///
 /// The per-epoch deltas of these counters are what the paper's Figures 9
 /// and 11 report (I/O volume and the split between small random reads and
 /// large package reads).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StorageStats {
     /// Number of random single-sample reads served.
     pub sample_reads: u64,
@@ -56,6 +55,18 @@ impl StorageStats {
             package_bytes: self.package_bytes - earlier.package_bytes,
             service_time: self.service_time - earlier.service_time,
         }
+    }
+}
+
+impl icache_obs::ToJson for StorageStats {
+    fn to_json(&self) -> icache_obs::Json {
+        icache_obs::json!({
+            "sample_reads": self.sample_reads,
+            "package_reads": self.package_reads,
+            "sample_bytes": self.sample_bytes.as_u64(),
+            "package_bytes": self.package_bytes.as_u64(),
+            "service_time_s": self.service_time.as_secs_f64(),
+        })
     }
 }
 

@@ -1,7 +1,6 @@
 //! A single-server resource over a busy-interval timeline.
 
 use icache_types::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A capacity-1 resource that tracks its busy time as a set of intervals
@@ -36,7 +35,7 @@ use std::collections::BTreeMap;
 /// let done = r.submit(SimTime::ZERO, SimDuration::from_micros(10));
 /// assert_eq!(done.as_nanos(), 10_000);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimelineResource {
     /// Non-overlapping busy intervals: start ns → end ns.
     busy: BTreeMap<u64, u64>,

@@ -1,6 +1,5 @@
 //! Byte quantities.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -15,9 +14,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(cap, ByteSize::gib(28));
 /// assert_eq!(ByteSize::kib(64).to_string(), "64.0KiB");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -99,7 +96,10 @@ impl ByteSize {
     /// Panics if `frac` is negative or not finite.
     #[inline]
     pub fn scaled(self, frac: f64) -> ByteSize {
-        assert!(frac.is_finite() && frac >= 0.0, "fraction must be finite and non-negative");
+        assert!(
+            frac.is_finite() && frac >= 0.0,
+            "fraction must be finite and non-negative"
+        );
         ByteSize((self.0 as f64 * frac) as u64)
     }
 
@@ -109,11 +109,7 @@ impl ByteSize {
     /// only arises from degenerate configurations.
     #[inline]
     pub fn units_of(self, unit: ByteSize) -> u64 {
-        if unit.0 == 0 {
-            u64::MAX
-        } else {
-            self.0 / unit.0
-        }
+        self.0.checked_div(unit.0).unwrap_or(u64::MAX)
     }
 }
 

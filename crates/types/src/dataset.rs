@@ -8,12 +8,11 @@
 //! be materialised even for ImageNet-scale cardinalities.
 
 use crate::{splitmix64, ByteSize, Error, Result, SampleId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::OnceLock;
 
 /// How per-sample sizes are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeModel {
     /// Every sample has the same size (CIFAR-style fixed records).
     Fixed(ByteSize),
@@ -35,7 +34,12 @@ impl SizeModel {
     fn sample_size(&self, seed: u64, id: SampleId) -> ByteSize {
         match *self {
             SizeModel::Fixed(sz) => sz,
-            SizeModel::LogNormal { mu, sigma, min, max } => {
+            SizeModel::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
                 // Deterministic standard normal from (seed, id) via
                 // Box–Muller over two splitmix64-derived uniforms.
                 let h1 = splitmix64(seed ^ splitmix64(id.0));
@@ -66,13 +70,12 @@ impl SizeModel {
 /// // Sizes are deterministic:
 /// assert_eq!(ds.sample_size(SampleId(5)), ds.sample_size(SampleId(5)));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     name: String,
     num_samples: u64,
     size_model: SizeModel,
     seed: u64,
-    #[serde(skip)]
     total_bytes: OnceLock<ByteSize>,
 }
 
@@ -122,7 +125,10 @@ impl Dataset {
         }
         let n = ((self.num_samples as f64) * fraction).round() as u64;
         if n == 0 {
-            return Err(Error::invalid_config("fraction", "scaled dataset would be empty"));
+            return Err(Error::invalid_config(
+                "fraction",
+                "scaled dataset would be empty",
+            ));
         }
         DatasetBuilder::new(format!("{}@{:.2}", self.name, fraction), n)
             .size_model(self.size_model)
@@ -198,7 +204,13 @@ impl Dataset {
 
 impl fmt::Display for Dataset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} samples, {})", self.name, self.num_samples, self.total_bytes())
+        write!(
+            f,
+            "{} ({} samples, {})",
+            self.name,
+            self.num_samples,
+            self.total_bytes()
+        )
     }
 }
 
@@ -230,7 +242,7 @@ impl DatasetBuilder {
             name: name.into(),
             num_samples,
             size_model: SizeModel::Fixed(ByteSize::kib(4)),
-            seed: 0xDA7A_5E7,
+            seed: 0x0DA7_A5E7,
         }
     }
 
@@ -255,13 +267,24 @@ impl DatasetBuilder {
     /// have an empty `[min, max]` range.
     pub fn build(self) -> Result<Dataset> {
         if self.num_samples == 0 {
-            return Err(Error::invalid_config("num_samples", "dataset must be non-empty"));
+            return Err(Error::invalid_config(
+                "num_samples",
+                "dataset must be non-empty",
+            ));
         }
         match self.size_model {
             SizeModel::Fixed(sz) if sz.is_zero() => {
-                return Err(Error::invalid_config("size_model", "fixed sample size must be non-zero"));
+                return Err(Error::invalid_config(
+                    "size_model",
+                    "fixed sample size must be non-zero",
+                ));
             }
-            SizeModel::LogNormal { mu, sigma, min, max } => {
+            SizeModel::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
                 if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
                     return Err(Error::invalid_config(
                         "size_model",

@@ -61,16 +61,32 @@ impl fmt::Display for Error {
                 write!(f, "invalid configuration for `{field}`: {reason}")
             }
             Error::InvalidImportance(v) => {
-                write!(f, "importance value must be finite and non-negative, got {v}")
+                write!(
+                    f,
+                    "importance value must be finite and non-negative, got {v}"
+                )
             }
             Error::UnknownSample(id) => write!(f, "unknown sample id {id}"),
             Error::UnknownJob(id) => write!(f, "unknown job id {id}"),
             Error::UnknownNode(id) => write!(f, "unknown node id {id}"),
-            Error::CapacityExceeded { capacity, requested } => {
-                write!(f, "capacity exceeded: requested {requested} with capacity {capacity}")
+            Error::CapacityExceeded {
+                capacity,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "capacity exceeded: requested {requested} with capacity {capacity}"
+                )
             }
-            Error::ItemTooLarge { sample, size, capacity } => {
-                write!(f, "sample {sample} of size {size} cannot fit in region of capacity {capacity}")
+            Error::ItemTooLarge {
+                sample,
+                size,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "sample {sample} of size {size} cannot fit in region of capacity {capacity}"
+                )
             }
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
         }
@@ -82,7 +98,10 @@ impl std::error::Error for Error {}
 impl Error {
     /// Build an [`Error::InvalidConfig`] with a formatted reason.
     pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
-        Error::InvalidConfig { field, reason: reason.into() }
+        Error::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
     }
 }
 

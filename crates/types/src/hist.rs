@@ -1,7 +1,6 @@
 //! Log-bucketed latency histograms.
 
 use crate::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Number of logarithmic buckets: bucket `i` covers
 /// `[2^i, 2^(i+1))` nanoseconds, with the last bucket open-ended.
@@ -28,7 +27,7 @@ const BUCKETS: usize = 64;
 /// assert!(h.quantile(0.5) < SimDuration::from_micros(100));
 /// assert!(h.quantile(0.99) >= SimDuration::from_micros(4_000));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -103,7 +102,11 @@ impl LatencyHistogram {
             seen += c;
             if seen >= rank {
                 // Upper bucket edge, capped by the exact max.
-                let edge = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let edge = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return SimDuration::from_nanos(edge).min(self.max);
             }
         }
@@ -151,7 +154,10 @@ mod tests {
         let truth = 500_000.0;
         assert!(p50 >= truth * 0.99 && p50 <= truth * 2.0, "p50 {p50}");
         let p99 = h.quantile(0.99).as_nanos() as f64;
-        assert!(p99 >= 990_000.0 * 0.99 && p99 <= 990_000.0 * 2.0, "p99 {p99}");
+        assert!(
+            (990_000.0 * 0.99..=990_000.0 * 2.0).contains(&p99),
+            "p99 {p99}"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! A dense bitset over sample ids.
 
 use crate::SampleId;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-universe set of [`SampleId`]s backed by a bitmap.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!set.contains(SampleId(8)));
 /// assert_eq!(set.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdSet {
     words: Vec<u64>,
     universe: u64,
@@ -69,7 +68,11 @@ impl IdSet {
     /// Panics if `id` is outside the universe.
     #[inline]
     pub fn insert(&mut self, id: SampleId) -> bool {
-        assert!(id.0 < self.universe, "id {id} outside universe {}", self.universe);
+        assert!(
+            id.0 < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
         let (w, b) = (id.index() / 64, id.index() % 64);
         let mask = 1u64 << b;
         let newly = self.words[w] & mask == 0;

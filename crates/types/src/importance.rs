@@ -1,6 +1,5 @@
 //! Importance values.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert!(hi > lo);
 /// # Ok::<(), icache_types::Error>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImportanceValue(f64);
 
 impl ImportanceValue {
@@ -119,7 +118,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_on_valid_values() {
-        let mut v = vec![
+        let mut v = [
             ImportanceValue::new(3.0).unwrap(),
             ImportanceValue::new(1.0).unwrap(),
             ImportanceValue::new(2.0).unwrap(),

@@ -104,7 +104,9 @@ impl SeedSequence {
 
     /// A child sequence, useful for handing a component its own namespace.
     pub fn child(&self, tag: &str) -> SeedSequence {
-        SeedSequence { root: self.seed(tag) }
+        SeedSequence {
+            root: self.seed(tag),
+        }
     }
 }
 

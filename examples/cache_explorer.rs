@@ -9,7 +9,9 @@
 use icache::core::{CacheSystem, FetchOutcome, IcacheConfig, IcacheManager};
 use icache::sampling::{HList, ImportanceTable};
 use icache::storage::{Pfs, PfsConfig, StorageBackend};
-use icache::types::{ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
+use icache::types::{
+    ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel,
+};
 
 fn show(fetch: &icache::core::Fetch, requested: SampleId) {
     let what = match fetch.outcome {
@@ -18,7 +20,10 @@ fn show(fetch: &icache::core::Fetch, requested: SampleId) {
         FetchOutcome::Miss => "storage read".to_string(),
         FetchOutcome::Substituted { by, .. } => format!("substituted by {by}"),
     };
-    println!("  fetch {requested:>4} -> {what:<22} ready at {}", fetch.ready_at);
+    println!(
+        "  fetch {requested:>4} -> {what:<22} ready at {}",
+        fetch.ready_at
+    );
 }
 
 fn main() -> Result<(), icache::types::Error> {
@@ -73,7 +78,7 @@ fn main() -> Result<(), icache::types::Error> {
     }
 
     // Give the loading thread a moment of virtual time, then miss again.
-    now = now + icache::types::SimDuration::from_millis(500);
+    now += icache::types::SimDuration::from_millis(500);
     println!("\nafter the loading thread lands a package (hits or substitution):");
     for id in [SampleId(902), SampleId(903), SampleId(904)] {
         let f = cache.fetch(job, id, dataset.sample_size(id), now, &mut storage);

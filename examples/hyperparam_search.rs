@@ -40,10 +40,7 @@ fn describe(label: &str, out: &[RunMetrics]) {
             "  {:10} epoch {:>9}  hit {:>5.1}%  top1 {:.2}",
             m.model,
             format!("{}", m.avg_epoch_time_steady()),
-            m.epochs[1..]
-                .iter()
-                .map(|e| e.job_hit_ratio())
-                .sum::<f64>()
+            m.epochs[1..].iter().map(|e| e.job_hit_ratio()).sum::<f64>()
                 / (m.epochs.len() - 1) as f64
                 * 100.0,
             m.final_top1()
@@ -81,7 +78,11 @@ fn main() -> Result<(), icache::types::Error> {
             println!(
                 "benefit probe {job}: ratio {:.2} -> {}",
                 benefit.ratio,
-                if benefit.eligible { "cache-eligible" } else { "not eligible" }
+                if benefit.eligible {
+                    "cache-eligible"
+                } else {
+                    "not eligible"
+                }
             );
         }
     }

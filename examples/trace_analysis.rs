@@ -42,7 +42,10 @@ fn main() -> Result<(), icache::types::Error> {
     let mut kinds: Vec<_> = counts.iter().collect();
     kinds.sort_by_key(|(_, &c)| std::cmp::Reverse(c));
     for (kind, &count) in kinds {
-        println!("  {kind:5} {count:>7}  ({:.1}%)", count as f64 / total as f64 * 100.0);
+        println!(
+            "  {kind:5} {count:>7}  ({:.1}%)",
+            count as f64 / total as f64 * 100.0
+        );
     }
 
     // 3. Reuse distances: how many other fetches separate two accesses to
@@ -58,7 +61,12 @@ fn main() -> Result<(), icache::types::Error> {
     if !distances.is_empty() {
         let pick = |q: f64| distances[((distances.len() - 1) as f64 * q) as usize];
         println!("\nreuse distances (fetches between re-accesses of one sample):");
-        println!("  p10 {:>7}   p50 {:>7}   p90 {:>7}", pick(0.1), pick(0.5), pick(0.9));
+        println!(
+            "  p10 {:>7}   p50 {:>7}   p90 {:>7}",
+            pick(0.1),
+            pick(0.5),
+            pick(0.9)
+        );
         println!(
             "  cache holds ~{} samples -> distances far above that defeat recency-based caching",
             (dataset.len() as f64 * 0.2) as u64
@@ -73,14 +81,20 @@ fn main() -> Result<(), icache::types::Error> {
         .take(5)
         .map(|e| format!("{} -> {}", e.requested, e.served))
         .collect();
-    println!("\nfirst substitutions (requested -> served): {}", subs.join(", "));
+    println!(
+        "\nfirst substitutions (requested -> served): {}",
+        subs.join(", ")
+    );
 
     // 5. Replay the same request stream against a plain LRU for contrast.
     let trace = Trace::parse_jsonl(&traced.to_jsonl())?;
     let mut lru = LruCache::new(dataset.total_bytes().scaled(0.2));
     let mut storage = Pfs::new(PfsConfig::orangefs_default())?;
     let rep = replay(&trace, &dataset, &mut lru, &mut storage);
-    println!("\nsame request stream through a plain LRU: {}", summarize(&rep));
+    println!(
+        "\nsame request stream through a plain LRU: {}",
+        summarize(&rep)
+    );
     println!(
         "iCache hit ratio on the live run: {:.1}%",
         traced.stats().hit_ratio() * 100.0

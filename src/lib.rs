@@ -11,6 +11,8 @@
 //!   multi-job coordination, distributed cache).
 //! * [`baselines`] — LRU (Default), CoorDL, Quiver, iLFU, Oracle.
 //! * [`sim`] — training-loop simulator, metrics, canonical scenarios.
+//! * [`obs`] — metrics registry, bounded structured-event trace, and
+//!   canonical JSON used by every layer above.
 //!
 //! # Examples
 //!
@@ -25,6 +27,7 @@
 pub use icache_baselines as baselines;
 pub use icache_core as core;
 pub use icache_dnn as dnn;
+pub use icache_obs as obs;
 pub use icache_sampling as sampling;
 pub use icache_sim as sim;
 pub use icache_storage as storage;

@@ -5,7 +5,9 @@
 use icache::core::{CacheSystem, FetchOutcome, IcacheConfig, IcacheManager, Substitution};
 use icache::sampling::{HList, ImportanceTable};
 use icache::storage::{LocalTier, Pfs, PfsConfig, StorageBackend};
-use icache::types::{ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
+use icache::types::{
+    ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel,
+};
 
 fn dataset(n: u64) -> Dataset {
     DatasetBuilder::new("alg1", n)
@@ -22,7 +24,14 @@ fn manager(ds: &Dataset, frac: f64) -> IcacheManager {
 fn hot_hlist(ds: &Dataset, hot: u64, fraction: f64) -> HList {
     let mut t = ImportanceTable::new(ds.len());
     for id in ds.ids() {
-        t.record_loss(id, if id.0 < hot { 100.0 - id.0 as f64 * 0.01 } else { 0.01 });
+        t.record_loss(
+            id,
+            if id.0 < hot {
+                100.0 - id.0 as f64 * 0.01
+            } else {
+                0.01
+            },
+        );
     }
     HList::top_fraction(&t, fraction)
 }
@@ -38,7 +47,13 @@ fn h_samples_route_to_h_cache_and_l_samples_to_l_cache() {
     let mut now = SimTime::ZERO;
     // Fault in one H-sample and re-read: must be an H hit.
     for _ in 0..2 {
-        let f = m.fetch(JobId(0), SampleId(5), ds.sample_size(SampleId(5)), now, &mut st);
+        let f = m.fetch(
+            JobId(0),
+            SampleId(5),
+            ds.sample_size(SampleId(5)),
+            now,
+            &mut st,
+        );
         now = f.ready_at;
     }
     assert_eq!(m.stats().h_hits, 1);
@@ -47,7 +62,13 @@ fn h_samples_route_to_h_cache_and_l_samples_to_l_cache() {
     // L-samples never enter the H-region.
     let h_before = m.h_len();
     for i in 500..520u64 {
-        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        let f = m.fetch(
+            JobId(0),
+            SampleId(i),
+            ds.sample_size(SampleId(i)),
+            now,
+            &mut st,
+        );
         now = f.ready_at;
     }
     assert_eq!(m.h_len(), h_before, "L-path must not insert into H-cache");
@@ -65,18 +86,39 @@ fn full_h_cache_admits_only_higher_importance() {
     let mut now = SimTime::ZERO;
     // Fill with mid-importance H-samples (ids near 1999 have lowest hot loss).
     for i in 1_000..1_999u64 {
-        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        let f = m.fetch(
+            JobId(0),
+            SampleId(i),
+            ds.sample_size(SampleId(i)),
+            now,
+            &mut st,
+        );
         now = f.ready_at;
     }
     let evictions_before = m.stats().evictions;
     // Now the hottest samples arrive: they must displace.
     for i in 0..50u64 {
-        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        let f = m.fetch(
+            JobId(0),
+            SampleId(i),
+            ds.sample_size(SampleId(i)),
+            now,
+            &mut st,
+        );
         now = f.ready_at;
     }
-    assert!(m.stats().evictions > evictions_before, "hotter samples must evict colder ones");
+    assert!(
+        m.stats().evictions > evictions_before,
+        "hotter samples must evict colder ones"
+    );
     // And they stay resident.
-    let f = m.fetch(JobId(0), SampleId(0), ds.sample_size(SampleId(0)), now, &mut st);
+    let f = m.fetch(
+        JobId(0),
+        SampleId(0),
+        ds.sample_size(SampleId(0)),
+        now,
+        &mut st,
+    );
     assert_eq!(f.outcome, FetchOutcome::HitH);
 }
 
@@ -92,7 +134,13 @@ fn l_miss_substitution_returns_resident_sample_and_logs_io() {
     let mut now = SimTime::ZERO;
     let mut substituted = Vec::new();
     for i in 400..1_400u64 {
-        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        let f = m.fetch(
+            JobId(0),
+            SampleId(i),
+            ds.sample_size(SampleId(i)),
+            now,
+            &mut st,
+        );
         now = f.ready_at;
         if let FetchOutcome::Substituted { by, from_h } = f.outcome {
             assert!(!from_h, "default policy substitutes from L-cache");
@@ -107,7 +155,10 @@ fn l_miss_substitution_returns_resident_sample_and_logs_io() {
     dedup.dedup();
     assert_eq!(dedup.len(), substituted.len());
     // Dynamic packaging produced real package I/O.
-    assert!(st.stats().package_reads > 0, "loading thread must issue package reads");
+    assert!(
+        st.stats().package_reads > 0,
+        "loading thread must issue package reads"
+    );
 }
 
 #[test]
@@ -123,12 +174,24 @@ fn substitution_policies_change_the_served_source() {
         let mut now = SimTime::ZERO;
         // Prime H-cache so ST_HC has residents to serve.
         for i in 0..200u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
         }
         let mut outcomes = Vec::new();
         for i in 1_000..1_400u64 {
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
             outcomes.push(f.outcome);
         }
@@ -137,7 +200,8 @@ fn substitution_policies_change_the_served_source() {
 
     let none = run(Substitution::None);
     assert!(
-        none.iter().all(|o| !matches!(o, FetchOutcome::Substituted { .. })),
+        none.iter()
+            .all(|o| !matches!(o, FetchOutcome::Substituted { .. })),
         "Def policy never substitutes"
     );
     let from_h = run(Substitution::FromH);
@@ -163,16 +227,31 @@ fn epoch_rebalancing_follows_access_frequencies() {
     for rep in 0..3 {
         for i in 0..300u64 {
             let _ = rep;
-            let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+            let f = m.fetch(
+                JobId(0),
+                SampleId(i),
+                ds.sample_size(SampleId(i)),
+                now,
+                &mut st,
+            );
             now = f.ready_at;
         }
     }
     for i in 7_900..8_000u64 {
-        let f = m.fetch(JobId(0), SampleId(i), ds.sample_size(SampleId(i)), now, &mut st);
+        let f = m.fetch(
+            JobId(0),
+            SampleId(i),
+            ds.sample_size(SampleId(i)),
+            now,
+            &mut st,
+        );
         now = f.ready_at;
     }
     m.on_epoch_end(JobId(0), Epoch(0));
     let h_share = m.h_capacity().as_f64() / m.capacity().as_f64();
-    assert!(h_share > 0.7, "frequency 9:1 should give H most of the cache, got {h_share:.2}");
+    assert!(
+        h_share > 0.7,
+        "frequency 9:1 should give H most of the cache, got {h_share:.2}"
+    );
     assert_eq!(m.h_capacity() + m.l_capacity(), m.capacity());
 }

@@ -37,14 +37,21 @@ fn shards_partition_each_epoch() {
     let (out, _, _) = run_cluster(&dataset, 4);
     assert_eq!(out.len(), 4);
     let total: u64 = out.iter().map(|m| m.epochs[0].samples_fetched).sum();
-    assert_eq!(total, dataset.len(), "warm-up epoch covers the dataset exactly once");
+    assert_eq!(
+        total,
+        dataset.len(),
+        "warm-up epoch covers the dataset exactly once"
+    );
 }
 
 #[test]
 fn peer_cache_serves_cross_node_hits() {
     let dataset = Dataset::cifar10().scaled(0.04).expect("scale");
     let (_, remote_hits, _) = run_cluster(&dataset, 4);
-    assert!(remote_hits > 0, "shuffled shards must generate peer-cache traffic");
+    assert!(
+        remote_hits > 0,
+        "shuffled shards must generate peer-cache traffic"
+    );
 }
 
 #[test]

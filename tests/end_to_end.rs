@@ -26,7 +26,9 @@ fn every_system_trains_to_completion() {
         SystemKind::IcacheSubH,
         SystemKind::Oracle,
     ] {
-        let m = quick(kind).run().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        let m = quick(kind)
+            .run()
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert_eq!(m.epochs.len(), 4, "{kind:?}");
         assert!(m.final_top1() > 0.0, "{kind:?}");
         assert!(m.avg_epoch_time().as_secs_f64() > 0.0, "{kind:?}");
@@ -52,10 +54,21 @@ fn headline_ordering_icache_between_default_and_oracle() {
 
 #[test]
 fn icache_beats_every_published_baseline() {
-    let icache = quick(SystemKind::Icache).run().unwrap().avg_epoch_time_steady();
-    for kind in [SystemKind::Base, SystemKind::Quiver, SystemKind::CoorDl, SystemKind::Ilfu] {
+    let icache = quick(SystemKind::Icache)
+        .run()
+        .unwrap()
+        .avg_epoch_time_steady();
+    for kind in [
+        SystemKind::Base,
+        SystemKind::Quiver,
+        SystemKind::CoorDl,
+        SystemKind::Ilfu,
+    ] {
         let other = quick(kind).run().unwrap().avg_epoch_time_steady();
-        assert!(icache < other, "{kind:?} should lose to iCache: {other} vs {icache}");
+        assert!(
+            icache < other,
+            "{kind:?} should lose to iCache: {other} vs {icache}"
+        );
     }
 }
 
@@ -124,11 +137,16 @@ fn base_matches_default_io_but_cuts_compute() {
     let default = quick(SystemKind::Default).run().unwrap();
     let base = quick(SystemKind::Base).run().unwrap();
     // CIS fetches everything…
-    assert_eq!(base.epochs[1].samples_fetched, default.epochs[1].samples_fetched);
+    assert_eq!(
+        base.epochs[1].samples_fetched,
+        default.epochs[1].samples_fetched
+    );
     // …but computes less.
     assert!(base.epochs[1].compute_time < default.epochs[1].compute_time);
     // Total time barely moves on I/O-bound training (§II-B).
-    let ratio = default.avg_epoch_time_steady().ratio(base.avg_epoch_time_steady());
+    let ratio = default
+        .avg_epoch_time_steady()
+        .ratio(base.avg_epoch_time_steady());
     assert!(
         (0.9..1.25).contains(&ratio),
         "CIS total-time speedup {ratio:.2} should be marginal"

@@ -55,7 +55,10 @@ fn coordination_balances_hit_ratios() {
     let mut pfs = Pfs::new(PfsConfig::orangefs_default()).expect("pfs");
     let out = run_multi_job(jobs(&dataset, true), &mut cache, &mut pfs).expect("runs");
     let (h0, h1) = (job_hit(&out[0]), job_hit(&out[1]));
-    assert!(h0 > 0.05 && h1 > 0.05, "both jobs must benefit: {h0:.2}, {h1:.2}");
+    assert!(
+        h0 > 0.05 && h1 > 0.05,
+        "both jobs must benefit: {h0:.2}, {h1:.2}"
+    );
     assert!(
         (h0 - h1).abs() < 0.2,
         "coordinated hit ratios should be comparable: {h0:.2} vs {h1:.2}"
@@ -78,7 +81,9 @@ fn coordinated_icache_beats_uncoordinated_lru_on_completion() {
     let coord = run_multi_job(jobs(&dataset, true), &mut cache, &mut pfs).expect("runs");
 
     let completion = |out: &[RunMetrics]| {
-        out.iter().map(|m| m.total_time().as_secs_f64()).fold(0.0f64, f64::max)
+        out.iter()
+            .map(|m| m.total_time().as_secs_f64())
+            .fold(0.0f64, f64::max)
     };
     assert!(
         completion(&coord) < completion(&base),

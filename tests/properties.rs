@@ -4,9 +4,7 @@
 use icache::core::{CacheSystem, IcacheConfig, IcacheManager};
 use icache::sampling::{HList, ImportanceTable};
 use icache::storage::LocalTier;
-use icache::types::{
-    ByteSize, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel,
-};
+use icache::types::{ByteSize, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
 use proptest::prelude::*;
 
 proptest! {
@@ -89,6 +87,62 @@ proptest! {
             prop_assert!(cache.used_bytes() <= cache.capacity());
         }
     }
+
+    /// Frequency-driven rebalancing (§III-A) under arbitrary H/L access
+    /// mixes: however skewed the epoch's accesses, the L-region keeps room
+    /// for at least one package and the regions never outgrow the
+    /// configured capacity.
+    #[test]
+    fn rebalance_keeps_l_region_at_least_one_package(
+        seed in 0u64..500,
+        cache_frac in 0.05f64..0.5,
+        hot_frac in 0.01f64..0.99,
+        // Per-epoch access streams: each entry picks a sample by rank, so
+        // low ranks land in the H-list and high ranks in the L-pool. The
+        // mix of ranks sets the H:L access-frequency ratio.
+        ranks in proptest::collection::vec(0u64..600, 30..250),
+        epochs in 1usize..4,
+    ) {
+        let ds = DatasetBuilder::new("prop3", 600)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .expect("dataset");
+        let mut cfg = IcacheConfig::for_dataset(&ds, cache_frac).expect("cfg");
+        cfg.seed = seed;
+        let package_size = cfg.package_size;
+        let capacity = cfg.capacity;
+        let min_l = package_size.min(capacity / 2);
+        let mut cache = IcacheManager::new(cfg, &ds).expect("manager");
+        let mut st = LocalTier::tmpfs();
+
+        // Importance is rank order: sample 0 is hottest.
+        let mut table = ImportanceTable::new(ds.len());
+        for id in ds.ids() {
+            table.record_loss(id, 600.0 - id.0 as f64);
+        }
+        let mut now = SimTime::ZERO;
+        for e in 0..epochs {
+            cache.update_hlist(JobId(0), &HList::top_fraction(&table, hot_frac));
+            cache.on_epoch_start(JobId(0), Epoch(e as u32));
+            for &r in &ranks {
+                let id = SampleId(r);
+                let f = cache.fetch(JobId(0), id, ds.sample_size(id), now, &mut st);
+                now = f.ready_at;
+            }
+            cache.on_epoch_end(JobId(0), Epoch(e as u32));
+            prop_assert!(
+                cache.l_capacity() >= min_l,
+                "L-region shrank below one package: {} < {} (hot_frac {hot_frac:.2})",
+                cache.l_capacity(), min_l
+            );
+            prop_assert!(
+                cache.h_capacity() + cache.l_capacity() <= capacity,
+                "regions outgrew the cache: {} + {} > {}",
+                cache.h_capacity(), cache.l_capacity(), capacity
+            );
+            prop_assert!(cache.used_bytes() <= cache.capacity());
+        }
+    }
 }
 
 /// Identical seeds give identical traces through the full cache stack.
@@ -99,9 +153,8 @@ fn facade_level_determinism() {
             .size_model(SizeModel::Fixed(ByteSize::kib(3)))
             .build()
             .expect("dataset");
-        let mut cache =
-            IcacheManager::new(IcacheConfig::for_dataset(&ds, 0.2).expect("cfg"), &ds)
-                .expect("manager");
+        let mut cache = IcacheManager::new(IcacheConfig::for_dataset(&ds, 0.2).expect("cfg"), &ds)
+            .expect("manager");
         let mut st = LocalTier::tmpfs();
         let mut table = ImportanceTable::new(ds.len());
         for id in ds.ids() {

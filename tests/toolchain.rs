@@ -2,9 +2,7 @@
 //! tracing, replay, PM tier, and criterion extensions working together —
 //! the workflows a downstream user composes from the public API.
 
-use icache::core::{
-    IcacheConfig, IcacheManager, IcacheServer, PmTierConfig, Request, Response,
-};
+use icache::core::{IcacheConfig, IcacheManager, IcacheServer, PmTierConfig, Request, Response};
 use icache::dnn::ModelProfile;
 use icache::sampling::ImportanceCriterion;
 use icache::sim::replay::{replay, AccessPattern, Trace};
@@ -58,22 +56,36 @@ fn server_facade_drives_a_whole_training_loop() {
     for epoch in 0..2u32 {
         assert_eq!(
             server.handle(
-                Request::EpochStart { job: JobId(0), epoch: icache::types::Epoch(epoch) },
+                Request::EpochStart {
+                    job: JobId(0),
+                    epoch: icache::types::Epoch(epoch)
+                },
                 &mut storage
             ),
             Response::Ack
         );
         for batch_start in (0..dataset.len()).step_by(64) {
-            let ids: Vec<SampleId> =
-                (batch_start..(batch_start + 64).min(dataset.len())).map(SampleId).collect();
-            match server.handle(Request::Load { job: JobId(0), ids, now }, &mut storage) {
+            let ids: Vec<SampleId> = (batch_start..(batch_start + 64).min(dataset.len()))
+                .map(SampleId)
+                .collect();
+            match server.handle(
+                Request::Load {
+                    job: JobId(0),
+                    ids,
+                    now,
+                },
+                &mut storage,
+            ) {
                 Response::Batch(fetches) => now = fetches.last().expect("non-empty").ready_at,
                 other => panic!("unexpected reply {other:?}"),
             }
         }
         assert_eq!(
             server.handle(
-                Request::EpochEnd { job: JobId(0), epoch: icache::types::Epoch(epoch) },
+                Request::EpochEnd {
+                    job: JobId(0),
+                    epoch: icache::types::Epoch(epoch)
+                },
                 &mut storage
             ),
             Response::Ack
@@ -84,7 +96,11 @@ fn server_facade_drives_a_whole_training_loop() {
     };
     assert_eq!(stats.requests(), dataset.len() * 2);
     // Warm-up filled the cache: the second epoch must have hit.
-    assert!(stats.hit_ratio() > 0.1, "hit ratio {:.3}", stats.hit_ratio());
+    assert!(
+        stats.hit_ratio() > 0.1,
+        "hit ratio {:.3}",
+        stats.hit_ratio()
+    );
 }
 
 #[test]
@@ -130,14 +146,18 @@ fn criterion_swap_changes_selection_but_preserves_speedup() {
     // Different criteria pick different samples…
     assert_ne!(loss, grad);
     // …but the I/O benefit is criterion-agnostic (within 25 %).
-    let ratio = loss.avg_epoch_time_steady().ratio(grad.avg_epoch_time_steady());
+    let ratio = loss
+        .avg_epoch_time_steady()
+        .ratio(grad.avg_epoch_time_steady());
     assert!((0.8..1.25).contains(&ratio), "epoch-time ratio {ratio:.2}");
 }
 
 #[test]
 fn zipf_replay_ranks_policies_sanely() {
     let dataset = icache::types::DatasetBuilder::new("zipf", 5_000)
-        .size_model(icache::types::SizeModel::Fixed(icache::types::ByteSize::kib(3)))
+        .size_model(icache::types::SizeModel::Fixed(
+            icache::types::ByteSize::kib(3),
+        ))
         .build()
         .expect("dataset");
     let trace = AccessPattern::Zipf { s: 1.1 }

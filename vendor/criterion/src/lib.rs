@@ -1,0 +1,285 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`black_box`], [`criterion_group!`]/[`criterion_main!`] — backed by a
+//! simple wall-clock timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark is warmed up briefly, then timed over a fixed number of
+//! batches; the mean and min per-iteration times are printed. Good enough
+//! to compare orders of magnitude and catch gross regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs every batch
+/// at size 1, so this only mirrors the upstream signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Identifier of one parameterized benchmark case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher<'a> {
+    samples: u32,
+    result: &'a mut TimingResult,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TimingResult {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up, then estimate a per-sample iteration count targeting
+        // ~2 ms per sample so fast routines are not all timer noise.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+        let batch = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed / batch as u32);
+            iters += batch;
+        }
+        *self.result = TimingResult {
+            mean: total.checked_div(iters as u32).unwrap_or_default(),
+            min,
+            iters,
+        };
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup time excluded
+    /// from the mean as far as the wall clock allows: each batch is timed
+    /// after its setup completes).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            iters += 1;
+        }
+        *self.result = TimingResult {
+            mean: total.checked_div(iters as u32).unwrap_or_default(),
+            min,
+            iters,
+        };
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(2) as u32;
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Benchmark `f` with `input` under `id` within this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 30 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut result = TimingResult::default();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        println!(
+            "{label:<50} mean {:>12}   min {:>12}   ({} iters)",
+            human(result.mean),
+            human(result.min),
+            result.iters
+        );
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { samples: 3 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("in", 5), &5u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(human(Duration::from_nanos(50)), "50 ns");
+        assert_eq!(human(Duration::from_micros(5)), "5.000 µs");
+    }
+}
