@@ -12,10 +12,19 @@
 //! `--requests <n>`, `--universe <n>`, `--cache-frac <f>`,
 //! `--storage orangefs|nfs|tmpfs|ssd`, `--seed <n>`,
 //! `--trace <file.jsonl>` (overrides `--pattern`),
-//! `--trace-out <file.jsonl>` (write the structured event trace of the
-//! replay — one JSON object per line, per-policy events interleaved),
+//! `--trace-out <file.jsonl>` (write each policy's structured event trace
+//! to its own file — `out.jsonl` becomes `out.lru.jsonl`,
+//! `out.icache.jsonl`, … — so event streams never interleave and every
+//! file's `seq` starts at 0),
 //! `--json <file.json>` (write a per-policy summary with the
-//! observability counters and latency histograms).
+//! observability counters, latency histograms, and trace accounting).
+//!
+//! Each policy replays against its own [`icache_obs::Obs`] ring. On top
+//! of whatever the policy itself records, the replay driver records
+//! `replay.accesses`, `replay.h_hits`, `replay.l_hits`, `replay.pm_hits`,
+//! `replay.substitutions`, and `replay.misses` from the replay report, so
+//! every per-policy snapshot satisfies
+//! `h_hits + l_hits + pm_hits + substitutions + misses == accesses`.
 
 use icache_baselines::{IlfuCache, LruCache, MinIoCache, QuiverCache};
 use icache_core::{CacheSystem, IcacheConfig, IcacheManager};
@@ -39,6 +48,23 @@ fn parse_args() -> Result<HashMap<String, String>, String> {
         out.insert(key.to_string(), value);
     }
     Ok(out)
+}
+
+/// `out.jsonl` + `lru` → `out.lru.jsonl`; a path with no extension gets
+/// the policy name appended instead.
+fn policy_path(path: &str, policy: &str) -> String {
+    let p = std::path::Path::new(path);
+    match (p.file_stem(), p.extension()) {
+        (Some(stem), Some(ext)) => p
+            .with_file_name(format!(
+                "{}.{policy}.{}",
+                stem.to_string_lossy(),
+                ext.to_string_lossy()
+            ))
+            .to_string_lossy()
+            .into_owned(),
+        _ => format!("{path}.{policy}"),
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -110,7 +136,6 @@ fn run() -> Result<(), String> {
         cache_frac * 100.0
     );
 
-    let obs = icache_obs::Obs::new();
     let mut policy_summaries: Vec<(String, icache_obs::Json)> = Vec::new();
     let mut out = report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed"]);
     let policies: Vec<(&str, Box<dyn CacheSystem>)> = vec![
@@ -130,11 +155,23 @@ fn run() -> Result<(), String> {
     ];
 
     for (name, mut cache) in policies {
+        // One observability ring per policy: event streams never
+        // interleave and each trace file's seq numbering starts at 0.
+        let obs = icache_obs::Obs::new();
         let mut storage = storage_kind.build().map_err(|e| e.to_string())?;
         cache.set_obs(obs.clone());
         storage.set_obs(obs.clone());
         cache.on_epoch_start(JobId(0), icache_types::Epoch(0));
         let rep = replay(&trace, &dataset, cache.as_mut(), storage.as_mut());
+        // The replay driver's own accounting: baselines record nothing
+        // into the registry themselves, so these six counters make every
+        // policy snapshot sum to the shared workload's access count.
+        obs.add("replay.accesses", trace.len() as u64);
+        obs.add("replay.h_hits", rep.stats.h_hits);
+        obs.add("replay.l_hits", rep.stats.l_hits);
+        obs.add("replay.pm_hits", rep.stats.pm_hits);
+        obs.add("replay.substitutions", rep.stats.substitutions);
+        obs.add("replay.misses", rep.stats.misses);
         out.row(vec![
             name.to_string(),
             format!("{:.1}", rep.hit_ratio() * 100.0),
@@ -143,37 +180,45 @@ fn run() -> Result<(), String> {
             format!("{}", rep.elapsed),
         ]);
         println!("{name:8} {}", summarize(&rep));
-        // Per-policy counters: snapshot, then reset the registry (but not
-        // the trace ring, which accumulates across policies).
-        policy_summaries.push((name.to_string(), obs.metrics_snapshot()));
-        obs.with_metrics(|m| m.clear());
+        if let Some(path) = args.get("trace-out") {
+            let path = policy_path(path, name);
+            std::fs::write(&path, obs.trace_jsonl())
+                .map_err(|e| format!("--trace-out {path}: {e}"))?;
+            println!("wrote {} {name} trace events to {path}", obs.trace_len());
+        }
+        policy_summaries.push((
+            name.to_string(),
+            icache_obs::Json::Obj(vec![
+                ("metrics".into(), obs.metrics_snapshot()),
+                (
+                    "trace".into(),
+                    icache_obs::Json::Obj(vec![
+                        (
+                            "emitted".into(),
+                            icache_obs::Json::UInt(obs.trace_emitted()),
+                        ),
+                        (
+                            "recorded".into(),
+                            icache_obs::Json::UInt(obs.trace_len() as u64),
+                        ),
+                        (
+                            "dropped".into(),
+                            icache_obs::Json::UInt(obs.trace_dropped()),
+                        ),
+                    ]),
+                ),
+            ]),
+        ));
     }
     println!();
     println!("{}", out.render());
-    if let Some(path) = args.get("trace-out") {
-        std::fs::write(path, obs.trace_jsonl()).map_err(|e| format!("--trace-out {path}: {e}"))?;
-        println!("wrote {} trace events to {path}", obs.trace_len());
-    }
     if let Some(path) = args.get("json") {
         let summary = icache_obs::Json::Obj(vec![
-            ("policies".into(), icache_obs::Json::Obj(policy_summaries)),
             (
-                "trace".into(),
-                icache_obs::Json::Obj(vec![
-                    (
-                        "emitted".into(),
-                        icache_obs::Json::UInt(obs.trace_emitted()),
-                    ),
-                    (
-                        "recorded".into(),
-                        icache_obs::Json::UInt(obs.trace_len() as u64),
-                    ),
-                    (
-                        "dropped".into(),
-                        icache_obs::Json::UInt(obs.trace_dropped()),
-                    ),
-                ]),
+                "accesses".into(),
+                icache_obs::Json::UInt(trace.len() as u64),
             ),
+            ("policies".into(), icache_obs::Json::Obj(policy_summaries)),
         ]);
         std::fs::write(path, format!("{summary}\n")).map_err(|e| format!("--json {path}: {e}"))?;
         println!("wrote replay summary to {path}");

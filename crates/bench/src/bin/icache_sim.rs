@@ -21,6 +21,7 @@
 //! | `--batch` | `256` | mini-batch size |
 //! | `--workers` | `6` | data-loader workers |
 //! | `--gpus` | `1` | data-parallel GPUs |
+//! | `--nodes` | `1` | cluster nodes; `>= 2` runs the distributed iCache (one sharded job per node, requires `--system icache`) |
 //! | `--seed` | `0x5EED` | run seed |
 //! | `--json` | - | write the machine-readable run summary (per-epoch metrics + counters + latency histograms) to this JSON path |
 //! | `--trace` | - | write the structured event trace (one JSON object per line) to this JSONL path |
@@ -28,6 +29,10 @@
 //!
 //! `--trace` and `--json` output is deterministic: the same configuration
 //! and seed produce byte-identical files.
+//!
+//! With `--nodes N` (N ≥ 2) the trace carries rank-0 `epoch_start` /
+//! `epoch_end` markers and the JSON summary gains a `"nodes"` array with
+//! each rank's `local_hits` / `remote_hits` / `storage_fetches` counters.
 
 use icache_dnn::ModelProfile;
 use icache_sampling::ImportanceCriterion;
@@ -128,15 +133,28 @@ fn run() -> Result<(), String> {
         .workers(parse_usize("workers", "6")?)
         .gpus(parse_usize("gpus", "1")?)
         .seed(seed);
+    let nodes = parse_usize("nodes", "1")?;
 
     println!(
-        "running {} ({}) on {} ...\n",
+        "running {} ({}) on {}{} ...\n",
         system.label(),
         get("model", "shufflenet"),
-        scenario.dataset_ref()
+        scenario.dataset_ref(),
+        if nodes >= 2 {
+            format!(" across {nodes} nodes")
+        } else {
+            String::new()
+        }
     );
     let obs = icache_obs::Obs::new();
-    let metrics = scenario.run_with_obs(&obs).map_err(|e| e.to_string())?;
+    let runs = if nodes >= 2 {
+        scenario
+            .run_distributed_with_obs(nodes as u32, &obs)
+            .map_err(|e| e.to_string())?
+    } else {
+        vec![scenario.run_with_obs(&obs).map_err(|e| e.to_string())?]
+    };
+    let metrics = &runs[0];
 
     let mut table = report::Table::with_columns(&[
         "epoch", "wall", "stall", "compute", "fetched", "hit%", "p50", "p99", "top1", "top5",
@@ -156,8 +174,21 @@ fn run() -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+    if nodes >= 2 {
+        let mut nt = report::Table::with_columns(&["node", "local", "remote", "storage"]);
+        for i in 0..nodes {
+            let c = |s: &str| obs.counter(&format!("dist.node{i}.{s}")).to_string();
+            nt.row(vec![
+                i.to_string(),
+                c("local_hits"),
+                c("remote_hits"),
+                c("storage_fetches"),
+            ]);
+        }
+        println!("\nper-node fetch classification:\n{}", nt.render());
+    }
     if let Some(path) = args.get("csv") {
-        std::fs::write(path, report::run_metrics_csv(&metrics))
+        std::fs::write(path, report::run_metrics_csv(metrics))
             .map_err(|e| format!("--csv {path}: {e}"))?;
         println!("wrote per-epoch CSV to {path}");
     }
@@ -171,7 +202,11 @@ fn run() -> Result<(), String> {
         );
     }
     if let Some(path) = args.get("json") {
-        let summary = report::run_summary(std::slice::from_ref(&metrics), &obs);
+        let summary = if nodes >= 2 {
+            report::run_summary_distributed(&runs, &obs, nodes)
+        } else {
+            report::run_summary(&runs, &obs)
+        };
         std::fs::write(path, format!("{summary}\n")).map_err(|e| format!("--json {path}: {e}"))?;
         println!("wrote run summary to {path}");
     }

@@ -1,6 +1,7 @@
 //! Distributed iCache (§III-E).
 
 use crate::{CacheStats, CacheSystem, Fetch, FetchOutcome, IcacheConfig, IcacheManager};
+use icache_obs::{Obs, TraceEvent};
 use icache_sampling::HList;
 use icache_storage::StorageBackend;
 use icache_types::{
@@ -14,27 +15,60 @@ use std::collections::HashMap;
 /// data is never duplicated: a sample cached anywhere is read from that
 /// node instead of storage.
 ///
+/// Directory traffic is recorded in the attached [`Obs`] registry under
+/// `dist.directory.lookups` / `.inserts` / `.removes` / `.remaps`. Fresh
+/// inserts and successful removes are what get counted, so at any point
+/// `len() == inserts − removes`; an insert that overwrites an existing
+/// mapping with a different node counts as a *remap* (and emits a
+/// [`TraceEvent::DirectoryRemap`]), not as an insert.
+///
 /// # Examples
 ///
 /// ```
 /// use icache_core::DirectoryKv;
+/// use icache_obs::Obs;
 /// use icache_types::{NodeId, SampleId};
 ///
+/// let obs = Obs::new();
 /// let mut dir = DirectoryKv::new();
+/// dir.set_obs(obs.clone());
 /// dir.insert(SampleId(5), NodeId(1));
 /// assert_eq!(dir.lookup(SampleId(5)), Some(NodeId(1)));
+/// // Overwriting with a different node is a remap, not a fresh insert.
+/// assert_eq!(dir.insert(SampleId(5), NodeId(2)), Some(NodeId(1)));
+/// assert_eq!(obs.counter("dist.directory.inserts"), 1);
+/// assert_eq!(obs.counter("dist.directory.remaps"), 1);
 /// dir.remove(SampleId(5));
 /// assert_eq!(dir.lookup(SampleId(5)), None);
+/// assert_eq!(
+///     dir.len() as u64,
+///     obs.counter("dist.directory.inserts") - obs.counter("dist.directory.removes")
+/// );
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DirectoryKv {
     map: HashMap<SampleId, NodeId>,
+    obs: Obs,
+}
+
+impl Default for DirectoryKv {
+    fn default() -> Self {
+        DirectoryKv {
+            map: HashMap::new(),
+            obs: Obs::noop(),
+        }
+    }
 }
 
 impl DirectoryKv {
     /// An empty directory.
     pub fn new() -> Self {
         DirectoryKv::default()
+    }
+
+    /// Install the shared observability handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of registered samples.
@@ -49,17 +83,40 @@ impl DirectoryKv {
 
     /// The node caching `id`, if any.
     pub fn lookup(&self, id: SampleId) -> Option<NodeId> {
+        self.obs.inc("dist.directory.lookups");
         self.map.get(&id).copied()
     }
 
     /// Register `id` as cached on `node`; returns the previous owner.
+    ///
+    /// Overwriting an existing mapping with a *different* node counts as
+    /// a remap and emits [`TraceEvent::DirectoryRemap`]; re-inserting the
+    /// same owner is a no-op for the counters.
     pub fn insert(&mut self, id: SampleId, node: NodeId) -> Option<NodeId> {
-        self.map.insert(id, node)
+        let prev = self.map.insert(id, node);
+        match prev {
+            None => self.obs.inc("dist.directory.inserts"),
+            Some(old) if old != node => {
+                self.obs.inc("dist.directory.remaps");
+                self.obs.emit(TraceEvent::DirectoryRemap {
+                    sample: id.0,
+                    from_node: old.0 as u64,
+                    to_node: node.0 as u64,
+                });
+            }
+            Some(_) => {}
+        }
+        prev
     }
 
-    /// Unregister `id`; returns the previous owner.
+    /// Unregister `id`; returns the previous owner. Removing a missing
+    /// sample is a no-op for the counters.
     pub fn remove(&mut self, id: SampleId) -> Option<NodeId> {
-        self.map.remove(&id)
+        let prev = self.map.remove(&id);
+        if prev.is_some() {
+            self.obs.inc("dist.directory.removes");
+        }
+        prev
     }
 }
 
@@ -108,12 +165,30 @@ impl DistributedConfig {
     }
 }
 
+/// Per-node counter names, pre-rendered so the fetch hot path does not
+/// format strings.
+#[derive(Debug)]
+struct NodeCounterKeys {
+    local_hits: String,
+    remote_hits: String,
+    storage_fetches: String,
+}
+
 /// The multi-node iCache: per-node managers plus a shared directory.
 ///
 /// Data-parallel training maps worker `JobId(k)` to node `k % nodes`. The
 /// fetch path follows §III-E: local cache → directory lookup → peer cache
 /// → shared storage, registering freshly cached samples in the directory
 /// so no sample is duplicated across nodes.
+///
+/// With an [`Obs`] handle installed (see [`CacheSystem::set_obs`]), every
+/// fetch is classified into one of three per-node counters —
+/// `dist.node<i>.local_hits`, `dist.node<i>.remote_hits`,
+/// `dist.node<i>.storage_fetches` — and the cluster-wide
+/// `dist.remote_hits` total always matches [`DistributedCache::remote_hits`].
+/// The handle is forwarded to each node's manager and to the shared
+/// [`DirectoryKv`], so single-node `cache.*` counters and
+/// `dist.directory.*` counters aggregate into the same registry.
 #[derive(Debug)]
 pub struct DistributedCache {
     config: DistributedConfig,
@@ -121,6 +196,8 @@ pub struct DistributedCache {
     directory: DirectoryKv,
     remote_hits: u64,
     remote_bytes: ByteSize,
+    obs: Obs,
+    node_keys: Vec<NodeCounterKeys>,
 }
 
 impl DistributedCache {
@@ -138,12 +215,21 @@ impl DistributedCache {
                 IcacheManager::new(c, dataset)
             })
             .collect::<Result<Vec<_>>>()?;
+        let node_keys = (0..config.nodes)
+            .map(|i| NodeCounterKeys {
+                local_hits: format!("dist.node{i}.local_hits"),
+                remote_hits: format!("dist.node{i}.remote_hits"),
+                storage_fetches: format!("dist.node{i}.storage_fetches"),
+            })
+            .collect();
         Ok(DistributedCache {
             config,
             nodes,
             directory: DirectoryKv::new(),
             remote_hits: 0,
             remote_bytes: ByteSize::ZERO,
+            obs: Obs::noop(),
+            node_keys,
         })
     }
 
@@ -173,15 +259,46 @@ impl DistributedCache {
         if self.nodes[local].contains_cached(id) {
             return RemoteFetchKind::Local;
         }
+        match self.remote_owner(local, id) {
+            Some(_) => RemoteFetchKind::RemoteCache,
+            None => RemoteFetchKind::Storage,
+        }
+    }
+
+    /// The peer node that can serve `id` to node `local`, if any
+    /// (directory hit on a different node whose cache still holds it).
+    fn remote_owner(&self, local: usize, id: SampleId) -> Option<NodeId> {
         match self.directory.lookup(id) {
             Some(owner)
                 if owner.0 as usize != local
                     && self.nodes[owner.0 as usize].contains_cached(id) =>
             {
-                RemoteFetchKind::RemoteCache
+                Some(owner)
             }
-            _ => RemoteFetchKind::Storage,
+            _ => None,
         }
+    }
+
+    /// Route a fetch through the requesting node's own manager and keep
+    /// the directory's residency view in sync.
+    fn local_fetch(
+        &mut self,
+        local: usize,
+        job: JobId,
+        id: SampleId,
+        size: ByteSize,
+        now: SimTime,
+        storage: &mut dyn StorageBackend,
+    ) -> Fetch {
+        let fetch = self.nodes[local].fetch(job, id, size, now, storage);
+        // Register fresh residency; unregister when the sample is served
+        // from storage but was not admitted anywhere.
+        if self.nodes[local].contains_cached(id) {
+            self.directory.insert(id, NodeId(local as u32));
+        } else if self.directory.lookup(id) == Some(NodeId(local as u32)) {
+            self.directory.remove(id);
+        }
+        fetch
     }
 }
 
@@ -199,31 +316,33 @@ impl CacheSystem for DistributedCache {
         storage: &mut dyn StorageBackend,
     ) -> Fetch {
         let local = self.node_of(job);
-        match self.classify(job, id) {
-            RemoteFetchKind::RemoteCache => {
-                // Serve over the interconnect; do not duplicate locally.
-                let transfer =
-                    SimDuration::from_secs_f64(size.as_f64() / self.config.interconnect_bandwidth);
-                self.remote_hits += 1;
-                self.remote_bytes += size;
-                Fetch {
-                    ready_at: now + self.config.remote_hop + transfer,
-                    served_id: id,
-                    outcome: FetchOutcome::HitH,
-                }
-            }
-            RemoteFetchKind::Local | RemoteFetchKind::Storage => {
-                let fetch = self.nodes[local].fetch(job, id, size, now, storage);
-                // Register fresh residency; unregister when the sample is
-                // served from storage but was not admitted anywhere.
-                if self.nodes[local].contains_cached(id) {
-                    self.directory.insert(id, NodeId(local as u32));
-                } else if self.directory.lookup(id) == Some(NodeId(local as u32)) {
-                    self.directory.remove(id);
-                }
-                fetch
-            }
+        if self.nodes[local].contains_cached(id) {
+            self.obs.inc(&self.node_keys[local].local_hits);
+            return self.local_fetch(local, job, id, size, now, storage);
         }
+        if let Some(owner) = self.remote_owner(local, id) {
+            // Serve over the interconnect; do not duplicate locally.
+            let transfer =
+                SimDuration::from_secs_f64(size.as_f64() / self.config.interconnect_bandwidth);
+            self.remote_hits += 1;
+            self.remote_bytes += size;
+            self.obs.inc(&self.node_keys[local].remote_hits);
+            self.obs.inc("dist.remote_hits");
+            self.obs.emit(TraceEvent::RemoteHit {
+                job: job.0 as u64,
+                sample: id.0,
+                node: owner.0 as u64,
+            });
+            return Fetch {
+                ready_at: now + self.config.remote_hop + transfer,
+                served_id: id,
+                outcome: FetchOutcome::HitH,
+            };
+        }
+        // Not cached anywhere useful: the local manager goes to storage
+        // (and may still serve a substitution from its own L-region).
+        self.obs.inc(&self.node_keys[local].storage_fetches);
+        self.local_fetch(local, job, id, size, now, storage)
     }
 
     fn update_hlist(&mut self, job: JobId, hlist: &HList) {
@@ -262,6 +381,18 @@ impl CacheSystem for DistributedCache {
         total.h_hits += self.remote_hits;
         total.bytes_from_cache += self.remote_bytes;
         total
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        // One shared handle across every layer of the cluster: node
+        // managers, the directory, and the cluster-level counters all
+        // record into the same registry and trace ring.
+        for node in &mut self.nodes {
+            node.set_obs(obs.clone());
+        }
+        self.directory.set_obs(obs.clone());
+        obs.set_gauge("dist.nodes", self.nodes.len() as f64);
+        self.obs = obs;
     }
 
     fn reset_stats(&mut self) {
@@ -378,6 +509,86 @@ mod tests {
     fn zero_nodes_rejected() {
         let ds = dataset();
         assert!(DistributedConfig::for_dataset(&ds, 0, 0.2).is_err());
+    }
+
+    #[test]
+    fn directory_insert_overwrite_returns_prev_and_traces_a_remap() {
+        let obs = Obs::new();
+        let mut dir = DirectoryKv::new();
+        dir.set_obs(obs.clone());
+
+        assert_eq!(dir.insert(SampleId(9), NodeId(0)), None);
+        assert_eq!(obs.counter("dist.directory.inserts"), 1);
+        assert_eq!(obs.counter("dist.directory.remaps"), 0);
+
+        // Re-inserting the same owner is idempotent for the counters.
+        assert_eq!(dir.insert(SampleId(9), NodeId(0)), Some(NodeId(0)));
+        assert_eq!(obs.counter("dist.directory.inserts"), 1);
+        assert_eq!(obs.counter("dist.directory.remaps"), 0);
+        assert_eq!(obs.trace_len(), 0);
+
+        // Overwriting with a different node returns the previous owner and
+        // emits a remap event (the silently-overwritten-mapping fix).
+        assert_eq!(dir.insert(SampleId(9), NodeId(2)), Some(NodeId(0)));
+        assert_eq!(dir.lookup(SampleId(9)), Some(NodeId(2)));
+        assert_eq!(obs.counter("dist.directory.remaps"), 1);
+        let jsonl = obs.trace_jsonl();
+        let line = jsonl.lines().last().expect("remap event recorded");
+        let v = icache_obs::Json::parse(line).unwrap();
+        assert_eq!(v["event"].as_str(), Some("directory_remap"));
+        assert_eq!(v["sample"].as_u64(), Some(9));
+        assert_eq!(v["from_node"].as_u64(), Some(0));
+        assert_eq!(v["to_node"].as_u64(), Some(2));
+
+        assert_eq!(dir.len(), 1, "remap does not grow the directory");
+        assert_eq!(
+            dir.len() as u64,
+            obs.counter("dist.directory.inserts") - obs.counter("dist.directory.removes")
+        );
+    }
+
+    #[test]
+    fn directory_remove_missing_is_a_counted_noop() {
+        let obs = Obs::new();
+        let mut dir = DirectoryKv::new();
+        dir.set_obs(obs.clone());
+        assert_eq!(dir.remove(SampleId(1)), None);
+        assert_eq!(
+            obs.counter("dist.directory.removes"),
+            0,
+            "missing removes must not distort the len == inserts - removes invariant"
+        );
+        dir.insert(SampleId(1), NodeId(0));
+        assert_eq!(dir.remove(SampleId(1)), Some(NodeId(0)));
+        assert_eq!(obs.counter("dist.directory.removes"), 1);
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn per_node_counters_classify_every_fetch() {
+        let ds = dataset();
+        let mut dc = cluster(&ds, 2);
+        let obs = Obs::new();
+        dc.set_obs(obs.clone());
+        let mut st = Nfs::new(NfsConfig::cloud_default()).unwrap();
+        dc.update_hlist(JobId(0), &hlist(&ds));
+        dc.update_hlist(JobId(1), &hlist(&ds));
+        let sz = ds.sample_size(SampleId(5));
+
+        // Node 0 faults sample 5 in (storage), re-reads it (local hit),
+        // then node 1 reads it over the interconnect (remote hit).
+        let f0 = dc.fetch(JobId(0), SampleId(5), sz, SimTime::ZERO, &mut st);
+        let f1 = dc.fetch(JobId(0), SampleId(5), sz, f0.ready_at, &mut st);
+        let _ = dc.fetch(JobId(1), SampleId(5), sz, f1.ready_at, &mut st);
+
+        assert_eq!(obs.counter("dist.node0.storage_fetches"), 1);
+        assert_eq!(obs.counter("dist.node0.local_hits"), 1);
+        assert_eq!(obs.counter("dist.node1.remote_hits"), 1);
+        assert_eq!(obs.counter("dist.remote_hits"), dc.remote_hits());
+        assert_eq!(obs.gauge("dist.nodes"), Some(2.0));
+        let counts: std::collections::HashMap<String, u64> =
+            obs.trace_event_counts().into_iter().collect();
+        assert_eq!(counts.get("remote_hit"), Some(&1));
     }
 
     #[test]

@@ -710,6 +710,8 @@ impl CacheSystem for IcacheManager {
             self.spill_to_pm(&evicted);
             let l_cap = self.config.capacity.saturating_sub(h_cap);
             self.lcache.set_capacity(l_cap);
+            self.obs.set_gauge("cache.h_capacity", h_cap.as_f64());
+            self.obs.set_gauge("cache.l_capacity", l_cap.as_f64());
             self.obs.emit(TraceEvent::RegionRebalance {
                 epoch: epoch.0 as u64,
                 h_bytes: h_cap.as_u64(),
@@ -722,6 +724,11 @@ impl CacheSystem for IcacheManager {
     }
 
     fn set_obs(&mut self, obs: icache_obs::Obs) {
+        // Seed the gauges so snapshots carry the split before the first
+        // rebalance; every rebalance keeps them current.
+        obs.set_gauge("cache.h_capacity", self.hcache.capacity().as_f64());
+        obs.set_gauge("cache.l_capacity", self.lcache.capacity().as_f64());
+        self.coordinator.set_obs(obs.clone());
         self.obs = obs;
     }
 

@@ -1,5 +1,6 @@
 //! Multi-job coordination (§III-D).
 
+use icache_obs::Obs;
 use icache_sampling::HList;
 use icache_types::{Error, ImportanceValue, JobId, Result, SampleId, SimDuration};
 use std::collections::HashMap;
@@ -156,6 +157,7 @@ pub struct MultiJobCoordinator {
     threshold: f64,
     probe_len: u64,
     jobs: HashMap<JobId, JobState>,
+    obs: Obs,
 }
 
 impl MultiJobCoordinator {
@@ -181,7 +183,16 @@ impl MultiJobCoordinator {
             threshold,
             probe_len,
             jobs: HashMap::new(),
+            obs: Obs::noop(),
         })
+    }
+
+    /// Install the shared observability handle. Probe completions land in
+    /// the `multijob.probes_completed` / `multijob.eligible_verdicts`
+    /// counters and each job's latest benefit in a
+    /// `multijob.job<k>.benefit` gauge.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of registered jobs.
@@ -191,11 +202,17 @@ impl MultiJobCoordinator {
 
     /// Register `job` (idempotent).
     pub fn register_job(&mut self, job: JobId) {
-        self.jobs.entry(job).or_insert_with(|| JobState {
-            hlist: None,
-            probe: BenefitProbe::new(self.probe_len),
-            last_benefit: None,
-        });
+        if !self.jobs.contains_key(&job) {
+            self.obs.inc("multijob.jobs_registered");
+            self.jobs.insert(
+                job,
+                JobState {
+                    hlist: None,
+                    probe: BenefitProbe::new(self.probe_len),
+                    last_benefit: None,
+                },
+            );
+        }
     }
 
     /// Restart `job`'s probe at its epoch boundary.
@@ -215,12 +232,20 @@ impl MultiJobCoordinator {
     pub fn record_fetch(&mut self, job: JobId, service: SimDuration) {
         let threshold = self.threshold;
         if let Some(s) = self.jobs.get_mut(&job) {
+            let was_done = s.probe.phase() == ProbePhase::Done;
             s.probe.record(service);
             if let Some(ratio) = s.probe.ratio() {
-                s.last_benefit = Some(JobBenefit {
-                    ratio,
-                    eligible: ratio > threshold,
-                });
+                let eligible = ratio > threshold;
+                s.last_benefit = Some(JobBenefit { ratio, eligible });
+                if !was_done {
+                    // The probe just completed for this epoch.
+                    self.obs.inc("multijob.probes_completed");
+                    if eligible {
+                        self.obs.inc("multijob.eligible_verdicts");
+                    }
+                    self.obs
+                        .set_gauge(&format!("multijob.job{}.benefit", job.0), ratio);
+                }
             }
         }
     }
@@ -410,6 +435,26 @@ mod tests {
         assert!(MultiJobCoordinator::new(10, 0.0, 40).is_err());
         assert!(MultiJobCoordinator::new(10, 1.5, 0).is_err());
         assert!(MultiJobCoordinator::new(10, f64::INFINITY, 40).is_err());
+    }
+
+    #[test]
+    fn coordinator_reports_probe_completions_into_obs() {
+        let obs = Obs::new();
+        let mut c = MultiJobCoordinator::new(10, 1.5, 1).unwrap();
+        c.set_obs(obs.clone());
+        c.register_job(JobId(0));
+        c.register_job(JobId(0)); // idempotent: registered once
+        assert_eq!(obs.counter("multijob.jobs_registered"), 1);
+
+        c.record_fetch(JobId(0), dur(30));
+        assert_eq!(obs.counter("multijob.probes_completed"), 0);
+        c.record_fetch(JobId(0), dur(10));
+        assert_eq!(obs.counter("multijob.probes_completed"), 1);
+        assert_eq!(obs.counter("multijob.eligible_verdicts"), 1);
+        assert_eq!(obs.gauge("multijob.job0.benefit"), Some(3.0));
+        // Post-completion fetches do not re-count the same probe.
+        c.record_fetch(JobId(0), dur(100));
+        assert_eq!(obs.counter("multijob.probes_completed"), 1);
     }
 
     #[test]

@@ -106,6 +106,47 @@ pub enum TraceEvent {
         /// Number of entries in the refreshed heap.
         entries: u64,
     },
+    /// A training epoch began. In sharded (data-parallel) runs only rank 0
+    /// emits the marker, so splitting a trace on `epoch_start` yields
+    /// exactly one segment per epoch.
+    EpochStart {
+        /// Job emitting the marker (rank 0 in sharded runs).
+        job: u64,
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Number of samples the emitting job planned to fetch this epoch
+        /// (after importance sampling and shard filtering).
+        selected: u64,
+    },
+    /// A training epoch finished (same emission rule as [`Self::EpochStart`]).
+    EpochEnd {
+        /// Job emitting the marker.
+        job: u64,
+        /// Epoch index (0-based).
+        epoch: u64,
+        /// Samples the emitting job actually fetched this epoch.
+        fetched: u64,
+    },
+    /// A distributed fetch was served from a peer node's cache over the
+    /// interconnect instead of storage (§III-E).
+    RemoteHit {
+        /// Requesting job.
+        job: u64,
+        /// Sample served.
+        sample: u64,
+        /// Peer node that held the sample.
+        node: u64,
+    },
+    /// The distributed directory re-mapped a sample from one node to
+    /// another (an insert overwrote an existing residency entry).
+    DirectoryRemap {
+        /// Re-mapped sample.
+        sample: u64,
+        /// Node that previously cached the sample.
+        from_node: u64,
+        /// Node that caches the sample now.
+        to_node: u64,
+    },
 }
 
 impl TraceEvent {
@@ -122,6 +163,10 @@ impl TraceEvent {
             TraceEvent::BrownoutDegradedRead { .. } => "brownout_degraded_read",
             TraceEvent::RegionRebalance { .. } => "region_rebalance",
             TraceEvent::ShadowHeapRefill { .. } => "shadow_heap_refill",
+            TraceEvent::EpochStart { .. } => "epoch_start",
+            TraceEvent::EpochEnd { .. } => "epoch_end",
+            TraceEvent::RemoteHit { .. } => "remote_hit",
+            TraceEvent::DirectoryRemap { .. } => "directory_remap",
         }
     }
 
@@ -185,6 +230,38 @@ impl TraceEvent {
             TraceEvent::ShadowHeapRefill { epoch, entries } => {
                 fields.push(("epoch".to_string(), Json::UInt(*epoch)));
                 fields.push(("entries".to_string(), Json::UInt(*entries)));
+            }
+            TraceEvent::EpochStart {
+                job,
+                epoch,
+                selected,
+            } => {
+                fields.push(("job".to_string(), Json::UInt(*job)));
+                fields.push(("epoch".to_string(), Json::UInt(*epoch)));
+                fields.push(("selected".to_string(), Json::UInt(*selected)));
+            }
+            TraceEvent::EpochEnd {
+                job,
+                epoch,
+                fetched,
+            } => {
+                fields.push(("job".to_string(), Json::UInt(*job)));
+                fields.push(("epoch".to_string(), Json::UInt(*epoch)));
+                fields.push(("fetched".to_string(), Json::UInt(*fetched)));
+            }
+            TraceEvent::RemoteHit { job, sample, node } => {
+                fields.push(("job".to_string(), Json::UInt(*job)));
+                fields.push(("sample".to_string(), Json::UInt(*sample)));
+                fields.push(("node".to_string(), Json::UInt(*node)));
+            }
+            TraceEvent::DirectoryRemap {
+                sample,
+                from_node,
+                to_node,
+            } => {
+                fields.push(("sample".to_string(), Json::UInt(*sample)));
+                fields.push(("from_node".to_string(), Json::UInt(*from_node)));
+                fields.push(("to_node".to_string(), Json::UInt(*to_node)));
             }
         }
         Json::Obj(fields)
@@ -516,6 +593,26 @@ mod tests {
             TraceEvent::ShadowHeapRefill {
                 epoch: 1,
                 entries: 12,
+            },
+            TraceEvent::EpochStart {
+                job: 0,
+                epoch: 2,
+                selected: 700,
+            },
+            TraceEvent::EpochEnd {
+                job: 0,
+                epoch: 2,
+                fetched: 700,
+            },
+            TraceEvent::RemoteHit {
+                job: 1,
+                sample: 5,
+                node: 0,
+            },
+            TraceEvent::DirectoryRemap {
+                sample: 5,
+                from_node: 0,
+                to_node: 1,
             },
         ];
         for e in events {

@@ -3,6 +3,7 @@
 use crate::{EpochMetrics, RunMetrics};
 use icache_core::{CacheSystem, FetchOutcome};
 use icache_dnn::{AccuracyModel, EpochQuality, LossModel, LossModelConfig, ModelProfile};
+use icache_obs::{Obs, TraceEvent};
 use icache_sampling::{
     CisSelector, CriterionTable, EpochPlan, HList, IisSelector, ImportanceCriterion,
     ImportanceTable, Selector, UniformSelector,
@@ -209,6 +210,9 @@ pub struct TrainingJob {
     storage_mark: icache_storage::StorageStats,
     metrics: RunMetrics,
     done: bool,
+    /// Shared observability handle; the job emits the epoch-boundary
+    /// markers that let a trace be split without the run summary.
+    obs: Obs,
 }
 
 impl TrainingJob {
@@ -260,8 +264,23 @@ impl TrainingJob {
                 epochs: Vec::new(),
             },
             done: false,
+            obs: Obs::noop(),
             config,
         })
+    }
+
+    /// Install the shared observability handle. The job contributes
+    /// [`TraceEvent::EpochStart`]/[`TraceEvent::EpochEnd`] markers to the
+    /// trace; in sharded runs only rank 0 emits them, so splitting the
+    /// JSONL on `epoch_start` yields exactly one segment per epoch.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Whether this job emits cluster-wide epoch markers: the unsharded
+    /// case, or rank 0 of a sharded (data-parallel) run.
+    fn emits_epoch_markers(&self) -> bool {
+        self.config.shard.is_none_or(|(idx, _)| idx == 0)
     }
 
     /// The job's identity.
@@ -331,18 +350,11 @@ impl TrainingJob {
     fn begin_epoch(&mut self, cache: &mut dyn CacheSystem, storage: &dyn StorageBackend) {
         let epoch = Epoch(self.epoch);
         self.epoch_start = self.gpu_free;
-        // Push the fresh H-list to the cache before planning. During the
-        // warm-up epoch no losses have been observed yet — every value is
-        // the optimistic prior — so there is no H-list to publish and the
-        // cache serves as a plain pass-through fill.
         self.table.on_epoch_start(epoch);
         let scored = self.table.scored_table();
-        if self.epoch > 0 {
-            let hlist = HList::top_fraction(&scored, self.config.h_list_fraction);
-            cache.update_hlist(self.config.job, &hlist);
-            self.current_hlist = hlist;
-        }
-        cache.on_epoch_start(self.config.job, epoch);
+        // Plan the epoch first (it reads only the scored table and the
+        // job's own RNG) so the epoch marker can carry the selected-sample
+        // count and precede every cache-side event of the epoch.
         let mut plan = self.selector.plan_epoch(&scored, epoch, &mut self.rng);
         if let Some((idx, world)) = self.config.shard {
             // DistributedSampler: keep every world-th planned sample.
@@ -354,6 +366,23 @@ impl TrainingJob {
                 .unzip();
             plan = EpochPlan::new(order, computed);
         }
+        if self.emits_epoch_markers() {
+            self.obs.emit(TraceEvent::EpochStart {
+                job: self.config.job.0 as u64,
+                epoch: self.epoch as u64,
+                selected: plan.len() as u64,
+            });
+        }
+        // Push the fresh H-list to the cache. During the warm-up epoch no
+        // losses have been observed yet — every value is the optimistic
+        // prior — so there is no H-list to publish and the cache serves as
+        // a plain pass-through fill.
+        if self.epoch > 0 {
+            let hlist = HList::top_fraction(&scored, self.config.h_list_fraction);
+            cache.update_hlist(self.config.job, &hlist);
+            self.current_hlist = hlist;
+        }
+        cache.on_epoch_start(self.config.job, epoch);
         self.num_batches = plan.len().div_ceil(self.config.batch_size);
         let bs = self.config.batch_size;
         self.batch_lens = (0..self.num_batches)
@@ -439,6 +468,13 @@ impl TrainingJob {
     fn finish_epoch(&mut self, cache: &mut dyn CacheSystem, storage: &dyn StorageBackend) {
         let epoch = Epoch(self.epoch);
         cache.on_epoch_end(self.config.job, epoch);
+        if self.emits_epoch_markers() {
+            self.obs.emit(TraceEvent::EpochEnd {
+                job: self.config.job.0 as u64,
+                epoch: self.epoch as u64,
+                fetched: self.accum.samples_fetched,
+            });
+        }
 
         // Epoch quality for the accuracy model.
         let trained = self.accum.samples_trained.max(1);

@@ -172,6 +172,39 @@ pub fn run_summary(runs: &[crate::RunMetrics], obs: &icache_obs::Obs) -> icache_
     ])
 }
 
+/// [`run_summary`] for a distributed run: appends a `"nodes"` array with
+/// the per-node hit/miss classification counters recorded by the
+/// [`icache_core::DistributedCache`], one object per rank.
+///
+/// Every fetch lands in exactly one of the three buckets, so across the
+/// array `local_hits + remote_hits + storage_fetches` sums to the total
+/// sample fetches of the run.
+pub fn run_summary_distributed(
+    runs: &[crate::RunMetrics],
+    obs: &icache_obs::Obs,
+    nodes: usize,
+) -> icache_obs::Json {
+    use icache_obs::{Json, ToJson};
+    let per_node: Vec<Json> = (0..nodes)
+        .map(|i| {
+            let c = |suffix: &str| obs.counter(&format!("dist.node{i}.{suffix}")).to_json();
+            Json::Obj(vec![
+                ("node".into(), (i as u64).to_json()),
+                ("local_hits".into(), c("local_hits")),
+                ("remote_hits".into(), c("remote_hits")),
+                ("storage_fetches".into(), c("storage_fetches")),
+            ])
+        })
+        .collect();
+    match run_summary(runs, obs) {
+        Json::Obj(mut fields) => {
+            fields.push(("nodes".into(), Json::Arr(per_node)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,6 +60,7 @@ pub fn run_single_job_with_obs(
     storage.set_obs(obs.clone());
     let system = cache.name().to_string();
     let mut job = TrainingJob::new(config)?;
+    job.set_obs(obs.clone());
     while job.step(cache, storage) {}
     Ok(job.into_metrics(&system))
 }
@@ -103,6 +104,9 @@ pub fn run_multi_job_with_obs(
         .into_iter()
         .map(TrainingJob::new)
         .collect::<Result<Vec<_>>>()?;
+    for job in &mut jobs {
+        job.set_obs(obs.clone());
+    }
     loop {
         let next = jobs
             .iter()

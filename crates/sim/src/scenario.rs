@@ -2,7 +2,9 @@
 
 use crate::{run_single_job, JobConfig, RunMetrics, SamplingMode};
 use icache_baselines::{IlfuCache, LruCache, MinIoCache, OracleSource, QuiverCache};
-use icache_core::{CacheSystem, IcacheConfig, IcacheManager, Substitution};
+use icache_core::{
+    CacheSystem, DistributedCache, DistributedConfig, IcacheConfig, IcacheManager, Substitution,
+};
 use icache_dnn::ModelProfile;
 use icache_sampling::ImportanceCriterion;
 use icache_storage::{LocalTier, Nfs, NfsConfig, Pfs, PfsConfig, StorageBackend};
@@ -371,6 +373,57 @@ impl Scenario {
             storage.as_mut(),
             obs,
         )
+    }
+
+    /// Run the scenario on a [`DistributedCache`] cluster of `nodes`
+    /// data-parallel ranks (§III-E), one sharded job per node, all sharing
+    /// the scenario seed so the shards walk one common epoch plan.
+    ///
+    /// Only [`SystemKind::Icache`] has a distributed deployment; other
+    /// systems are rejected. Rank 0 emits the `epoch_start`/`epoch_end`
+    /// trace markers, so a trace split on `epoch_start` yields exactly
+    /// [`Scenario::epochs`] segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`icache_types::Error::InvalidConfig`] when `nodes < 2` or
+    /// the system under test is not `Icache`, and propagates construction
+    /// errors from the cluster, storage, or jobs.
+    pub fn run_distributed_with_obs(
+        &self,
+        nodes: u32,
+        obs: &icache_obs::Obs,
+    ) -> Result<Vec<RunMetrics>> {
+        if self.system != SystemKind::Icache {
+            return Err(icache_types::Error::InvalidConfig {
+                field: "system",
+                reason: format!(
+                    "distributed runs require the iCache system, got {:?}",
+                    self.system
+                ),
+            });
+        }
+        if nodes < 2 {
+            return Err(icache_types::Error::InvalidConfig {
+                field: "nodes",
+                reason: format!("a distributed run needs at least 2 nodes, got {nodes}"),
+            });
+        }
+        let mut cluster = DistributedCache::new(
+            DistributedConfig::for_dataset(&self.dataset, nodes as usize, self.cache_fraction)?,
+            &self.dataset,
+        )?;
+        let mut storage = self.build_storage()?;
+        let configs = (0..nodes)
+            .map(|k| {
+                let mut cfg = self.job_config(JobId(k));
+                cfg.shard = Some((k, nodes));
+                // Shards share one epoch plan: same seed on every rank.
+                cfg.seed = self.seed;
+                cfg
+            })
+            .collect();
+        crate::run_multi_job_with_obs(configs, &mut cluster, storage.as_mut(), obs)
     }
 }
 

@@ -1,8 +1,12 @@
 //! Property-based integration tests: system-level invariants that must
 //! hold for arbitrary workloads driven through the public facade.
 
+use icache::baselines::LruCache;
 use icache::core::{CacheSystem, IcacheConfig, IcacheManager};
+use icache::dnn::ModelProfile;
+use icache::obs::{Json, Obs};
 use icache::sampling::{HList, ImportanceTable};
+use icache::sim::{run_single_job_with_obs, JobConfig};
 use icache::storage::LocalTier;
 use icache::types::{ByteSize, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
 use proptest::prelude::*;
@@ -142,6 +146,67 @@ proptest! {
             );
             prop_assert!(cache.used_bytes() <= cache.capacity());
         }
+    }
+
+    /// Epoch markers are well-formed for arbitrary job shapes: every
+    /// `epoch_start` is closed by a matching `epoch_end` before the next
+    /// one opens, and epoch indices increase strictly from zero.
+    #[test]
+    fn epoch_markers_pair_up_and_strictly_increase(
+        seed in 0u64..1_000,
+        samples in 64u64..320,
+        epochs in 1u32..5,
+        batch_pow in 4u32..7, // batch size 16, 32, or 64
+        use_icache in any::<bool>(),
+    ) {
+        let ds = DatasetBuilder::new("prop4", samples)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .expect("dataset");
+        let mut cfg = JobConfig::new(JobId(0), ModelProfile::shufflenet(), ds.clone());
+        cfg.epochs = epochs;
+        cfg.batch_size = 1 << batch_pow;
+        cfg.seed = seed;
+        let cap = ds.total_bytes().scaled(0.2);
+        let mut cache: Box<dyn CacheSystem> = if use_icache {
+            let mut icfg = IcacheConfig::for_dataset(&ds, 0.2).expect("cfg");
+            icfg.seed = seed;
+            Box::new(IcacheManager::new(icfg, &ds).expect("manager"))
+        } else {
+            Box::new(LruCache::new(cap))
+        };
+        let mut st = LocalTier::tmpfs();
+        let obs = Obs::new();
+        run_single_job_with_obs(cfg, cache.as_mut(), &mut st, &obs).expect("run");
+        prop_assert_eq!(obs.trace_dropped(), 0, "ring overflowed; trace incomplete");
+
+        let jsonl = obs.trace_jsonl();
+        let mut open: Option<u64> = None;
+        let mut last: Option<u64> = None;
+        for line in jsonl.lines() {
+            let v = Json::parse(line).expect("trace line parses");
+            let epoch = || v.get("epoch").and_then(Json::as_u64).expect("epoch field");
+            match v.get("event").and_then(Json::as_str) {
+                Some("epoch_start") => {
+                    let e = epoch();
+                    prop_assert!(open.is_none(), "epoch {e} opened inside epoch {open:?}");
+                    match last {
+                        None => prop_assert_eq!(e, 0, "first epoch must be 0"),
+                        Some(prev) => prop_assert!(e > prev, "epochs must strictly increase"),
+                    }
+                    open = Some(e);
+                }
+                Some("epoch_end") => {
+                    let e = epoch();
+                    prop_assert_eq!(open, Some(e), "epoch_end without matching start");
+                    open = None;
+                    last = Some(e);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(open.is_none(), "unclosed epoch {open:?}");
+        prop_assert_eq!(last, Some(u64::from(epochs) - 1), "every epoch must be marked");
     }
 }
 
