@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the replay hot path: per-access replay
+//! stepping through the policy lineup, and the epoch-boundary work (the
+//! L-cache fresh-pool rebuild and the manager's region rebalance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icache_bench::workload;
+use icache_core::{LCache, LCacheConfig, Package, PackageId, SampleData};
+use icache_sim::replay::{replay, AccessPattern, Trace};
+use icache_sim::StorageKind;
+use icache_types::{ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
+
+const UNIVERSE: u64 = 5_000;
+const REQUESTS: usize = 20_000;
+const SEED: u64 = 11;
+
+fn workload_inputs() -> (Dataset, Trace) {
+    let dataset = DatasetBuilder::new("bench", UNIVERSE)
+        .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+        .build()
+        .expect("dataset");
+    let trace = AccessPattern::Zipf { s: 1.1 }
+        .generate(UNIVERSE, REQUESTS, JobId(0), SEED)
+        .expect("trace");
+    (dataset, trace)
+}
+
+fn bench_replay_step(c: &mut Criterion) {
+    let (dataset, trace) = workload_inputs();
+    let hlist = workload::popularity_hlist(&trace, UNIVERSE);
+    let cap = dataset.total_bytes().scaled(0.1);
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    for policy in ["lru", "icache"] {
+        group.bench_with_input(
+            BenchmarkId::new("20k_zipf", policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cache =
+                        workload::build_policy(policy, &dataset, cap, 0.1, SEED, &hlist)
+                            .expect("policy builds");
+                    let mut storage = StorageKind::OrangeFs.build().expect("storage");
+                    cache.on_epoch_start(JobId(0), Epoch(0));
+                    replay(&trace, &dataset, cache.as_mut(), storage.as_mut())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_epoch_boundary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_boundary");
+    // The L-cache fresh-pool rebuild: every resident sample becomes fresh
+    // again. Linear in residents since the resident-ID index replaced the
+    // per-epoch collect-and-sort.
+    for &n in &[10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("lcache_fresh_rebuild", n), &n, |b, &n| {
+            let mut lc = LCache::new(LCacheConfig {
+                capacity: ByteSize::kib(n),
+                num_samples: n,
+            });
+            let pkg = Package::new(
+                PackageId(0),
+                (0..n)
+                    .map(|i| SampleData::generate(SampleId(i), ByteSize::kib(1)))
+                    .collect(),
+            );
+            lc.install_package(pkg, SimTime::ZERO);
+            lc.integrate(SimTime::ZERO);
+            b.iter(|| lc.on_epoch_start());
+        });
+    }
+    // The manager's full epoch boundary on a warmed cache: close the
+    // shadow-heap refresh window, rebalance the H/L split from access
+    // frequencies, and rebuild the fresh pool for the next epoch.
+    let (dataset, trace) = workload_inputs();
+    let hlist = workload::popularity_hlist(&trace, UNIVERSE);
+    let cap = dataset.total_bytes().scaled(0.1);
+    group.sample_size(10);
+    group.bench_function("manager_rebalance", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = workload::build_policy("icache", &dataset, cap, 0.1, SEED, &hlist)
+                    .expect("policy builds");
+                let mut storage = StorageKind::Tmpfs.build().expect("storage");
+                cache.on_epoch_start(JobId(0), Epoch(0));
+                replay(&trace, &dataset, cache.as_mut(), storage.as_mut());
+                cache
+            },
+            |mut cache| {
+                cache.on_epoch_end(JobId(0), Epoch(0));
+                cache.on_epoch_start(JobId(0), Epoch(1));
+                cache
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_step, bench_epoch_boundary);
+criterion_main!(benches);

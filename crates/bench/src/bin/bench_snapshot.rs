@@ -1,0 +1,211 @@
+//! `bench_snapshot` — record the repo's perf trajectory as one JSON file.
+//!
+//! Measures (a) the five-policy replay workload sequentially and on the
+//! parallel sweep engine, and (b) the cache-core hot paths (L-cache
+//! fresh-pool rebuild, shadow-heap refresh open vs naive rebuild, IIS
+//! epoch planning, package assembly), then writes everything as one
+//! canonical-JSON object — `BENCH_icache.json` at the repo root when run
+//! via `scripts/bench_snapshot.sh` — so successive PRs have comparable
+//! numbers.
+//!
+//! ```sh
+//! cargo run --release -p icache-bench --bin bench_snapshot -- \
+//!     --out BENCH_icache.json --requests 200000 --parallel auto
+//! ```
+//!
+//! Flags: `--out <file>` (default `BENCH_icache.json`),
+//! `--requests <n>` / `--universe <n>` (replay workload size),
+//! `--parallel [n|auto]` (worker threads for the parallel pass;
+//! default auto).
+
+use icache_bench::{sweep, workload};
+use icache_core::{LCache, LCacheConfig, Package, PackageId, Packager, SampleData, ShadowedHeap};
+use icache_obs::json;
+use icache_sampling::{IisSelector, ImportanceTable, Selector};
+use icache_sim::replay::{replay, AccessPattern};
+use icache_sim::StorageKind;
+use icache_types::{
+    ByteSize, DatasetBuilder, Epoch, ImportanceValue, JobId, SampleId, SeedSequence, SimTime,
+    SizeModel,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn parse_args() -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(flag) = args.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}`"));
+        };
+        let value = match args.peek() {
+            Some(next) if !next.starts_with("--") => args.next().unwrap_or_default(),
+            _ => String::new(),
+        };
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+/// Mean nanoseconds per call of `f` over `iters` timed calls (after one
+/// untimed warm-up call).
+fn mean_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Wall-clock seconds to replay the whole policy lineup on `workers`
+/// threads.
+fn replay_lineup_secs(
+    trace: &icache_sim::replay::Trace,
+    dataset: &icache_types::Dataset,
+    hlist: &icache_sampling::HList,
+    cap: ByteSize,
+    seed: u64,
+    workers: usize,
+) -> f64 {
+    let start = Instant::now();
+    let reports = sweep::map(&workload::POLICIES, workers, |_idx, &policy| {
+        let mut cache =
+            workload::build_policy(policy, dataset, cap, 0.1, seed, hlist).expect("policy builds");
+        let mut storage = StorageKind::OrangeFs.build().expect("storage");
+        cache.on_epoch_start(JobId(0), Epoch(0));
+        replay(trace, dataset, cache.as_mut(), storage.as_mut())
+    });
+    assert_eq!(reports.len(), workload::POLICIES.len());
+    start.elapsed().as_secs_f64()
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let out_path = get("out", "BENCH_icache.json");
+    let universe: u64 = get("universe", "20000")
+        .parse()
+        .map_err(|e| format!("--universe: {e}"))?;
+    let requests: usize = get("requests", "200000")
+        .parse()
+        .map_err(|e| format!("--requests: {e}"))?;
+    let workers = sweep::parse_workers(&get("parallel", "auto"))?;
+    let seed = 11u64;
+
+    eprintln!("bench_snapshot: replay workload ({requests} requests over {universe} samples)");
+    let dataset = DatasetBuilder::new("bench", universe)
+        .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let trace = AccessPattern::Zipf { s: 1.1 }
+        .generate(universe, requests, JobId(0), seed)
+        .map_err(|e| e.to_string())?;
+    let hlist = workload::popularity_hlist(&trace, universe);
+    let cap = dataset.total_bytes().scaled(0.1);
+
+    let sequential = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, 1);
+    let parallel = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, workers);
+
+    eprintln!("bench_snapshot: hot-path micro timings");
+    let n = 100_000u64;
+    let mut lc = LCache::new(LCacheConfig {
+        capacity: ByteSize::kib(n),
+        num_samples: n,
+    });
+    lc.install_package(
+        Package::new(
+            PackageId(0),
+            (0..n)
+                .map(|i| SampleData::generate(SampleId(i), ByteSize::kib(1)))
+                .collect(),
+        ),
+        SimTime::ZERO,
+    );
+    lc.integrate(SimTime::ZERO);
+    let lcache_rebuild = mean_ns(20, || lc.on_epoch_start());
+
+    let fresh: HashMap<SampleId, ImportanceValue> = (0..n)
+        .map(|i| {
+            (
+                SampleId(i),
+                ImportanceValue::saturating(((i * 40_503) % 999_983) as f64),
+            )
+        })
+        .collect();
+    let filled = || {
+        let mut h = ShadowedHeap::new();
+        for i in 0..n {
+            h.insert(
+                SampleId(i),
+                ImportanceValue::saturating(((i * 2_654_435_761) % 1_000_003) as f64),
+            );
+        }
+        h
+    };
+    let base = filled();
+    let shadow_begin = mean_ns(10, || {
+        let mut h = base.clone();
+        h.begin_refresh(fresh.iter().map(|(&id, &v)| (id, v)));
+    });
+    let naive_rebuild = mean_ns(10, || {
+        let mut h = base.clone();
+        h.rebuild_naive(&fresh);
+    });
+
+    let mut table = ImportanceTable::new(n);
+    for i in 0..n {
+        table.record_loss(SampleId(i), ((i * 31) % 997) as f64);
+    }
+    let mut sel = IisSelector::new(0.3).map_err(|e| e.to_string())?;
+    let mut rng = SeedSequence::new(seed).rng("bench");
+    let iis_plan = mean_ns(10, || {
+        let _ = sel.plan_epoch(&table, Epoch(1), &mut rng);
+    });
+
+    let mut packager = Packager::new(ByteSize::mib(1), seed).map_err(|e| e.to_string())?;
+    let pool: Vec<SampleId> = (0..n).map(SampleId).collect();
+    let package_build = mean_ns(10, || {
+        let _ = packager.build(&[SampleId(1)], &pool, |_| ByteSize::kib(3));
+    });
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let summary = json!({
+        "bench": "icache",
+        "cores": cores as u64,
+        "replay": {
+            "requests": requests as u64,
+            "universe": universe,
+            "policies": workload::POLICIES.len() as u64,
+            "workers": workers as u64,
+            "sequential_secs": sequential,
+            "parallel_secs": parallel,
+            "speedup": sequential / parallel,
+        },
+        "micro_ns": {
+            "lcache_fresh_rebuild_100k": lcache_rebuild,
+            "shadow_begin_refresh_100k": shadow_begin,
+            "naive_rebuild_100k": naive_rebuild,
+            "iis_plan_epoch_100k": iis_plan,
+            "package_build_1mib": package_build,
+        },
+    });
+    std::fs::write(&out_path, format!("{summary}\n"))
+        .map_err(|e| format!("--out {out_path}: {e}"))?;
+    println!("wrote perf snapshot to {out_path}");
+    println!("{summary}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! 2.2×/2.1×/1.7×/1.8×/1.5× on ImageNet); Base helps least; iCache is
 //! near Oracle for the compute-heavy VGG11/DenseNet121.
 
-use icache_bench::{banner, BenchEnv};
+use icache_bench::{banner, sweep, BenchEnv};
 use icache_dnn::ModelProfile;
 use icache_obs::json;
 use icache_sim::{report, Scenario, SystemKind};
@@ -14,7 +14,7 @@ use icache_sim::{report, Scenario, SystemKind};
 fn run_family(
     family: &str,
     models: Vec<ModelProfile>,
-    base: impl Fn(SystemKind) -> Scenario,
+    base: impl Fn(SystemKind) -> Scenario + Sync,
     epochs: u32,
 ) {
     let lineup = SystemKind::figure8_lineup();
@@ -24,19 +24,27 @@ fn run_family(
     let mut table = report::Table::new(header.iter().map(|s| s.to_string()).collect());
 
     println!("--- {family} (avg epoch time, steady state) ---");
-    for model in models {
+    // One task per (model, system) cell for load balance across worker
+    // threads; results come back in submission order, so regrouping by
+    // chunks of the lineup restores the per-model rows and the output
+    // matches the sequential loop byte for byte.
+    let cells_in: Vec<(ModelProfile, SystemKind)> = models
+        .iter()
+        .flat_map(|m| lineup.iter().map(|&sys| (m.clone(), sys)))
+        .collect();
+    let times = sweep::map(&cells_in, sweep::default_workers(), |_idx, (model, sys)| {
+        base(*sys)
+            .model(model.clone())
+            .epochs(epochs)
+            .run()
+            .expect("runs")
+            .avg_epoch_time_steady()
+            .as_secs_f64()
+    });
+
+    for (model, secs) in models.iter().zip(times.chunks(lineup.len())) {
         let mut cells = vec![model.name().to_string()];
-        let mut secs = Vec::new();
-        for &sys in &lineup {
-            let m = base(sys)
-                .model(model.clone())
-                .epochs(epochs)
-                .run()
-                .expect("runs");
-            let t = m.avg_epoch_time_steady().as_secs_f64();
-            secs.push(t);
-            cells.push(report::secs(t));
-        }
+        cells.extend(secs.iter().map(|&t| report::secs(t)));
         // iCache is index 5 in the lineup, Default index 0.
         cells.push(report::speedup(secs[0], secs[5]));
         table.row(cells);
@@ -46,7 +54,7 @@ fn run_family(
                 "family": family,
                 "model": model.name(),
                 "systems": lineup.iter().map(|s| s.label()).collect::<Vec<_>>(),
-                "epoch_seconds": secs,
+                "epoch_seconds": secs.to_vec(),
             }),
         );
     }

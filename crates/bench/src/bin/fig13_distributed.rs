@@ -8,7 +8,7 @@
 //! is already large.
 
 use icache_baselines::LruCache;
-use icache_bench::{banner, BenchEnv};
+use icache_bench::{banner, sweep, BenchEnv};
 use icache_core::{CacheSystem, DistributedCache, DistributedConfig};
 use icache_dnn::ModelProfile;
 use icache_obs::json;
@@ -63,57 +63,70 @@ fn main() {
         report::Table::with_columns(&["model", "servers", "Default", "iCache", "speedup"]);
     let mut speedups: Vec<(u32, f64)> = Vec::new();
 
-    for model in [ModelProfile::resnet18(), ModelProfile::resnet50()] {
-        for &nodes in &[2u32, 4] {
-            // Default: one private LRU per node, no coordination.
-            let mut default_cache = PerJobCache::new(
-                (0..nodes)
-                    .map(|_| {
-                        Box::new(LruCache::new(dataset.total_bytes().scaled(0.2)))
-                            as Box<dyn CacheSystem>
-                    })
-                    .collect(),
-            );
-            let mut nfs = Nfs::new(NfsConfig::cloud_default()).expect("valid nfs");
-            let default = run_multi_job(
-                job_configs(&model, &dataset, nodes, false, env.perf_epochs, env.seed),
-                &mut default_cache,
-                &mut nfs,
-            )
-            .expect("runs");
+    // Each (model, cluster-size) point is an independent pair of
+    // multi-job simulations; run the points on worker threads and render
+    // in point order afterwards so the output matches the sequential
+    // loop byte for byte.
+    let points: Vec<(ModelProfile, u32)> = [ModelProfile::resnet18(), ModelProfile::resnet50()]
+        .into_iter()
+        .flat_map(|model| [2u32, 4].into_iter().map(move |n| (model.clone(), n)))
+        .collect();
+    let results = sweep::map(&points, sweep::default_workers(), |_idx, (model, nodes)| {
+        let nodes = *nodes;
+        // Default: one private LRU per node, no coordination.
+        let mut default_cache = PerJobCache::new(
+            (0..nodes)
+                .map(|_| {
+                    Box::new(LruCache::new(dataset.total_bytes().scaled(0.2)))
+                        as Box<dyn CacheSystem>
+                })
+                .collect(),
+        );
+        let mut nfs = Nfs::new(NfsConfig::cloud_default()).expect("valid nfs");
+        let default = run_multi_job(
+            job_configs(model, &dataset, nodes, false, env.perf_epochs, env.seed),
+            &mut default_cache,
+            &mut nfs,
+        )
+        .expect("runs");
 
-            // iCache: the distributed cache with a shared directory.
-            let mut icache_cache = DistributedCache::new(
-                DistributedConfig::for_dataset(&dataset, nodes as usize, 0.2)
-                    .expect("valid cluster"),
-                &dataset,
-            )
-            .expect("valid cluster");
-            let mut nfs = Nfs::new(NfsConfig::cloud_default()).expect("valid nfs");
-            let icache = run_multi_job(
-                job_configs(&model, &dataset, nodes, true, env.perf_epochs, env.seed),
-                &mut icache_cache,
-                &mut nfs,
-            )
-            .expect("runs");
+        // iCache: the distributed cache with a shared directory.
+        let mut icache_cache = DistributedCache::new(
+            DistributedConfig::for_dataset(&dataset, nodes as usize, 0.2).expect("valid cluster"),
+            &dataset,
+        )
+        .expect("valid cluster");
+        let mut nfs = Nfs::new(NfsConfig::cloud_default()).expect("valid nfs");
+        let icache = run_multi_job(
+            job_configs(model, &dataset, nodes, true, env.perf_epochs, env.seed),
+            &mut icache_cache,
+            &mut nfs,
+        )
+        .expect("runs");
 
-            let d = slowest_epoch(&default);
-            let i = slowest_epoch(&icache);
-            speedups.push((nodes, d / i));
-            table.row(vec![
-                model.name().to_string(),
-                format!("{nodes}S"),
-                report::secs(d),
-                report::secs(i),
-                report::speedup(d, i),
-            ]);
-            report::json_line(
-                "fig13",
-                &json!({"model": model.name(), "servers": nodes,
-                        "default_seconds": d, "icache_seconds": i,
-                        "remote_cache_hits": icache_cache.remote_hits()}),
-            );
-        }
+        (
+            slowest_epoch(&default),
+            slowest_epoch(&icache),
+            icache_cache.remote_hits(),
+        )
+    });
+
+    for ((model, nodes), &(d, i, remote_hits)) in points.iter().zip(&results) {
+        let nodes = *nodes;
+        speedups.push((nodes, d / i));
+        table.row(vec![
+            model.name().to_string(),
+            format!("{nodes}S"),
+            report::secs(d),
+            report::secs(i),
+            report::speedup(d, i),
+        ]);
+        report::json_line(
+            "fig13",
+            &json!({"model": model.name(), "servers": nodes,
+                    "default_seconds": d, "icache_seconds": i,
+                    "remote_cache_hits": remote_hits}),
+        );
     }
 
     println!("{}", table.render());

@@ -5,7 +5,7 @@
 //! more I/O — but commodity servers give only 3-4 cores per GPU, so the
 //! ≤8-worker regime is the realistic one.
 
-use icache_bench::{banner, BenchEnv};
+use icache_bench::{banner, sweep, BenchEnv};
 use icache_dnn::ModelProfile;
 use icache_obs::json;
 use icache_sim::{report, SystemKind};
@@ -22,7 +22,10 @@ fn main() {
     let mut table = report::Table::with_columns(&["workers", "Default", "iCache", "speedup"]);
     let mut speedups = Vec::new();
 
-    for &w in &workers {
+    // Every sweep point is an independent simulation pair; run them on
+    // worker threads and render in point order afterwards, so the output
+    // matches the sequential loop byte for byte.
+    let results = sweep::map(&workers, sweep::default_workers(), |_idx, &w| {
         let run = |sys: SystemKind| {
             env.cifar(sys)
                 .model(ModelProfile::resnet18())
@@ -33,8 +36,10 @@ fn main() {
                 .avg_epoch_time_steady()
                 .as_secs_f64()
         };
-        let d = run(SystemKind::Default);
-        let i = run(SystemKind::Icache);
+        (run(SystemKind::Default), run(SystemKind::Icache))
+    });
+
+    for (&w, &(d, i)) in workers.iter().zip(&results) {
         speedups.push(d / i);
         table.row(vec![
             w.to_string(),

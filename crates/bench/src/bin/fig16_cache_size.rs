@@ -4,7 +4,7 @@
 //! cache grows from 20 % to 80 % of the dataset, and even at 80 % its hit
 //! ratio remains ~1.7× Default's.
 
-use icache_bench::{banner, BenchEnv};
+use icache_bench::{banner, sweep, BenchEnv};
 use icache_dnn::ModelProfile;
 use icache_obs::json;
 use icache_sim::{report, SystemKind};
@@ -27,7 +27,9 @@ fn main() {
         "iCache hit",
     ]);
 
-    for &frac in &sizes {
+    // Independent sweep points on worker threads; rendered in point order
+    // afterwards so output matches the sequential loop byte for byte.
+    let results = sweep::map(&sizes, sweep::default_workers(), |_idx, &frac| {
         let run = |sys: SystemKind| {
             env.cifar(sys)
                 .model(ModelProfile::resnet18())
@@ -36,8 +38,10 @@ fn main() {
                 .run()
                 .expect("runs")
         };
-        let d = run(SystemKind::Default);
-        let i = run(SystemKind::Icache);
+        (run(SystemKind::Default), run(SystemKind::Icache))
+    });
+
+    for (&frac, (d, i)) in sizes.iter().zip(&results) {
         let dt = d.avg_epoch_time_steady().as_secs_f64();
         let it = i.avg_epoch_time_steady().as_secs_f64();
         table.row(vec![

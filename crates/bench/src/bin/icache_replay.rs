@@ -17,33 +17,45 @@
 //! `out.icache.jsonl`, … — so event streams never interleave and every
 //! file's `seq` starts at 0),
 //! `--json <file.json>` (write a per-policy summary with the
-//! observability counters, latency histograms, and trace accounting).
+//! observability counters, latency histograms, and trace accounting),
+//! `--parallel [n|auto]` (replay the policies on `n` worker threads —
+//! bare `--parallel` or `auto` uses the machine's parallelism; see
+//! DESIGN.md §8).
 //!
-//! Each policy replays against its own [`icache_obs::Obs`] ring. On top
-//! of whatever the policy itself records, the replay driver records
-//! `replay.accesses`, `replay.h_hits`, `replay.l_hits`, `replay.pm_hits`,
-//! `replay.substitutions`, and `replay.misses` from the replay report, so
-//! every per-policy snapshot satisfies
+//! The policies share nothing but the read-only workload, so the
+//! parallel path produces byte-identical stdout, `--json`, and
+//! `--trace-out` files to the sequential one: every policy replays
+//! against its own [`icache_obs::Obs`] ring and derives its randomness
+//! from `--seed` alone, and results are printed in policy order after
+//! all workers join.
+//!
+//! On top of whatever the policy itself records, the replay driver
+//! records `replay.accesses`, `replay.h_hits`, `replay.l_hits`,
+//! `replay.pm_hits`, `replay.substitutions`, and `replay.misses` from
+//! the replay report, so every per-policy snapshot satisfies
 //! `h_hits + l_hits + pm_hits + substitutions + misses == accesses`.
 
-use icache_baselines::{IlfuCache, LruCache, MinIoCache, QuiverCache};
-use icache_core::{CacheSystem, IcacheConfig, IcacheManager};
-use icache_sampling::{HList, ImportanceTable};
+use icache_bench::{sweep, workload};
+use icache_sampling::HList;
 use icache_sim::replay::{replay, summarize, AccessPattern, Trace};
 use icache_sim::{report, StorageKind};
-use icache_types::{ByteSize, DatasetBuilder, JobId, SampleId, SizeModel};
+use icache_types::{ByteSize, Dataset, DatasetBuilder, JobId, SizeModel};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn parse_args() -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(flag) = args.next() {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("unexpected argument `{flag}`"));
         };
-        let Some(value) = args.next() else {
-            return Err(format!("flag --{key} needs a value"));
+        // A flag followed by another flag (or by nothing) is value-less:
+        // bare `--parallel` means `--parallel auto`. No flag's value can
+        // legitimately start with `--`.
+        let value = match args.peek() {
+            Some(next) if !next.starts_with("--") => args.next().unwrap_or_default(),
+            _ => String::new(),
         };
         out.insert(key.to_string(), value);
     }
@@ -67,6 +79,106 @@ fn policy_path(path: &str, policy: &str) -> String {
     }
 }
 
+/// Read-only inputs shared by every policy task.
+struct ReplayCtx<'a> {
+    trace: &'a Trace,
+    dataset: &'a Dataset,
+    hlist: &'a HList,
+    cap: ByteSize,
+    cache_frac: f64,
+    seed: u64,
+    storage_kind: StorageKind,
+    trace_out: Option<&'a str>,
+}
+
+/// Everything one policy replay produces, rendered but not yet printed:
+/// the driver prints outputs in policy order after all tasks finish, so
+/// sequential and parallel runs emit the same bytes.
+struct PolicyOutput {
+    row: Vec<String>,
+    line: String,
+    trace_note: Option<String>,
+    summary: (String, icache_obs::Json),
+}
+
+fn run_policy(name: &str, ctx: &ReplayCtx) -> Result<PolicyOutput, String> {
+    // One observability ring per policy: event streams never interleave
+    // and each trace file's seq numbering starts at 0. The cache is
+    // built here, inside the (possibly worker-thread) task.
+    let obs = icache_obs::Obs::new();
+    let mut cache = workload::build_policy(
+        name,
+        ctx.dataset,
+        ctx.cap,
+        ctx.cache_frac,
+        ctx.seed,
+        ctx.hlist,
+    )?;
+    let mut storage = ctx.storage_kind.build().map_err(|e| e.to_string())?;
+    cache.set_obs(obs.clone());
+    storage.set_obs(obs.clone());
+    cache.on_epoch_start(JobId(0), icache_types::Epoch(0));
+    let rep = replay(ctx.trace, ctx.dataset, cache.as_mut(), storage.as_mut());
+    // The replay driver's own accounting: baselines record nothing
+    // into the registry themselves, so these six counters make every
+    // policy snapshot sum to the shared workload's access count.
+    obs.add("replay.accesses", ctx.trace.len() as u64);
+    obs.add("replay.h_hits", rep.stats.h_hits);
+    obs.add("replay.l_hits", rep.stats.l_hits);
+    obs.add("replay.pm_hits", rep.stats.pm_hits);
+    obs.add("replay.substitutions", rep.stats.substitutions);
+    obs.add("replay.misses", rep.stats.misses);
+    let row = vec![
+        name.to_string(),
+        format!("{:.1}", rep.hit_ratio() * 100.0),
+        format!("{}", rep.latency.quantile(0.5)),
+        format!("{}", rep.latency.quantile(0.99)),
+        format!("{}", rep.elapsed),
+    ];
+    let line = format!("{name:8} {}", summarize(&rep));
+    let trace_note = match ctx.trace_out {
+        Some(path) => {
+            let path = policy_path(path, name);
+            std::fs::write(&path, obs.trace_jsonl())
+                .map_err(|e| format!("--trace-out {path}: {e}"))?;
+            Some(format!(
+                "wrote {} {name} trace events to {path}",
+                obs.trace_len()
+            ))
+        }
+        None => None,
+    };
+    let summary = (
+        name.to_string(),
+        icache_obs::Json::Obj(vec![
+            ("metrics".into(), obs.metrics_snapshot()),
+            (
+                "trace".into(),
+                icache_obs::Json::Obj(vec![
+                    (
+                        "emitted".into(),
+                        icache_obs::Json::UInt(obs.trace_emitted()),
+                    ),
+                    (
+                        "recorded".into(),
+                        icache_obs::Json::UInt(obs.trace_len() as u64),
+                    ),
+                    (
+                        "dropped".into(),
+                        icache_obs::Json::UInt(obs.trace_dropped()),
+                    ),
+                ]),
+            ),
+        ]),
+    );
+    Ok(PolicyOutput {
+        row,
+        line,
+        trace_note,
+        summary,
+    })
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
@@ -88,6 +200,10 @@ fn run() -> Result<(), String> {
         "tmpfs" => StorageKind::Tmpfs,
         "ssd" => StorageKind::NvmeSsd,
         other => return Err(format!("unknown storage `{other}`")),
+    };
+    let workers = match args.get("parallel") {
+        Some(v) => sweep::parse_workers(v)?,
+        None => 1,
     };
 
     let trace = if let Some(path) = args.get("trace") {
@@ -118,15 +234,7 @@ fn run() -> Result<(), String> {
 
     // iCache needs an importance view; for replay we rank by first-seen
     // popularity in the trace itself (what a warmed-up H-list would hold).
-    let mut popularity: HashMap<u64, f64> = HashMap::new();
-    for r in trace.records() {
-        *popularity.entry(r.sample.0).or_insert(0.0) += 1.0;
-    }
-    let mut table = ImportanceTable::new(universe);
-    for (&id, &count) in &popularity {
-        table.record_loss(SampleId(id), count);
-    }
-    let hlist = HList::top_fraction(&table, 0.5);
+    let hlist = workload::popularity_hlist(&trace, universe);
 
     println!(
         "replaying {} accesses over {} samples (cache {} = {:.0}%)\n",
@@ -136,79 +244,33 @@ fn run() -> Result<(), String> {
         cache_frac * 100.0
     );
 
+    let ctx = ReplayCtx {
+        trace: &trace,
+        dataset: &dataset,
+        hlist: &hlist,
+        cap,
+        cache_frac,
+        seed,
+        storage_kind,
+        trace_out: args.get("trace-out").map(String::as_str),
+    };
+    let ctx_ref = &ctx;
+    let tasks: Vec<_> = workload::POLICIES
+        .iter()
+        .map(|&name| move || run_policy(name, ctx_ref))
+        .collect();
+    let outputs = sweep::run_indexed(tasks, workers);
+
     let mut policy_summaries: Vec<(String, icache_obs::Json)> = Vec::new();
     let mut out = report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed"]);
-    let policies: Vec<(&str, Box<dyn CacheSystem>)> = vec![
-        ("lru", Box::new(LruCache::new(cap))),
-        ("coordl", Box::new(MinIoCache::new(cap))),
-        ("ilfu", Box::new(IlfuCache::new(cap))),
-        (
-            "quiver",
-            Box::new(QuiverCache::new(&dataset, cap, seed).map_err(|e| e.to_string())?),
-        ),
-        ("icache", {
-            let cfg = IcacheConfig::for_dataset(&dataset, cache_frac).map_err(|e| e.to_string())?;
-            let mut m = IcacheManager::new(cfg, &dataset).map_err(|e| e.to_string())?;
-            m.update_hlist(JobId(0), &hlist);
-            Box::new(m)
-        }),
-    ];
-
-    for (name, mut cache) in policies {
-        // One observability ring per policy: event streams never
-        // interleave and each trace file's seq numbering starts at 0.
-        let obs = icache_obs::Obs::new();
-        let mut storage = storage_kind.build().map_err(|e| e.to_string())?;
-        cache.set_obs(obs.clone());
-        storage.set_obs(obs.clone());
-        cache.on_epoch_start(JobId(0), icache_types::Epoch(0));
-        let rep = replay(&trace, &dataset, cache.as_mut(), storage.as_mut());
-        // The replay driver's own accounting: baselines record nothing
-        // into the registry themselves, so these six counters make every
-        // policy snapshot sum to the shared workload's access count.
-        obs.add("replay.accesses", trace.len() as u64);
-        obs.add("replay.h_hits", rep.stats.h_hits);
-        obs.add("replay.l_hits", rep.stats.l_hits);
-        obs.add("replay.pm_hits", rep.stats.pm_hits);
-        obs.add("replay.substitutions", rep.stats.substitutions);
-        obs.add("replay.misses", rep.stats.misses);
-        out.row(vec![
-            name.to_string(),
-            format!("{:.1}", rep.hit_ratio() * 100.0),
-            format!("{}", rep.latency.quantile(0.5)),
-            format!("{}", rep.latency.quantile(0.99)),
-            format!("{}", rep.elapsed),
-        ]);
-        println!("{name:8} {}", summarize(&rep));
-        if let Some(path) = args.get("trace-out") {
-            let path = policy_path(path, name);
-            std::fs::write(&path, obs.trace_jsonl())
-                .map_err(|e| format!("--trace-out {path}: {e}"))?;
-            println!("wrote {} {name} trace events to {path}", obs.trace_len());
+    for result in outputs {
+        let po = result?;
+        out.row(po.row);
+        println!("{}", po.line);
+        if let Some(note) = po.trace_note {
+            println!("{note}");
         }
-        policy_summaries.push((
-            name.to_string(),
-            icache_obs::Json::Obj(vec![
-                ("metrics".into(), obs.metrics_snapshot()),
-                (
-                    "trace".into(),
-                    icache_obs::Json::Obj(vec![
-                        (
-                            "emitted".into(),
-                            icache_obs::Json::UInt(obs.trace_emitted()),
-                        ),
-                        (
-                            "recorded".into(),
-                            icache_obs::Json::UInt(obs.trace_len() as u64),
-                        ),
-                        (
-                            "dropped".into(),
-                            icache_obs::Json::UInt(obs.trace_dropped()),
-                        ),
-                    ]),
-                ),
-            ]),
-        ));
+        policy_summaries.push(po.summary);
     }
     println!();
     println!("{}", out.render());

@@ -19,6 +19,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+pub mod workload;
+
 use icache_sim::{Scenario, SystemKind};
 
 /// Scaling knobs shared by the experiment binaries.

@@ -1,0 +1,98 @@
+//! `icache_replay --parallel` must be indistinguishable from the
+//! sequential run: same stdout, same `--json` summary, and per-policy
+//! `--trace-out` files byte-for-byte identical (DESIGN.md §8).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const POLICIES: [&str; 5] = ["lru", "coordl", "ilfu", "quiver", "icache"];
+
+fn run_replay(dir: &Path, parallel: Option<&str>) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_icache_replay"));
+    cmd.args([
+        "--pattern",
+        "zipf",
+        "--skew",
+        "1.1",
+        "--requests",
+        "5000",
+        "--universe",
+        "2000",
+        "--seed",
+        "11",
+    ]);
+    cmd.arg("--trace-out").arg(dir.join("trace.jsonl"));
+    cmd.arg("--json").arg(dir.join("summary.json"));
+    if let Some(n) = parallel {
+        cmd.arg("--parallel");
+        if !n.is_empty() {
+            cmd.arg(n);
+        }
+    }
+    let out = cmd.output().expect("icache_replay runs");
+    assert!(
+        out.status.success(),
+        "icache_replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is utf-8")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icache_par_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn parallel_replay_is_byte_identical_to_sequential() {
+    let seq_dir = scratch("seq");
+    let par_dir = scratch("par");
+    let seq_stdout = run_replay(&seq_dir, None);
+    let par_stdout = run_replay(&par_dir, Some("3"));
+
+    // Stdout differs only in the embedded output paths; normalise those.
+    let norm = |s: &str, dir: &Path| s.replace(&dir.display().to_string(), "<out>");
+    assert_eq!(
+        norm(&seq_stdout, &seq_dir),
+        norm(&par_stdout, &par_dir),
+        "stdout must not depend on --parallel"
+    );
+
+    let read = |dir: &Path, file: &str| {
+        std::fs::read(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"))
+    };
+    assert_eq!(
+        read(&seq_dir, "summary.json"),
+        read(&par_dir, "summary.json"),
+        "--json summary must not depend on --parallel"
+    );
+    for policy in POLICIES {
+        let file = format!("trace.{policy}.jsonl");
+        let seq = read(&seq_dir, &file);
+        if policy == "icache" {
+            // Baselines record nothing into the event ring; only the full
+            // iCache system traces, so only its file is guaranteed events.
+            assert!(!seq.is_empty(), "{file} has events");
+        }
+        assert_eq!(
+            seq,
+            read(&par_dir, &file),
+            "{file} must not depend on --parallel"
+        );
+    }
+
+    // Bare `--parallel` (auto workers) holds the same guarantee.
+    let auto_dir = scratch("auto");
+    let auto_stdout = run_replay(&auto_dir, Some(""));
+    assert_eq!(norm(&seq_stdout, &seq_dir), norm(&auto_stdout, &auto_dir));
+    assert_eq!(
+        read(&seq_dir, "summary.json"),
+        read(&auto_dir, "summary.json")
+    );
+
+    for dir in [seq_dir, par_dir, auto_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

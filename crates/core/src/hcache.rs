@@ -179,12 +179,13 @@ impl HCache {
     /// Cached samples absent from `fresh` are re-keyed to zero — they are
     /// no longer H-samples and become prime eviction candidates.
     pub fn begin_refresh(&mut self, fresh: &HashMap<SampleId, ImportanceValue>) {
-        let pending: HashMap<SampleId, ImportanceValue> = self
-            .items
-            .keys()
-            .map(|&id| (id, fresh.get(&id).copied().unwrap_or(ImportanceValue::ZERO)))
-            .collect();
-        self.heap.begin_refresh(pending);
+        // Streamed straight into the window — no intermediate map here.
+        let items = &self.items;
+        self.heap.begin_refresh(
+            items
+                .keys()
+                .map(|&id| (id, fresh.get(&id).copied().unwrap_or(ImportanceValue::ZERO))),
+        );
     }
 
     /// Close the refresh window (typically at the next epoch boundary).

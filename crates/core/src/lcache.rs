@@ -4,7 +4,7 @@ use crate::SampleData;
 use icache_types::{ByteSize, Error, IdSet, Result, SampleId, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Identity of a package built by dynamic packaging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -250,6 +250,10 @@ pub struct LCache {
     config: LCacheConfig,
     used: ByteSize,
     resident: HashMap<SampleId, SampleData>,
+    /// Resident ids kept in sorted order, maintained on insert/evict, so
+    /// the per-epoch fresh-pool rebuild never collects and sorts the full
+    /// key set (it was O(n log n) per epoch on the replay hot path).
+    resident_index: BTreeSet<SampleId>,
     /// Loaded packages in FIFO order, with the ids each one *added* (a
     /// sample re-packed later is owned by its first resident package).
     package_fifo: VecDeque<(PackageId, Vec<SampleId>, ByteSize)>,
@@ -269,6 +273,7 @@ impl LCache {
             config,
             used: ByteSize::ZERO,
             resident: HashMap::new(),
+            resident_index: BTreeSet::new(),
             package_fifo: VecDeque::new(),
             fresh: Vec::new(),
             fresh_pos: HashMap::new(),
@@ -382,12 +387,13 @@ impl LCache {
         self.accessed.clear();
         self.fresh.clear();
         self.fresh_pos.clear();
-        // Sorted so the fresh pool (and thus substitution draws) are
-        // independent of HashMap iteration order — runs stay deterministic.
-        let mut ids: Vec<SampleId> = self.resident.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            self.push_fresh(id);
+        // The index iterates in sorted order, so the fresh pool (and thus
+        // substitution draws) stays independent of HashMap iteration order
+        // — runs are deterministic without re-sorting the keys each epoch.
+        self.fresh.reserve(self.resident_index.len());
+        for (pos, &id) in self.resident_index.iter().enumerate() {
+            self.fresh.push(id);
+            self.fresh_pos.insert(id, pos);
         }
     }
 
@@ -438,6 +444,7 @@ impl LCache {
                 continue;
             }
             self.resident.insert(s.id(), *s);
+            self.resident_index.insert(s.id());
             self.used += s.size();
             owned_bytes += s.size();
             owned.push(s.id());
@@ -452,6 +459,7 @@ impl LCache {
             let (_, ids, bytes) = self.package_fifo.pop_front().expect("len > 1");
             for id in ids {
                 if self.resident.remove(&id).is_some() {
+                    self.resident_index.remove(&id);
                     // Remove from fresh if present.
                     if let Some(&pos) = self.fresh_pos.get(&id) {
                         let last = self.fresh.len() - 1;
@@ -673,6 +681,46 @@ mod tests {
     #[test]
     fn packager_rejects_zero_target() {
         assert!(Packager::new(ByteSize::ZERO, 1).is_err());
+    }
+
+    #[test]
+    fn substitution_draws_match_the_sorted_collect_reference() {
+        // The incrementally maintained resident index must reproduce the
+        // old behaviour exactly: at epoch start the fresh pool is the
+        // sorted resident ids, so an identically seeded RNG draws the
+        // same substitute sequence as a reference that collects and
+        // sorts the keys (what `on_epoch_start` used to do per epoch).
+        let mut c = lc(2_000);
+        c.install_package(pkg(0, 0..10, 100), SimTime::ZERO);
+        c.install_package(pkg(1, 10..20, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        // Force an eviction so the index sees removals too.
+        c.install_package(pkg(2, 20..30, 100), SimTime::ZERO);
+        c.integrate(SimTime::ZERO);
+        c.on_epoch_start();
+
+        let mut reference: Vec<SampleId> = c.resident.keys().copied().collect();
+        reference.sort_unstable();
+        assert_eq!(c.fresh, reference, "fresh pool is the sorted residents");
+
+        // Replay the swap-remove draw sequence against the reference pool
+        // with a clone of the seeded RNG: every substitute must agree.
+        let mut rng = SeedSequence::new(42).rng("sub");
+        let mut ref_rng = SeedSequence::new(42).rng("sub");
+        for miss in 500..515 {
+            let expected = if reference.is_empty() {
+                None
+            } else {
+                let idx = ref_rng.gen_range(0..reference.len());
+                Some(reference.swap_remove(idx))
+            };
+            let got = match c.lookup(SampleId(miss), &mut rng) {
+                LFetch::Substitute(s) => Some(s),
+                LFetch::Empty => None,
+                LFetch::Hit => panic!("misses only"),
+            };
+            assert_eq!(got, expected, "draw diverged at miss {miss}");
+        }
     }
 
     #[test]

@@ -27,16 +27,14 @@ use std::collections::HashMap;
 /// ```
 /// use icache_core::ShadowedHeap;
 /// use icache_types::{ImportanceValue, SampleId};
-/// use std::collections::HashMap;
 ///
 /// let mut heap = ShadowedHeap::new();
 /// heap.insert(SampleId(1), ImportanceValue::new(1.0)?);
 /// heap.insert(SampleId(2), ImportanceValue::new(2.0)?);
 ///
-/// // New epoch: sample 1 became very important.
-/// let mut fresh = HashMap::new();
-/// fresh.insert(SampleId(1), ImportanceValue::new(9.0)?);
-/// heap.begin_refresh(fresh);
+/// // New epoch: sample 1 became very important. Any (id, value)
+/// // iterator opens the window — no dedicated map required.
+/// heap.begin_refresh([(SampleId(1), ImportanceValue::new(9.0)?)]);
 ///
 /// // Eviction still serves from the frozen heap's (old) order…
 /// assert_eq!(heap.peek_evict_candidate().map(|(id, _)| id), Some(SampleId(1)));
@@ -115,7 +113,11 @@ impl ShadowedHeap {
     /// Open a refresh window: freeze the current heap and record `fresh`
     /// as the new keys to apply. If a window is already open it is first
     /// finished.
-    pub fn begin_refresh(&mut self, fresh: HashMap<SampleId, ImportanceValue>) {
+    ///
+    /// Takes any `(id, value)` iterator so call sites can stream their
+    /// fresh keys (e.g. map over a borrowed table) instead of building
+    /// and handing over a dedicated `HashMap`.
+    pub fn begin_refresh(&mut self, fresh: impl IntoIterator<Item = (SampleId, ImportanceValue)>) {
         if self.refresh.is_some() {
             self.finish_refresh();
         }
@@ -123,7 +125,7 @@ impl ShadowedHeap {
         self.refresh = Some(RefreshState {
             frozen,
             shadow: HHeap::new(),
-            pending: fresh,
+            pending: fresh.into_iter().collect(),
         });
     }
 
@@ -293,7 +295,7 @@ mod tests {
     #[test]
     fn finish_refresh_applies_pending_keys() {
         let mut h = heap_with(&[(1, 1.0), (2, 2.0)]);
-        h.begin_refresh([(SampleId(1), iv(9.0))].into());
+        h.begin_refresh([(SampleId(1), iv(9.0))]);
         h.finish_refresh();
         assert!(!h.is_refreshing());
         assert_eq!(h.key_of(SampleId(1)), Some(iv(9.0)));
@@ -351,7 +353,7 @@ mod tests {
     #[test]
     fn begin_refresh_twice_finishes_first_window() {
         let mut h = heap_with(&[(1, 1.0)]);
-        h.begin_refresh([(SampleId(1), iv(4.0))].into());
+        h.begin_refresh([(SampleId(1), iv(4.0))]);
         h.begin_refresh(HashMap::new());
         // First window's pending key must have been applied.
         assert_eq!(h.key_of(SampleId(1)), Some(iv(4.0)));
@@ -365,7 +367,8 @@ mod tests {
             .collect();
 
         let mut a = heap_with(&vals);
-        a.begin_refresh(fresh.clone());
+        // Streamed from a borrow: no clone handed to the refresh window.
+        a.begin_refresh(fresh.iter().map(|(&id, &v)| (id, v)));
         a.finish_refresh();
 
         let mut b = heap_with(&vals);
@@ -385,7 +388,7 @@ mod tests {
     #[test]
     fn key_of_prefers_new_keys_during_refresh() {
         let mut h = heap_with(&[(1, 1.0)]);
-        h.begin_refresh([(SampleId(1), iv(8.0))].into());
+        h.begin_refresh([(SampleId(1), iv(8.0))]);
         assert_eq!(h.key_of(SampleId(1)), Some(iv(8.0)), "pending key visible");
     }
 }

@@ -137,11 +137,17 @@ impl Selector for UniformSelector {
 /// The exploration floor is *relative* to the current mean importance:
 /// losses shrink by orders of magnitude as training converges, and an
 /// absolute floor would gradually flatten the selection into uniform.
+/// `keyed` is caller-owned scratch reused across epochs: at dataset scale
+/// the key vector is the dominant per-epoch allocation, and the selectors
+/// keep one alive instead of rebuilding it every plan. The scratch never
+/// influences the result — it is cleared and refilled from the same RNG
+/// draw sequence, so plans are identical to a fresh-allocation run.
 fn weighted_subset(
     table: &ImportanceTable,
     k: usize,
     floor: f64,
     rng: &mut StdRng,
+    keyed: &mut Vec<(f64, u64)>,
 ) -> Vec<SampleId> {
     let n = table.len() as usize;
     let k = k.min(n);
@@ -149,23 +155,18 @@ fn weighted_subset(
         .max(f64::MIN_POSITIVE);
     let abs_floor = floor * mean_w;
     // key = u^(1/w); the k largest keys form the weighted sample.
-    let mut keyed: Vec<(f64, u64)> = table
-        .raw_values()
-        .iter()
-        .enumerate()
-        .map(|(i, &w)| {
-            let w = w.max(0.0) + abs_floor;
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            (u.powf(1.0 / w), i as u64)
-        })
-        .collect();
+    keyed.clear();
+    keyed.extend(table.raw_values().iter().enumerate().map(|(i, &w)| {
+        let w = w.max(0.0) + abs_floor;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (u.powf(1.0 / w), i as u64)
+    }));
     keyed.select_nth_unstable_by(k.saturating_sub(1).min(n - 1), |a, b| {
         b.0.partial_cmp(&a.0)
             .expect("keys are finite")
             .then(a.1.cmp(&b.1))
     });
-    keyed.truncate(k);
-    keyed.into_iter().map(|(_, i)| SampleId(i)).collect()
+    keyed[..k].iter().map(|&(_, i)| SampleId(i)).collect()
 }
 
 /// I/O-oriented importance sampling (the paper's IIS, §III-A): before each
@@ -192,10 +193,19 @@ fn weighted_subset(
 /// assert_eq!(plan.computed_count(), 30);
 /// # Ok::<(), icache_types::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct IisSelector {
     fraction: f64,
     exploration_floor: f64,
+    /// Reusable key buffer for [`weighted_subset`]; never observable.
+    scratch: Vec<(f64, u64)>,
+}
+
+impl PartialEq for IisSelector {
+    fn eq(&self, other: &Self) -> bool {
+        // Scratch capacity is an implementation detail, not policy state.
+        self.fraction == other.fraction && self.exploration_floor == other.exploration_floor
+    }
 }
 
 impl IisSelector {
@@ -216,6 +226,7 @@ impl IisSelector {
         Ok(IisSelector {
             fraction,
             exploration_floor: Self::DEFAULT_EXPLORATION_FLOOR,
+            scratch: Vec::new(),
         })
     }
 
@@ -255,7 +266,7 @@ impl Selector for IisSelector {
             return EpochPlan::all_computed(order);
         }
         let k = ((table.len() as f64 * self.fraction).round() as usize).max(1);
-        let mut chosen = weighted_subset(table, k, self.exploration_floor, rng);
+        let mut chosen = weighted_subset(table, k, self.exploration_floor, rng, &mut self.scratch);
         chosen.shuffle(rng);
         EpochPlan::all_computed(chosen)
     }
@@ -268,10 +279,18 @@ impl Selector for IisSelector {
 /// Computing-oriented importance sampling (the baseline `Base` uses this):
 /// the *same* weighted subset is chosen for GPU computation, but every
 /// sample is still fetched in shuffled order — so I/O volume is unchanged.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CisSelector {
     fraction: f64,
     exploration_floor: f64,
+    /// Reusable key buffer for [`weighted_subset`]; never observable.
+    scratch: Vec<(f64, u64)>,
+}
+
+impl PartialEq for CisSelector {
+    fn eq(&self, other: &Self) -> bool {
+        self.fraction == other.fraction && self.exploration_floor == other.exploration_floor
+    }
 }
 
 impl CisSelector {
@@ -287,6 +306,7 @@ impl CisSelector {
         Ok(CisSelector {
             fraction,
             exploration_floor: IisSelector::DEFAULT_EXPLORATION_FLOOR,
+            scratch: Vec::new(),
         })
     }
 
@@ -308,7 +328,7 @@ impl Selector for CisSelector {
             return EpochPlan::all_computed(order);
         }
         let k = ((table.len() as f64 * self.fraction).round() as usize).max(1);
-        let chosen = weighted_subset(table, k, self.exploration_floor, rng);
+        let chosen = weighted_subset(table, k, self.exploration_floor, rng, &mut self.scratch);
         let mut mask = vec![false; table.len() as usize];
         for id in chosen {
             mask[id.index()] = true;

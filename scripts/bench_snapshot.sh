@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Record a perf snapshot of the replay workload and the cache-core hot
+# paths into BENCH_icache.json at the repo root. Re-run after perf work
+# and commit the file so successive PRs have comparable numbers.
+#
+#   scripts/bench_snapshot.sh [extra bench_snapshot flags...]
+#
+# Knobs are forwarded verbatim, e.g.:
+#   scripts/bench_snapshot.sh --requests 500000 --parallel 8
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p icache-bench --bin bench_snapshot
+target/release/bench_snapshot --out BENCH_icache.json "$@"
