@@ -33,8 +33,11 @@ use std::collections::{BTreeSet, HashMap};
 pub struct IlfuCache {
     capacity: ByteSize,
     used: ByteSize,
+    // lint: allow(determinism): keyed lookup only; victim selection
+    // iterates the `order` BTreeSet, never these maps
     items: HashMap<SampleId, ByteSize>,
     /// Access counts, including for currently-evicted samples.
+    // lint: allow(determinism): keyed lookup only, see `items` note
     freq: HashMap<SampleId, u64>,
     /// Cached items ordered by (frequency, id) — the front is the victim.
     order: BTreeSet<(u64, SampleId)>,
@@ -53,8 +56,8 @@ impl IlfuCache {
         IlfuCache {
             capacity,
             used: ByteSize::ZERO,
-            items: HashMap::new(),
-            freq: HashMap::new(),
+            items: HashMap::new(), // lint: allow(determinism): see field note
+            freq: HashMap::new(),  // lint: allow(determinism): see field note
             order: BTreeSet::new(),
             timings,
             stats: CacheStats::default(),

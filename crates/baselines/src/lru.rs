@@ -27,6 +27,8 @@ use std::collections::{BTreeMap, HashMap};
 pub struct LruCore {
     capacity: ByteSize,
     used: ByteSize,
+    // lint: allow(determinism): keyed lookup only; recency order lives
+    // in the `order` BTreeMap, never read off this map
     items: HashMap<SampleId, (ByteSize, u64)>,
     order: BTreeMap<u64, SampleId>,
     clock: u64,
@@ -125,6 +127,7 @@ pub struct LruCache {
     lru: LruCore,
     timings: BaselineTimings,
     stats: CacheStats,
+    // lint: allow(determinism): keyed size lookup only, never iterated
     sizes: HashMap<SampleId, ByteSize>,
 }
 
@@ -140,7 +143,7 @@ impl LruCache {
             lru: LruCore::new(capacity),
             timings,
             stats: CacheStats::default(),
-            sizes: HashMap::new(),
+            sizes: HashMap::new(), // lint: allow(determinism): see field note
         }
     }
 }

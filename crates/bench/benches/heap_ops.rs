@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use icache_core::{HHeap, ShadowedHeap};
 use icache_types::{ImportanceValue, SampleId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn iv(v: f64) -> ImportanceValue {
     ImportanceValue::saturating(v)
@@ -26,7 +26,7 @@ fn filled_shadow(n: u64) -> ShadowedHeap {
     h
 }
 
-fn fresh_keys(n: u64) -> HashMap<SampleId, ImportanceValue> {
+fn fresh_keys(n: u64) -> BTreeMap<SampleId, ImportanceValue> {
     (0..n)
         .map(|i| (SampleId(i), iv(((i * 40_503) % 999_983) as f64)))
         .collect()

@@ -28,7 +28,7 @@ use icache_types::{
     ByteSize, DatasetBuilder, Epoch, ImportanceValue, JobId, SampleId, SeedSequence, SimTime,
     SizeModel,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -126,7 +126,7 @@ fn run() -> Result<(), String> {
     lc.integrate(SimTime::ZERO);
     let lcache_rebuild = mean_ns(20, || lc.on_epoch_start());
 
-    let fresh: HashMap<SampleId, ImportanceValue> = (0..n)
+    let fresh: BTreeMap<SampleId, ImportanceValue> = (0..n)
         .map(|i| {
             (
                 SampleId(i),

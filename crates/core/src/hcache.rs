@@ -2,7 +2,7 @@
 
 use crate::{SampleData, ShadowedHeap};
 use icache_types::{ByteSize, ImportanceValue, SampleId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of offering a sample to the H-cache.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -41,7 +41,7 @@ pub struct AdmitResult {
 pub struct HCache {
     capacity: ByteSize,
     used: ByteSize,
-    items: HashMap<SampleId, SampleData>,
+    items: BTreeMap<SampleId, SampleData>,
     heap: ShadowedHeap,
 }
 
@@ -178,7 +178,7 @@ impl HCache {
     /// Open a shadow-heap refresh window with new importance values.
     /// Cached samples absent from `fresh` are re-keyed to zero — they are
     /// no longer H-samples and become prime eviction candidates.
-    pub fn begin_refresh(&mut self, fresh: &HashMap<SampleId, ImportanceValue>) {
+    pub fn begin_refresh(&mut self, fresh: &BTreeMap<SampleId, ImportanceValue>) {
         // Streamed straight into the window — no intermediate map here.
         let items = &self.items;
         self.heap.begin_refresh(
@@ -198,7 +198,7 @@ impl HCache {
         self.heap.is_refreshing()
     }
 
-    /// Iterate over cached ids (unspecified order).
+    /// Iterate over cached ids in ascending id order.
     pub fn ids(&self) -> impl Iterator<Item = SampleId> + '_ {
         self.items.keys().copied()
     }
@@ -305,7 +305,7 @@ mod tests {
         hc.admit(item(1, 100), iv(5.0));
         hc.admit(item(2, 100), iv(1.0));
         // New H-list only contains #2 (now very important).
-        let fresh: HashMap<_, _> = [(SampleId(2), iv(9.0))].into();
+        let fresh: BTreeMap<_, _> = [(SampleId(2), iv(9.0))].into();
         hc.begin_refresh(&fresh);
         hc.finish_refresh();
         // #1 was demoted to zero: any positive-importance sample displaces it.

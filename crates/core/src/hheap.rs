@@ -30,6 +30,8 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct HHeap {
     nodes: Vec<(ImportanceValue, SampleId)>,
+    // lint: allow(determinism): id->slot index, keyed lookup on the sift
+    // hot path; iteration never happens, order cannot escape
     pos: HashMap<SampleId, usize>,
 }
 
@@ -43,7 +45,7 @@ impl HHeap {
     pub fn with_capacity(cap: usize) -> Self {
         HHeap {
             nodes: Vec::with_capacity(cap),
-            pos: HashMap::with_capacity(cap),
+            pos: HashMap::with_capacity(cap), // lint: allow(determinism): see field note
         }
     }
 

@@ -154,7 +154,7 @@ impl Packager {
         size_of: impl Fn(SampleId) -> ByteSize,
     ) -> Package {
         let mut chosen: Vec<SampleId> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut total = ByteSize::ZERO;
         // Packages never overshoot the target (the L-region is sized in
         // package units); only the very first sample may exceed it.
@@ -249,6 +249,8 @@ pub enum LFetch {
 pub struct LCache {
     config: LCacheConfig,
     used: ByteSize,
+    // lint: allow(determinism): keyed lookup only; every iteration-order
+    // concern goes through `resident_index` below
     resident: HashMap<SampleId, SampleData>,
     /// Resident ids kept in sorted order, maintained on insert/evict, so
     /// the per-epoch fresh-pool rebuild never collects and sorts the full
@@ -260,6 +262,7 @@ pub struct LCache {
     /// Resident samples not yet accessed this epoch, with O(1) random
     /// removal.
     fresh: Vec<SampleId>,
+    // lint: allow(determinism): id->index into `fresh`, keyed lookup only
     fresh_pos: HashMap<SampleId, usize>,
     accessed: IdSet,
     missed_log: VecDeque<SampleId>,
@@ -272,11 +275,11 @@ impl LCache {
         LCache {
             config,
             used: ByteSize::ZERO,
-            resident: HashMap::new(),
+            resident: HashMap::new(), // lint: allow(determinism): see field note
             resident_index: BTreeSet::new(),
             package_fifo: VecDeque::new(),
             fresh: Vec::new(),
-            fresh_pos: HashMap::new(),
+            fresh_pos: HashMap::new(), // lint: allow(determinism): see field note
             accessed: IdSet::new(config.num_samples),
             missed_log: VecDeque::new(),
             pending: VecDeque::new(),
@@ -456,7 +459,10 @@ impl LCache {
 
     fn evict_to_fit(&mut self) {
         while self.used > self.config.capacity && self.package_fifo.len() > 1 {
-            let (_, ids, bytes) = self.package_fifo.pop_front().expect("len > 1");
+            let (_, ids, bytes) = self
+                .package_fifo
+                .pop_front()
+                .expect("loop guard: fifo holds at least two packages");
             for id in ids {
                 if self.resident.remove(&id).is_some() {
                     self.resident_index.remove(&id);

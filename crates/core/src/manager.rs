@@ -12,7 +12,7 @@ use icache_types::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What to do when a requested L-sample is missing from the L-cache
 /// (the §V-E substitution-policy study).
@@ -151,18 +151,18 @@ pub struct IcacheManager {
     lcache: LCache,
     packager: Packager,
     coordinator: MultiJobCoordinator,
-    effective_iv: HashMap<SampleId, ImportanceValue>,
+    effective_iv: BTreeMap<SampleId, ImportanceValue>,
     l_pool: Vec<SampleId>,
     loader_busy: SimTime,
     rng: StdRng,
     stats: CacheStats,
     /// Per-job views of the same counters (multi-tenant observability,
     /// Fig. 14's per-job hit ratios).
-    job_stats: HashMap<JobId, CacheStats>,
+    job_stats: BTreeMap<JobId, CacheStats>,
     h_accesses: u64,
     l_accesses: u64,
     /// H-cache residents already used as substitutes this epoch (ST_HC).
-    h_sub_used: std::collections::HashSet<SampleId>,
+    h_sub_used: BTreeSet<SampleId>,
     victim: Option<VictimCache>,
     primary_job: Option<JobId>,
     /// Shared observability handle (metrics registry + trace ring).
@@ -207,15 +207,15 @@ impl IcacheManager {
             }),
             packager: Packager::new(config.package_size, config.seed ^ 0xFACC)?,
             coordinator,
-            effective_iv: HashMap::new(),
+            effective_iv: BTreeMap::new(),
             l_pool: dataset.ids().collect(),
             loader_busy: SimTime::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
             stats: CacheStats::default(),
-            job_stats: HashMap::new(),
+            job_stats: BTreeMap::new(),
             h_accesses: 0,
             l_accesses: 0,
-            h_sub_used: std::collections::HashSet::new(),
+            h_sub_used: BTreeSet::new(),
             primary_job: None,
             obs: Obs::noop(),
             current_epoch: 0,
@@ -721,6 +721,10 @@ impl CacheSystem for IcacheManager {
         }
         self.h_accesses = 0;
         self.l_accesses = 0;
+        // DESIGN.md §7: `cache.hit_ratio` is defined as the paper-style
+        // ratio at the last epoch boundary.
+        self.obs
+            .set_gauge("cache.hit_ratio", self.stats.hit_ratio());
     }
 
     fn set_obs(&mut self, obs: icache_obs::Obs) {

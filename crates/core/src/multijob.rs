@@ -3,7 +3,7 @@
 use icache_obs::Obs;
 use icache_sampling::HList;
 use icache_types::{Error, ImportanceValue, JobId, Result, SampleId, SimDuration};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which part of the cache-benefit probe a job is in.
 ///
@@ -156,7 +156,7 @@ pub struct MultiJobCoordinator {
     num_samples: u64,
     threshold: f64,
     probe_len: u64,
-    jobs: HashMap<JobId, JobState>,
+    jobs: BTreeMap<JobId, JobState>,
     obs: Obs,
 }
 
@@ -182,7 +182,7 @@ impl MultiJobCoordinator {
             num_samples,
             threshold,
             probe_len,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             obs: Obs::noop(),
         })
     }
@@ -274,8 +274,13 @@ impl MultiJobCoordinator {
     /// 1.0 (cold-start: better to coordinate than to ignore). The RIV of a
     /// sample at (0-based) rank `r` of a job's H-list over a dataset of
     /// `N` samples is `1 − r/(N−1)`.
-    pub fn aggregate(&self) -> HashMap<SampleId, ImportanceValue> {
-        let mut aiv: HashMap<SampleId, f64> = HashMap::new();
+    ///
+    /// Jobs are visited in `JobId` order: the per-sample sums accumulate
+    /// `f64`s, and float addition is not associative, so with three or
+    /// more jobs an unordered visit could produce run-to-run drift in the
+    /// low bits of the aggregated values.
+    pub fn aggregate(&self) -> BTreeMap<SampleId, ImportanceValue> {
+        let mut aiv: BTreeMap<SampleId, f64> = BTreeMap::new();
         let denom = (self.num_samples.saturating_sub(1)).max(1) as f64;
         for state in self.jobs.values() {
             let Some(hlist) = &state.hlist else { continue };

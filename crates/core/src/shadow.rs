@@ -2,7 +2,7 @@
 
 use crate::HHeap;
 use icache_types::{ImportanceValue, SampleId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// An H-heap with the paper's *shadow heap* refresh protocol (§III-B).
 ///
@@ -56,6 +56,7 @@ struct RefreshState {
     /// The post-refresh heap under construction: fresh keys.
     shadow: HHeap,
     /// New keys not yet applied to nodes still sitting in `frozen`.
+    // lint: allow(determinism): keyed get/remove only, never iterated
     pending: HashMap<SampleId, ImportanceValue>,
 }
 
@@ -238,7 +239,7 @@ impl ShadowedHeap {
     /// Naive alternative to the shadow protocol: rebuild the entire heap
     /// with `fresh` keys at once. Exposed for the ablation benchmark that
     /// compares refresh costs.
-    pub fn rebuild_naive(&mut self, fresh: &HashMap<SampleId, ImportanceValue>) {
+    pub fn rebuild_naive(&mut self, fresh: &BTreeMap<SampleId, ImportanceValue>) {
         self.finish_refresh();
         let nodes = self.active.drain();
         let mut rebuilt = HHeap::with_capacity(nodes.len());
@@ -362,7 +363,7 @@ mod tests {
     #[test]
     fn rebuild_naive_matches_finish_refresh_result() {
         let vals: Vec<(u64, f64)> = (0..30).map(|i| (i, (i * 7 % 30) as f64)).collect();
-        let fresh: HashMap<SampleId, ImportanceValue> = (0..30)
+        let fresh: BTreeMap<SampleId, ImportanceValue> = (0..30)
             .map(|i| (SampleId(i), iv(((i * 13) % 30) as f64)))
             .collect();
 

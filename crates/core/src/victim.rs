@@ -9,7 +9,7 @@
 //! sample into DRAM.
 
 use icache_types::{ByteSize, Error, Result, SampleId, SimDuration};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration of the PM victim tier.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,7 +69,7 @@ impl PmTierConfig {
 pub struct VictimCache {
     config: PmTierConfig,
     used: ByteSize,
-    items: HashMap<SampleId, ByteSize>,
+    items: BTreeMap<SampleId, ByteSize>,
     order: VecDeque<SampleId>,
     hits: u64,
     misses: u64,
@@ -87,7 +87,7 @@ impl VictimCache {
         Ok(VictimCache {
             config,
             used: ByteSize::ZERO,
-            items: HashMap::new(),
+            items: BTreeMap::new(),
             order: VecDeque::new(),
             hits: 0,
             misses: 0,

@@ -1,0 +1,516 @@
+//! A minimal Rust lexer: just enough tokenization to drive line-level
+//! static analysis without a full parser.
+//!
+//! The lexer's one job is to distinguish *code* from *non-code* so rules
+//! never fire inside comments, doc comments, or string literals — the
+//! classic failure mode of grep-based lint passes. It understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and nested block comments,
+//! - string literals with escapes, raw strings (`r#"…"#`, any number of
+//!   `#`s), byte strings and raw byte strings,
+//! - char literals vs. lifetimes (`'a'` vs. `'a`),
+//! - raw identifiers (`r#type`),
+//! - numeric literals (loosely — enough not to swallow `0.unwrap()`).
+//!
+//! Everything else becomes single-character [`TokenKind::Punct`] tokens;
+//! rules match multi-character operators (`=>`, `::`) as adjacent puncts.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `use`, …).
+    Ident(String),
+    /// A string literal; the payload is the *unquoted* raw text (escape
+    /// sequences are left unprocessed — rules compare names, which never
+    /// contain escapes).
+    StrLit(String),
+    /// A character literal (`'x'`, `'\n'`). Contents are irrelevant here.
+    CharLit,
+    /// A lifetime (`'a`, `'_`).
+    Lifetime,
+    /// A numeric literal.
+    NumLit,
+    /// Any other single character.
+    Punct(char),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// A comment (line or block), captured for directive parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when code precedes the comment on its line (a trailing
+    /// comment annotates its own line; a standalone one annotates the
+    /// next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    code_on_line: bool,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+                self.code_on_line = false;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn is_ident_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_'
+    }
+
+    fn is_ident_continue(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+}
+
+/// Lex `src` into tokens and comments. Never fails: unrecognized bytes
+/// become [`TokenKind::Punct`] tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        code_on_line: false,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c == '\n' || c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let trailing = cur.code_on_line;
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                trailing,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let trailing = cur.code_on_line;
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => {
+                        if let Some(ch) = cur.bump() {
+                            text.push(ch);
+                        }
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                trailing,
+            });
+            continue;
+        }
+        // Raw identifiers and raw/byte strings share prefixes with idents.
+        if Cursor::is_ident_start(c) {
+            // r"..."  r#"..."#  br"..."  b"..."  r#ident
+            let raw_str = |cur: &Cursor, at: usize| -> Option<usize> {
+                // Returns the number of `#`s when position `at` starts a
+                // raw-string opener (`#`* followed by `"`).
+                let mut hashes = 0usize;
+                while cur.peek(at + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if cur.peek(at + hashes) == Some('"') {
+                    Some(hashes)
+                } else {
+                    None
+                }
+            };
+            let mut handled = false;
+            if c == 'r' || c == 'b' {
+                let offset = if c == 'b' && cur.peek(1) == Some('r') {
+                    2
+                } else {
+                    1
+                };
+                if (c == 'r' || offset == 2) && raw_str(&cur, offset).is_some() {
+                    if let Some(hashes) = raw_str(&cur, offset) {
+                        for _ in 0..offset + hashes + 1 {
+                            cur.bump();
+                        }
+                        let mut text = String::new();
+                        loop {
+                            match cur.peek(0) {
+                                None => break,
+                                Some('"') => {
+                                    let mut matched = true;
+                                    for h in 0..hashes {
+                                        if cur.peek(1 + h) != Some('#') {
+                                            matched = false;
+                                            break;
+                                        }
+                                    }
+                                    if matched {
+                                        for _ in 0..hashes + 1 {
+                                            cur.bump();
+                                        }
+                                        break;
+                                    }
+                                    text.push('"');
+                                    cur.bump();
+                                }
+                                Some(ch) => {
+                                    text.push(ch);
+                                    cur.bump();
+                                }
+                            }
+                        }
+                        out.tokens.push(Token {
+                            kind: TokenKind::StrLit(text),
+                            line,
+                            col,
+                        });
+                        cur.code_on_line = true;
+                        handled = true;
+                    }
+                } else if c == 'b' && cur.peek(1) == Some('"') {
+                    cur.bump(); // b
+                    lex_quoted(&mut cur, &mut out, line, col);
+                    handled = true;
+                } else if c == 'r'
+                    && cur.peek(1) == Some('#')
+                    && cur.peek(2).is_some_and(Cursor::is_ident_start)
+                {
+                    cur.bump();
+                    cur.bump();
+                    let mut name = String::new();
+                    while let Some(n) = cur.peek(0) {
+                        if !Cursor::is_ident_continue(n) {
+                            break;
+                        }
+                        name.push(n);
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident(name),
+                        line,
+                        col,
+                    });
+                    cur.code_on_line = true;
+                    handled = true;
+                }
+            }
+            if handled {
+                continue;
+            }
+            let mut name = String::new();
+            while let Some(n) = cur.peek(0) {
+                if !Cursor::is_ident_continue(n) {
+                    break;
+                }
+                name.push(n);
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident(name),
+                line,
+                col,
+            });
+            cur.code_on_line = true;
+            continue;
+        }
+        if c == '"' {
+            lex_quoted(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote. Char literal
+            // otherwise.
+            let next = cur.peek(1);
+            let after = cur.peek(2);
+            let is_lifetime = next.is_some_and(Cursor::is_ident_start) && after != Some('\'');
+            if is_lifetime {
+                cur.bump();
+                while cur.peek(0).is_some_and(Cursor::is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    line,
+                    col,
+                });
+            } else {
+                cur.bump();
+                loop {
+                    match cur.peek(0) {
+                        None | Some('\n') => break,
+                        Some('\\') => {
+                            cur.bump();
+                            cur.bump();
+                        }
+                        Some('\'') => {
+                            cur.bump();
+                            break;
+                        }
+                        Some(_) => {
+                            cur.bump();
+                        }
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::CharLit,
+                    line,
+                    col,
+                });
+            }
+            cur.code_on_line = true;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            cur.bump();
+            while cur.peek(0).is_some_and(|n| n.is_alphanumeric() || n == '_') {
+                cur.bump();
+            }
+            // A fraction only when a digit follows the dot — `0.unwrap()`
+            // must leave the `.` as punctuation.
+            if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                cur.bump();
+                while cur.peek(0).is_some_and(|n| n.is_alphanumeric() || n == '_') {
+                    cur.bump();
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::NumLit,
+                line,
+                col,
+            });
+            cur.code_on_line = true;
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+            col,
+        });
+        cur.code_on_line = true;
+    }
+    out
+}
+
+fn lex_quoted(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    loop {
+        match cur.peek(0) {
+            None => break,
+            Some('\\') => {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+            Some('"') => {
+                cur.bump();
+                break;
+            }
+            Some(_) => {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::StrLit(text),
+        line,
+        col,
+    });
+    cur.code_on_line = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("// HashMap here\nlet x = 1; /* HashSet */\n/// doc HashMap\n");
+        assert!(idents("// HashMap\nlet x = 1;").contains(&"let".to_string()));
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s.contains("Hash"))));
+        assert_eq!(l.comments.len(), 3);
+        assert!(!l.comments[0].trailing);
+        assert!(l.comments[1].trailing);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn x() {}");
+        assert_eq!(idents("/* a /* b */ c */ fn x() {}"), vec!["fn", "x"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("b"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "HashMap::unwrap()";"#);
+        assert!(!toks
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "HashMap")));
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::StrLit(s) if s.contains("HashMap"))));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"a \"quoted\" b\"#; let t = r\"plain\";";
+        let lits: Vec<String> = lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::StrLit(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lits,
+            vec!["a \"quoted\" b".to_string(), "plain".to_string()]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let l = lex(r"let c = '\''; let d = '\n'; let e = b'x';");
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::CharLit));
+        // No stray string literal opened by the escaped quote.
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::StrLit(_))));
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_the_dot() {
+        let l = lex("x.0.unwrap()");
+        let kinds: Vec<&TokenKind> = l.tokens.iter().map(|t| &t.kind).collect();
+        assert!(kinds.contains(&&TokenKind::Ident("unwrap".to_string())));
+        // The dot before `unwrap` survives as punctuation.
+        let has_dot_before_unwrap = l.tokens.windows(2).any(|w| {
+            w[0].kind == TokenKind::Punct('.')
+                && matches!(&w[1].kind, TokenKind::Ident(s) if s == "unwrap")
+        });
+        assert!(has_dot_before_unwrap);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("r#type x"), vec!["type", "x"]);
+    }
+}

@@ -1,0 +1,86 @@
+//! `icache-lint`: repo-specific static analysis for the iCache
+//! workspace. See DESIGN.md §9.
+//!
+//! Four rule families, each encoding an invariant the test suite cannot
+//! cheaply enforce:
+//!
+//! - **determinism** — no unordered collections or ambient entropy in
+//!   crates whose output must be a pure function of `(config, seed)`;
+//! - **contract** — the metric and trace-event names the code emits and
+//!   the names DESIGN.md documents must match exactly, both directions;
+//! - **panic** — library code may not `unwrap()`/`panic!`; `expect()`
+//!   must state the invariant it relies on;
+//! - **hygiene** — `#![forbid(unsafe_code)]` in every crate root, no
+//!   committed `dbg!`/`todo!`/`unimplemented!`, well-formed `lint:`
+//!   directives.
+//!
+//! The analysis is a hand-rolled lexer plus token-level pattern rules —
+//! the container has no AST-parsing crate vendored, and the invariants
+//! above are all expressible over the token stream with accurate
+//! line/column positions.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use config::Config;
+use diagnostics::Finding;
+use source::SourceFile;
+use std::path::Path;
+
+/// Every rule id an allow hatch may name.
+pub const KNOWN_RULES: &[&str] = &["contract", "determinism", "hygiene", "panic"];
+
+/// Run every rule over the workspace at `root`. Returns the sorted,
+/// deduplicated findings; `Err` means the scan itself failed (unreadable
+/// tree), not that findings exist.
+pub fn run(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let discovered = walk::collect(root, cfg)?;
+    let mut files = Vec::with_capacity(discovered.len());
+    for wf in &discovered {
+        let text = std::fs::read_to_string(&wf.abs)
+            .map_err(|e| format!("read {}: {e}", wf.abs.display()))?;
+        files.push(SourceFile::parse(
+            wf.rel.clone(),
+            wf.crate_dir.clone(),
+            wf.kind,
+            &text,
+        ));
+    }
+
+    let mut findings = Vec::new();
+    for file in &files {
+        rules::determinism::check(file, cfg, &mut findings);
+        rules::panic::check(file, cfg, &mut findings);
+        rules::hygiene::check(file, cfg, &mut findings);
+    }
+    let design_text = std::fs::read_to_string(root.join(&cfg.design)).ok();
+    rules::contract::check(&files, design_text.as_deref(), cfg, &mut findings);
+
+    diagnostics::sort_findings(&mut findings);
+    Ok(findings)
+}
+
+/// Load the configuration for `root`: `lint.toml` beside the workspace
+/// manifest when present, built-in defaults otherwise. An explicit
+/// `config_path` overrides both and must exist.
+pub fn load_config(root: &Path, config_path: Option<&Path>) -> Result<Config, String> {
+    let path = match config_path {
+        Some(p) => p.to_path_buf(),
+        None => {
+            let default = root.join("lint.toml");
+            if !default.is_file() {
+                return Ok(Config::default());
+            }
+            default
+        }
+    };
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Config::parse(&text)
+}

@@ -1,0 +1,112 @@
+//! `icache_lint` — the CI gate. Scans the workspace, prints findings
+//! (or a canonical JSON report with `--json`), and exits non-zero when
+//! anything is wrong.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or configuration error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+icache_lint — repo-specific static analysis for the iCache workspace
+
+USAGE:
+    icache_lint [OPTIONS]
+
+OPTIONS:
+    --root <dir>       Workspace root to scan (default: current directory)
+    --config <file>    lint.toml to load (default: <root>/lint.toml if present)
+    --allowlist <file> Alias for --config
+    --json             Emit the machine-readable report on stdout
+    -h, --help         Show this help
+
+EXIT CODES:
+    0  clean
+    1  findings reported
+    2  usage or configuration error
+";
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                )
+            }
+            "--config" | "--allowlist" => {
+                args.config = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| format!("{arg} needs a file path"))?,
+                ))
+            }
+            "--json" => args.json = true,
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::from(0);
+        }
+        Err(e) => {
+            eprintln!("icache_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.root.is_dir() {
+        eprintln!(
+            "icache_lint: root `{}` is not a directory",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let cfg = match icache_lint::load_config(&args.root, args.config.as_deref()) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("icache_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match icache_lint::run(&args.root, &cfg) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("icache_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        println!("{}", icache_lint::diagnostics::report_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("icache_lint: clean");
+        } else {
+            eprintln!("icache_lint: {} finding(s)", findings.len());
+        }
+    }
+    ExitCode::from(if findings.is_empty() { 0 } else { 1 })
+}

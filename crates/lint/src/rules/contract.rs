@@ -1,0 +1,497 @@
+//! Observability contract: every metric name the code passes to the
+//! `icache-obs` API (`inc`/`add`/`set_gauge`/`observe`) must appear in
+//! the DESIGN.md §7 metrics table, and every documented name must be
+//! emitted somewhere — drift in either direction fails the build.
+//! Trace-event names get the same treatment: the `=> "name"` arms of
+//! `TraceEvent::name()` are diffed against the §7 trace-events table.
+//!
+//! Dynamic names are covered two ways:
+//! - `format!("multijob.job{}.benefit", k)` passed directly to the API
+//!   is read as the pattern `multijob.job{*}.benefit`;
+//! - names assembled elsewhere (e.g. per-node counter keys built once in
+//!   a constructor) are declared at the construction site with
+//!   `// lint: metric("dist.node{*}.local_hits")`.
+//!
+//! Doc-side names may use `{i}`-style wildcards (normalized to `{*}`)
+//! and `{a,b,c}` alternation (expanded).
+
+use crate::config::Config;
+use crate::diagnostics::Finding;
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeMap;
+
+/// Rule id.
+pub const RULE: &str = "contract";
+
+const OBS_METHODS: &[&str] = &["inc", "add", "set_gauge", "observe"];
+
+/// A metric or event name: literal, or a pattern with `{*}` holes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Name(pub String);
+
+impl Name {
+    fn is_pattern(&self) -> bool {
+        self.0.contains("{*}")
+    }
+
+    /// Whether this (possibly pattern) name covers `literal`. A `{*}`
+    /// hole matches one or more characters without crossing a `.`
+    /// segment boundary.
+    fn matches(&self, literal: &str) -> bool {
+        if !self.is_pattern() {
+            return self.0 == literal;
+        }
+        let parts: Vec<&str> = self.0.split("{*}").collect();
+        let mut rest = literal;
+        for (i, part) in parts.iter().enumerate() {
+            if i == 0 {
+                let Some(r) = rest.strip_prefix(part) else {
+                    return false;
+                };
+                rest = r;
+                continue;
+            }
+            // The hole before `part`: consume 1+ non-dot chars, then
+            // `part` must follow. Find the earliest viable split.
+            let mut consumed = 0usize;
+            let mut found = false;
+            let chars: Vec<char> = rest.chars().collect();
+            while consumed < chars.len() && chars[consumed] != '.' {
+                consumed += 1;
+                let tail: String = chars[consumed..].iter().collect();
+                if tail.starts_with(part) && consumed >= 1 {
+                    rest = &rest[rest.len() - tail.len() + part.len()..];
+                    // Re-borrow: compute remaining after part.
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+        }
+        // Full consumption: for the last part, `rest` must now be empty
+        // unless the pattern ends with a hole (it never does here).
+        rest.is_empty() || parts.last().is_some_and(|p| p.is_empty())
+    }
+}
+
+/// One side of the contract: names plus where they were seen.
+#[derive(Debug, Default)]
+pub struct NameSet {
+    entries: BTreeMap<Name, (String, u32)>,
+}
+
+impl NameSet {
+    fn insert(&mut self, name: Name, path: &str, line: u32) {
+        self.entries
+            .entry(name)
+            .or_insert_with(|| (path.to_string(), line));
+    }
+
+    fn covers(&self, other: &Name) -> bool {
+        self.entries.keys().any(|n| {
+            n == other || (!other.is_pattern() && n.matches(&other.0)) || {
+                // A doc literal is covered by a code pattern too.
+                !n.is_pattern() && other.matches(&n.0)
+            }
+        })
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&Name, &(String, u32))> {
+        self.entries.iter()
+    }
+}
+
+/// Extract metric names emitted by `file` (literal obs calls, inline
+/// `format!` patterns, and `lint: metric` declarations).
+pub fn code_metrics(file: &SourceFile, out: &mut NameSet) {
+    if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Punct('.') {
+            continue;
+        }
+        let Some(TokenKind::Ident(method)) = toks.get(i + 1).map(|t| &t.kind) else {
+            continue;
+        };
+        if !OBS_METHODS.contains(&method.as_str()) {
+            continue;
+        }
+        if toks.get(i + 2).map(|t| &t.kind) != Some(&TokenKind::Punct('(')) {
+            continue;
+        }
+        let tok = &toks[i + 1];
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        match toks.get(i + 3).map(|t| &t.kind) {
+            Some(TokenKind::StrLit(name)) => {
+                out.insert(Name(name.clone()), &file.rel, tok.line);
+            }
+            Some(TokenKind::Punct('&')) | Some(TokenKind::Ident(_)) => {
+                // `&format!("…", args)` or `format!("…", args)`.
+                let at = if toks.get(i + 3).map(|t| &t.kind) == Some(&TokenKind::Punct('&')) {
+                    i + 4
+                } else {
+                    i + 3
+                };
+                let is_format = matches!(
+                    toks.get(at).map(|t| &t.kind),
+                    Some(TokenKind::Ident(id)) if id == "format"
+                ) && toks.get(at + 1).map(|t| &t.kind)
+                    == Some(&TokenKind::Punct('!'))
+                    && toks.get(at + 2).map(|t| &t.kind) == Some(&TokenKind::Punct('('));
+                if is_format {
+                    if let Some(TokenKind::StrLit(fstr)) = toks.get(at + 3).map(|t| &t.kind) {
+                        out.insert(Name(normalize_holes(fstr)), &file.rel, tok.line);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for decl in &file.metric_decls {
+        out.insert(Name(normalize_holes(&decl.name)), &file.rel, decl.line);
+    }
+}
+
+/// Extract trace-event names from the configured event-source file: the
+/// string literal directly following each `=>` outside test code.
+pub fn code_events(file: &SourceFile, out: &mut NameSet) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        let arrow = toks[i].kind == TokenKind::Punct('=')
+            && toks.get(i + 1).map(|t| &t.kind) == Some(&TokenKind::Punct('>'));
+        if !arrow {
+            continue;
+        }
+        if let Some(TokenKind::StrLit(name)) = toks.get(i + 2).map(|t| &t.kind) {
+            let line = toks[i + 2].line;
+            if !file.is_test_line(line) {
+                out.insert(Name(name.clone()), &file.rel, line);
+            }
+        }
+    }
+}
+
+/// Replace every `{…}` hole (named, positional, or empty) with `{*}`.
+fn normalize_holes(s: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    out.push_str("{*}");
+                }
+                depth += 1;
+            }
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Expand `{a,b,c}` alternation groups; normalize remaining holes.
+fn expand_doc_name(raw: &str) -> Vec<Name> {
+    if let Some(open) = raw.find('{') {
+        if let Some(close_rel) = raw[open..].find('}') {
+            let close = open + close_rel;
+            let body = &raw[open + 1..close];
+            if body.contains(',') {
+                let mut out = Vec::new();
+                for alt in body.split(',') {
+                    let candidate = format!("{}{}{}", &raw[..open], alt.trim(), &raw[close + 1..]);
+                    out.extend(expand_doc_name(&candidate));
+                }
+                return out;
+            }
+        }
+    }
+    vec![Name(normalize_holes(raw))]
+}
+
+/// Parse one documentation table section: all backticked names in the
+/// first column of the markdown table under the heading `section`,
+/// stopping at the next heading.
+pub fn doc_names(doc: &str, doc_path: &str, section: &str, out: &mut NameSet) -> bool {
+    let mut in_section = false;
+    let mut found = false;
+    for (n, line) in doc.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            in_section = trimmed.trim_start_matches('#').trim() == section;
+            continue;
+        }
+        if !in_section || !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(first_cell) = trimmed.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        if first_cell.contains("---") || first_cell.trim() == "name" {
+            continue;
+        }
+        found = true;
+        // Every `backticked` span in the cell is a name (cells may hold
+        // several, e.g. "`a` / `b` / `c`").
+        let mut rest = first_cell;
+        while let Some(start) = rest.find('`') {
+            let Some(len) = rest[start + 1..].find('`') else {
+                break;
+            };
+            let raw = &rest[start + 1..start + 1 + len];
+            for name in expand_doc_name(raw) {
+                out.insert(name, doc_path, n as u32 + 1);
+            }
+            rest = &rest[start + 1 + len + 1..];
+        }
+    }
+    found
+}
+
+/// Diff two name sets in both directions.
+pub fn diff(
+    code: &NameSet,
+    doc: &NameSet,
+    what: &str,
+    doc_path: &str,
+    section: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (name, (path, line)) in code.iter() {
+        if !doc.covers(name) {
+            out.push(Finding {
+                rule: RULE,
+                path: path.clone(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "{what} `{}` is emitted here but not documented in {doc_path} §7 \
+                     table \"{section}\"",
+                    name.0
+                ),
+            });
+        }
+    }
+    for (name, (path, line)) in doc.iter() {
+        if !code.covers(name) {
+            out.push(Finding {
+                rule: RULE,
+                path: path.clone(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "{what} `{}` is documented here but never emitted by the code",
+                    name.0
+                ),
+            });
+        }
+    }
+}
+
+/// Run the whole contract check over parsed workspace files plus the
+/// design document text.
+pub fn check(
+    files: &[SourceFile],
+    design_text: Option<&str>,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    let Some(doc) = design_text else {
+        out.push(Finding {
+            rule: RULE,
+            path: cfg.design.clone(),
+            line: 0,
+            col: 0,
+            message: format!("design document `{}` not found or unreadable", cfg.design),
+        });
+        return;
+    };
+
+    let mut code_m = NameSet::default();
+    let mut code_e = NameSet::default();
+    for f in files {
+        code_metrics(f, &mut code_m);
+        if f.rel == cfg.event_source {
+            code_events(f, &mut code_e);
+        }
+    }
+
+    let mut doc_m = NameSet::default();
+    if !doc_names(doc, &cfg.design, "Metrics", &mut doc_m) {
+        out.push(Finding {
+            rule: RULE,
+            path: cfg.design.clone(),
+            line: 0,
+            col: 0,
+            message: "no `### Metrics` table found in the design document".to_string(),
+        });
+    } else {
+        diff(&code_m, &doc_m, "metric", &cfg.design, "Metrics", out);
+    }
+
+    let mut doc_e = NameSet::default();
+    if !doc_names(doc, &cfg.design, "Trace events", &mut doc_e) {
+        out.push(Finding {
+            rule: RULE,
+            path: cfg.design.clone(),
+            line: 0,
+            col: 0,
+            message: "no `### Trace events` table found in the design document".to_string(),
+        });
+    } else {
+        diff(
+            &code_e,
+            &doc_e,
+            "trace event",
+            &cfg.design,
+            "Trace events",
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_matching_respects_segments() {
+        let p = Name("dist.node{*}.local_hits".to_string());
+        assert!(p.matches("dist.node3.local_hits"));
+        assert!(p.matches("dist.node12.local_hits"));
+        assert!(!p.matches("dist.node3.remote_hits"));
+        assert!(!p.matches("dist.node.extra.local_hits"));
+        assert!(!p.matches("dist.node.local_hits"), "hole needs 1+ chars");
+    }
+
+    #[test]
+    fn normalize_and_expand() {
+        assert_eq!(
+            normalize_holes("multijob.job{}.benefit"),
+            "multijob.job{*}.benefit"
+        );
+        assert_eq!(normalize_holes("dist.node{i}.x"), "dist.node{*}.x");
+        let names: Vec<String> = expand_doc_name("replay.{h,l,pm}_hits")
+            .into_iter()
+            .map(|n| n.0)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["replay.h_hits", "replay.l_hits", "replay.pm_hits"]
+        );
+    }
+
+    #[test]
+    fn doc_table_extraction_handles_multi_name_cells() {
+        let doc = "\
+## 7. Observability
+
+### Metrics
+
+| name | type | meaning |
+|---|---|---|
+| `cache.h_hits` / `cache.l_hits` | counter | hits |
+| `replay.accesses`, `replay.{h,l}_hits` | counter | replay |
+
+### Trace events
+
+| name | meaning |
+|---|---|
+| `h_hit` | hit |
+";
+        let mut set = NameSet::default();
+        assert!(doc_names(doc, "D.md", "Metrics", &mut set));
+        let names: Vec<String> = set.iter().map(|(n, _)| n.0.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cache.h_hits",
+                "cache.l_hits",
+                "replay.accesses",
+                "replay.h_hits",
+                "replay.l_hits"
+            ]
+        );
+        let mut ev = NameSet::default();
+        assert!(doc_names(doc, "D.md", "Trace events", &mut ev));
+        assert_eq!(ev.iter().count(), 1);
+    }
+
+    #[test]
+    fn code_extraction_literals_and_format() {
+        use crate::source::{FileKind, SourceFile};
+        let src = r#"
+fn f(obs: &Obs, k: u64) {
+    obs.inc("cache.h_hits");
+    obs.add("cache.bytes", 10);
+    obs.set_gauge(&format!("multijob.job{}.benefit", k), 1.0);
+    obs.observe("cache.fetch", d);
+    table.observe(SampleId(7)); // non-string arg: not a metric
+}
+// lint: metric("dist.node{*}.local_hits")
+"#;
+        let file = SourceFile::parse("x.rs".into(), None, FileKind::Lib, src);
+        let mut set = NameSet::default();
+        code_metrics(&file, &mut set);
+        let names: Vec<String> = set.iter().map(|(n, _)| n.0.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cache.bytes",
+                "cache.fetch",
+                "cache.h_hits",
+                "dist.node{*}.local_hits",
+                "multijob.job{*}.benefit"
+            ]
+        );
+    }
+
+    #[test]
+    fn event_extraction_from_match_arms() {
+        use crate::source::{FileKind, SourceFile};
+        let src = "impl E {\n fn name(&self) -> &str {\n  match self {\n   E::A { .. } => \"a_event\",\n   E::B { .. } => \"b_event\",\n  }\n }\n}\n#[cfg(test)]\nmod tests { fn t() { let x = match 1 { _ => \"not_an_event\" }; } }\n";
+        let file = SourceFile::parse("x.rs".into(), None, FileKind::Lib, src);
+        let mut set = NameSet::default();
+        code_events(&file, &mut set);
+        let names: Vec<String> = set.iter().map(|(n, _)| n.0.clone()).collect();
+        assert_eq!(names, vec!["a_event", "b_event"]);
+    }
+
+    #[test]
+    fn diff_reports_both_directions() {
+        let mut code = NameSet::default();
+        code.insert(Name("a.emitted".into()), "x.rs", 3);
+        code.insert(Name("a.shared".into()), "x.rs", 4);
+        let mut doc = NameSet::default();
+        doc.insert(Name("a.shared".into()), "D.md", 10);
+        doc.insert(Name("a.ghost".into()), "D.md", 11);
+        let mut out = Vec::new();
+        diff(&code, &doc, "metric", "D.md", "Metrics", &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("a.emitted") && f.message.contains("not documented")));
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("a.ghost") && f.message.contains("never emitted")));
+    }
+
+    #[test]
+    fn pattern_on_one_side_covers_literals_on_the_other() {
+        let mut code = NameSet::default();
+        code.insert(Name("dist.node{*}.local_hits".into()), "x.rs", 1);
+        let mut doc = NameSet::default();
+        doc.insert(Name("dist.node{*}.local_hits".into()), "D.md", 1);
+        let mut out = Vec::new();
+        diff(&code, &doc, "metric", "D.md", "Metrics", &mut out);
+        assert!(out.is_empty());
+    }
+}

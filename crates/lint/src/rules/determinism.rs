@@ -1,0 +1,168 @@
+//! Determinism rule: the crates whose behaviour must be a pure function
+//! of `(config, seed)` — the cache core, samplers, baselines, and the
+//! simulator — may not reach for unordered collections or ambient
+//! entropy. `HashMap`/`HashSet` iteration order is randomized per
+//! instance; `thread_rng` draws from the OS; `Instant`/`SystemTime` read
+//! wall clocks. Any of these in a deterministic crate is a seed-escape
+//! waiting to happen (DESIGN.md §6, §8).
+//!
+//! Escape hatches: a `lint.toml` `[determinism] allow` file entry, or an
+//! inline `// lint: allow(determinism): <why order cannot escape>`.
+//! `use` declarations are exempt — the rule fires on usage sites so one
+//! import line does not need its own hatch.
+
+use crate::config::Config;
+use crate::diagnostics::Finding;
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id, as used in findings, hatches, and the JSON report.
+pub const RULE: &str = "determinism";
+
+const BANNED: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is randomized per instance; use BTreeMap, or allowlist with a reason \
+         why order cannot escape",
+    ),
+    (
+        "HashSet",
+        "iteration order is randomized per instance; use BTreeSet, or allowlist with a reason \
+         why order cannot escape",
+    ),
+    (
+        "thread_rng",
+        "draws OS entropy; all randomness must flow from the run seed through StdRng",
+    ),
+    (
+        "Instant",
+        "reads the wall clock; deterministic crates measure SimTime only",
+    ),
+    (
+        "SystemTime",
+        "reads the wall clock; deterministic crates measure SimTime only",
+    ),
+];
+
+/// Check one file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let in_scope = file
+        .crate_dir
+        .as_ref()
+        .is_some_and(|c| cfg.det_crates.contains(c));
+    if !in_scope {
+        return;
+    }
+    if Config::file_allowed(&cfg.det_allow, &file.rel).is_some() {
+        return;
+    }
+    for (i, tok) in file.lexed.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        let Some((_, why)) = BANNED.iter().find(|(b, _)| b == name) else {
+            continue;
+        };
+        if file.in_use_decl[i] || file.is_test_line(tok.line) || file.allowed(RULE, tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE,
+            path: file.rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: format!("`{name}` in deterministic crate: {why}"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_src(src: &str, crate_dir: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(
+            format!("crates/{crate_dir}/src/x.rs"),
+            Some(crate_dir.to_string()),
+            FileKind::Lib,
+            src,
+        );
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_hashmap_in_core() {
+        let out = check_src(
+            "fn f() { let m = std::collections::HashMap::<u8,u8>::new(); }",
+            "core",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RULE);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn use_decl_is_exempt_but_usage_is_not() {
+        let out = check_src(
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u8, u8> }\n",
+            "core",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let out = check_src(
+            "struct S {\n    m: std::collections::HashMap<u8, u8>, // lint: allow(determinism): keyed lookup only\n}\n",
+            "core",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_deterministic_crate_is_out_of_scope() {
+        assert!(check_src("fn f() { let t = std::time::Instant::now(); }", "bench").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = check_src(
+            "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { let m: HashMap<u8,u8> = HashMap::new(); }\n}\n",
+            "sim",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_rng_and_clocks_flagged() {
+        let out = check_src(
+            "fn f() { let r = rand::thread_rng(); let t = std::time::SystemTime::now(); }",
+            "sampling",
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn file_allowlist_suppresses_whole_file() {
+        let f = SourceFile::parse(
+            "crates/baselines/src/timing.rs".to_string(),
+            Some("baselines".to_string()),
+            FileKind::Lib,
+            "fn f() { let t = std::time::Instant::now(); }",
+        );
+        let mut cfg = Config::default();
+        cfg.det_allow.push((
+            "crates/baselines/src/timing.rs".to_string(),
+            "wall-clock timing is the module's purpose".to_string(),
+        ));
+        let mut out = Vec::new();
+        check(&f, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Crate hygiene: `#![forbid(unsafe_code)]` must be present in every
+//! crate root, `dbg!`/`todo!`/`unimplemented!` may not appear anywhere
+//! (tests included — a committed `dbg!` is always debris), and every
+//! `lint:` directive must be well-formed with a non-empty reason.
+
+use crate::config::Config;
+use crate::diagnostics::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "hygiene";
+
+const BANNED_MACROS: &[&str] = &["dbg", "todo", "unimplemented"];
+
+/// Whether `rel` is a crate-root file that must carry
+/// `#![forbid(unsafe_code)]`.
+pub fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" || rel == "src/main.rs" {
+        return true;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let parts: Vec<&str> = rest.split('/').collect();
+        return matches!(
+            parts.as_slice(),
+            [_, "src", "lib.rs"] | [_, "src", "main.rs"]
+        );
+    }
+    false
+}
+
+/// Check one file.
+pub fn check(file: &SourceFile, _cfg: &Config, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+
+    if is_crate_root(&file.rel) && !has_forbid_unsafe(file) {
+        out.push(Finding {
+            rule: RULE,
+            path: file.rel.clone(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+
+    for (i, tok) in toks.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if !BANNED_MACROS.contains(&name.as_str()) {
+            continue;
+        }
+        let bang = toks
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokenKind::Punct('!'));
+        if !bang || file.allowed(RULE, tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE,
+            path: file.rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: format!("{name}! must not be committed (tests included)"),
+        });
+    }
+
+    for (line, problem) in &file.bad_directives {
+        out.push(Finding {
+            rule: RULE,
+            path: file.rel.clone(),
+            line: *line,
+            col: 1,
+            message: problem.clone(),
+        });
+    }
+    for allow in &file.allows {
+        if allow.reason.is_empty() {
+            out.push(Finding {
+                rule: RULE,
+                path: file.rel.clone(),
+                line: allow.comment_line,
+                col: 1,
+                message: format!(
+                    "`lint: allow({})` escape hatch must carry a reason: \
+                     `// lint: allow({}): <why this is sound>`",
+                    allow.rule, allow.rule
+                ),
+            });
+        }
+        if !crate::KNOWN_RULES.contains(&allow.rule.as_str()) {
+            out.push(Finding {
+                rule: RULE,
+                path: file.rel.clone(),
+                line: allow.comment_line,
+                col: 1,
+                message: format!(
+                    "`lint: allow({})` names an unknown rule (known: {})",
+                    allow.rule,
+                    crate::KNOWN_RULES.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    // Look for the token run `# ! [ forbid ( unsafe_code ) ]`.
+    let toks = &file.lexed.tokens;
+    let want = [
+        TokenKind::Punct('#'),
+        TokenKind::Punct('!'),
+        TokenKind::Punct('['),
+        TokenKind::Ident("forbid".to_string()),
+        TokenKind::Punct('('),
+        TokenKind::Ident("unsafe_code".to_string()),
+        TokenKind::Punct(')'),
+        TokenKind::Punct(']'),
+    ];
+    toks.windows(want.len())
+        .any(|w| w.iter().zip(want.iter()).all(|(t, k)| &t.kind == k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn check_at(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel.to_string(), None, FileKind::Lib, src);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_flagged_on_crate_roots_only() {
+        assert_eq!(check_at("crates/x/src/lib.rs", "pub fn f() {}").len(), 1);
+        assert!(check_at("crates/x/src/other.rs", "pub fn f() {}").is_empty());
+        assert!(check_at(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn dbg_todo_unimplemented_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { dbg!(1); }\n}\nfn f() { todo!() }\n";
+        let out = check_at("crates/x/src/other.rs", src);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn reasonless_hatch_flagged() {
+        let out = check_at(
+            "crates/x/src/other.rs",
+            "fn f() { g(); } // lint: allow(panic)\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_rule_in_hatch_flagged() {
+        let out = check_at(
+            "crates/x/src/other.rs",
+            "fn f() {} // lint: allow(speed): zoom\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn ident_named_todo_without_bang_is_fine() {
+        assert!(check_at("crates/x/src/other.rs", "let todo = 1; let x = todo + 1;").is_empty());
+    }
+}

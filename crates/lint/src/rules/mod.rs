@@ -1,0 +1,8 @@
+//! The four rule families. Each rule takes a parsed
+//! [`SourceFile`](crate::source::SourceFile) (or, for the contract, the
+//! whole workspace) and appends [`Finding`](crate::diagnostics::Finding)s.
+
+pub mod contract;
+pub mod determinism;
+pub mod hygiene;
+pub mod panic;

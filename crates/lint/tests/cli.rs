@@ -1,0 +1,113 @@
+//! End-to-end tests of the `icache_lint` binary: exit codes, the
+//! human-readable listing, and the `--json` report CI consumes.
+
+use icache_obs::Json;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_icache_lint"))
+        .args(args)
+        .output()
+        .expect("spawning the icache_lint binary must succeed")
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let out = lint(&["--root", fixture("clean").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("clean"));
+}
+
+#[test]
+fn violations_exit_one_with_positions_on_stdout() {
+    let out = lint(&["--root", fixture("violations").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:9:14: [determinism]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("crates/core/src/lib.rs:13:20: [panic]"));
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let out = lint(&["--root", fixture("violations").to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let report = Json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("report must be valid canonical JSON");
+    assert_eq!(report["ok"].as_bool(), Some(false));
+    let findings = report["findings"].as_array().expect("findings array");
+    assert_eq!(
+        findings.len(),
+        11,
+        "1 determinism + 3 panic + 3 hygiene + 4 contract"
+    );
+    for f in findings {
+        assert!(f["rule"].as_str().is_some());
+        assert!(f["path"].as_str().is_some());
+        assert!(f["message"].as_str().is_some());
+    }
+    // Per-rule counts mirror the findings list.
+    assert_eq!(report["counts"]["determinism"].as_u64(), Some(1));
+    assert_eq!(report["counts"]["panic"].as_u64(), Some(3));
+    assert_eq!(report["counts"]["hygiene"].as_u64(), Some(3));
+    assert_eq!(report["counts"]["contract"].as_u64(), Some(4));
+}
+
+#[test]
+fn json_report_on_clean_tree_is_ok() {
+    let out = lint(&["--root", fixture("clean").to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let report = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(report["ok"].as_bool(), Some(true));
+    assert_eq!(report["findings"].as_array().map(|a| a.len()), Some(0));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = lint(&[
+        "--root",
+        fixture("clean").to_str().unwrap(),
+        "--config",
+        "/nonexistent/lint.toml",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing explicit config is an error"
+    );
+}
+
+#[test]
+fn bad_config_exits_two() {
+    let dir = std::env::temp_dir().join("icache_lint_bad_cfg_test");
+    std::fs::create_dir_all(&dir).expect("temp dir must be creatable");
+    let cfg = dir.join("lint.toml");
+    std::fs::write(&cfg, "[determinism]\nallow = [\"crates/x.rs\"]\n")
+        .expect("temp config must be writable");
+    let out = lint(&[
+        "--root",
+        fixture("clean").to_str().unwrap(),
+        "--allowlist",
+        cfg.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("reasons are mandatory"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EXIT CODES"));
+}

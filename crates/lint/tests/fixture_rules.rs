@@ -1,0 +1,118 @@
+//! Fixture-tree tests: every rule family fires on the violations tree at
+//! exactly the positions it should, and the clean tree produces nothing.
+
+use icache_lint::config::Config;
+use icache_lint::diagnostics::Finding;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str) -> Vec<Finding> {
+    icache_lint::run(&fixture(name), &Config::default()).expect("fixture tree must be scannable")
+}
+
+fn has(findings: &[Finding], rule: &str, path: &str, line: u32, col: u32) -> bool {
+    findings
+        .iter()
+        .any(|f| f.rule == rule && f.path == path && f.line == line && f.col == col)
+}
+
+#[test]
+fn clean_tree_has_no_findings() {
+    let findings = run_fixture("clean");
+    assert!(findings.is_empty(), "unexpected findings: {findings:#?}");
+}
+
+#[test]
+fn determinism_violation_at_exact_position() {
+    let findings = run_fixture("violations");
+    // `HashMap` in the `State` struct field; the `use` line is exempt.
+    assert!(has(
+        &findings,
+        "determinism",
+        "crates/core/src/lib.rs",
+        9,
+        14
+    ));
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "determinism").count(),
+        1,
+        "the use-declaration must not be flagged"
+    );
+}
+
+#[test]
+fn panic_violations_at_exact_positions() {
+    let findings = run_fixture("violations");
+    let lib = "crates/core/src/lib.rs";
+    assert!(has(&findings, "panic", lib, 13, 20), "unwrap()");
+    assert!(has(&findings, "panic", lib, 19, 14), "panic!");
+    assert!(has(&findings, "panic", lib, 24, 7), "short expect()");
+    // `unreachable!()` on line 36 is hatched (reasonlessly — that is a
+    // hygiene finding, not a panic one).
+    assert_eq!(findings.iter().filter(|f| f.rule == "panic").count(), 3);
+}
+
+#[test]
+fn hygiene_violations_cover_forbid_dbg_and_bad_hatch() {
+    let findings = run_fixture("violations");
+    let lib = "crates/core/src/lib.rs";
+    // Missing `#![forbid(unsafe_code)]` anchors to 1:1; the mention
+    // inside the doc comment must not count.
+    assert!(has(&findings, "hygiene", lib, 1, 1));
+    assert!(has(&findings, "hygiene", lib, 28, 5), "dbg!");
+    let reasonless = findings
+        .iter()
+        .find(|f| f.rule == "hygiene" && f.line == 36)
+        .expect("reasonless allow hatch must be flagged");
+    assert!(reasonless.message.contains("reason"));
+    assert_eq!(findings.iter().filter(|f| f.rule == "hygiene").count(), 3);
+}
+
+#[test]
+fn contract_violations_fire_in_both_directions() {
+    let findings = run_fixture("violations");
+    let contract: Vec<&Finding> = findings.iter().filter(|f| f.rule == "contract").collect();
+    assert_eq!(contract.len(), 4, "{contract:#?}");
+    // Code → doc: emitted but undocumented.
+    assert!(contract.iter().any(|f| {
+        f.path == "crates/core/src/lib.rs" && f.line == 32 && f.message.contains("app.undocumented")
+    }));
+    assert!(contract
+        .iter()
+        .any(|f| { f.path == "crates/obs/src/trace.rs" && f.message.contains("rogue_event") }));
+    // Doc → code: documented but never emitted.
+    assert!(contract
+        .iter()
+        .any(|f| { f.path == "DESIGN.md" && f.message.contains("app.documented_only") }));
+    assert!(contract
+        .iter()
+        .any(|f| { f.path == "DESIGN.md" && f.message.contains("phantom_event") }));
+    // `tick` appears on both sides and must not be flagged.
+    assert!(!contract.iter().any(|f| f.message.contains("`tick`")));
+}
+
+#[test]
+fn findings_are_sorted_and_render_as_path_line_col() {
+    let findings = run_fixture("violations");
+    assert!(!findings.is_empty());
+    let keys: Vec<(&str, u32, u32)> = findings
+        .iter()
+        .map(|f| (f.path.as_str(), f.line, f.col))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "report order must be canonical");
+    let rendered = findings[0].render();
+    assert!(
+        rendered.contains(&format!(
+            "{}:{}:{}: [{}]",
+            findings[0].path, findings[0].line, findings[0].col, findings[0].rule
+        )),
+        "{rendered}"
+    );
+}

@@ -1,0 +1,13 @@
+//! Fixture event source: everything it emits is documented.
+
+pub enum Ev {
+    Tick,
+}
+
+impl Ev {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ev::Tick => "tick",
+        }
+    }
+}

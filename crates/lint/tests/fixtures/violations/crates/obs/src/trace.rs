@@ -1,0 +1,15 @@
+//! Fixture event source: `tick` is documented, `rogue_event` is not.
+
+pub enum Ev {
+    Tick,
+    Rogue,
+}
+
+impl Ev {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ev::Tick => "tick",
+            Ev::Rogue => "rogue_event",
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The tier-1 gate: the live workspace must lint clean under the
+//! committed `lint.toml`. A violation introduced anywhere in the repo
+//! fails this test before CI even reaches the dedicated lint job.
+
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root must resolve");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected the workspace root at {}",
+        root.display()
+    );
+    let cfg = icache_lint::load_config(&root, None).expect("committed lint.toml must parse");
+    let findings = icache_lint::run(&root, &cfg).expect("workspace must be scannable");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; run `cargo run -p icache-lint --bin icache_lint` \
+         for details:\n{}",
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -113,9 +113,9 @@ impl<C: CacheSystem> TracingCache<C> {
         out
     }
 
-    /// Count events by outcome kind.
-    pub fn kind_counts(&self) -> std::collections::HashMap<&'static str, u64> {
-        let mut m = std::collections::HashMap::new();
+    /// Count events by outcome kind, in sorted kind order.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut m = std::collections::BTreeMap::new();
         for e in &self.events {
             *m.entry(e.kind()).or_insert(0) += 1;
         }
