@@ -27,18 +27,39 @@
 //! | `--trace` | - | write the structured event trace (one JSON object per line) to this JSONL path |
 //! | `--csv` | - | also write per-epoch metrics to this CSV path |
 //!
+//! Churn flags (all require `--nodes N` with N ≥ 2; any of them switches
+//! the run onto the full sharded [`icache_core::CacheService`] with the
+//! heartbeat failure detector and repartitioning directory enabled):
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--kill-node` | - | `i@e`: crash node `i` midway through epoch `e` |
+//! | `--rejoin` | off | bring the killed node back at the start of epoch `e+1` |
+//! | `--cold` | off | rejoin with an empty cache instead of replaying the recovery index |
+//! | `--race` | off | race remote cache reads against a hedged local storage fetch |
+//! | `--net-latency` | - | per-link latency override in microseconds (control and data planes) |
+//! | `--recovery-dir` | - | write `node<i>.recovery` index files under this directory |
+//!
 //! `--trace` and `--json` output is deterministic: the same configuration
 //! and seed produce byte-identical files.
 //!
 //! With `--nodes N` (N ≥ 2) the trace carries rank-0 `epoch_start` /
 //! `epoch_end` markers and the JSON summary gains a `"nodes"` array with
 //! each rank's `local_hits` / `remote_hits` / `storage_fetches` counters.
+//! Churn runs additionally print a `churn:` summary line (kills, rejoins,
+//! repartition moves, recovery counters) and carry `svc.*` counters plus
+//! `membership_change` / `partition_update` / `warm_recovery` events in
+//! the JSON and trace outputs.
 
 use icache_dnn::ModelProfile;
 use icache_sampling::ImportanceCriterion;
-use icache_sim::{report, Scenario, StorageKind, SystemKind};
+use icache_sim::{report, ChurnSpec, Scenario, StorageKind, SystemKind};
+use icache_types::{Epoch, SimDuration};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Flags that take no value; their presence means "on".
+const BOOL_FLAGS: &[&str] = &["rejoin", "cold", "race"];
 
 fn parse_args() -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -52,12 +73,62 @@ fn parse_args() -> Result<HashMap<String, String>, String> {
         if key == "help" {
             return Err("see the flag table in the module docs (src/bin/icache_sim.rs)".into());
         }
+        if BOOL_FLAGS.contains(&key) {
+            out.insert(key.to_string(), "on".to_string());
+            continue;
+        }
         let Some(value) = args.next() else {
             return Err(format!("flag --{key} needs a value"));
         };
         out.insert(key.to_string(), value);
     }
     Ok(out)
+}
+
+/// The churn spec implied by the churn flag group, or `None` when no
+/// churn flag was given (plain runs keep the compatibility facade and
+/// its byte-identical output).
+fn churn_of(args: &HashMap<String, String>) -> Result<Option<ChurnSpec>, String> {
+    const CHURN_FLAGS: &[&str] = &[
+        "kill-node",
+        "rejoin",
+        "cold",
+        "race",
+        "net-latency",
+        "recovery-dir",
+    ];
+    if !CHURN_FLAGS.iter().any(|k| args.contains_key(*k)) {
+        return Ok(None);
+    }
+    let mut spec = ChurnSpec::default();
+    if let Some(raw) = args.get("kill-node") {
+        let (node, epoch) = raw
+            .split_once('@')
+            .ok_or_else(|| format!("--kill-node: expected `node@epoch`, got `{raw}`"))?;
+        let node = node
+            .parse::<u32>()
+            .map_err(|e| format!("--kill-node node: {e}"))?;
+        let epoch = epoch
+            .parse::<u32>()
+            .map_err(|e| format!("--kill-node epoch: {e}"))?;
+        spec.kill = Some((node, Epoch(epoch)));
+    }
+    spec.rejoin = args.contains_key("rejoin");
+    spec.warm = !args.contains_key("cold");
+    spec.race = args.contains_key("race");
+    if spec.rejoin && spec.kill.is_none() {
+        return Err("--rejoin needs --kill-node i@e (nothing to rejoin)".into());
+    }
+    if let Some(raw) = args.get("net-latency") {
+        let micros = raw
+            .parse::<u64>()
+            .map_err(|e| format!("--net-latency: {e}"))?;
+        spec.net_latency = Some(SimDuration::from_micros(micros));
+    }
+    if let Some(dir) = args.get("recovery-dir") {
+        spec.recovery_dir = Some(std::path::PathBuf::from(dir));
+    }
+    Ok(Some(spec))
 }
 
 fn system_of(name: &str) -> Result<SystemKind, String> {
@@ -134,6 +205,19 @@ fn run() -> Result<(), String> {
         .gpus(parse_usize("gpus", "1")?)
         .seed(seed);
     let nodes = parse_usize("nodes", "1")?;
+    let churn = churn_of(&args)?;
+    if churn.is_some() && nodes < 2 {
+        return Err("churn flags (--kill-node/--rejoin/--cold/--race/--net-latency/--recovery-dir) need --nodes N with N >= 2".into());
+    }
+    if let Some(spec) = &churn {
+        if let Some((node, _)) = spec.kill {
+            if node as usize >= nodes {
+                return Err(format!(
+                    "--kill-node: node {node} does not exist in a {nodes}-node cluster"
+                ));
+            }
+        }
+    }
 
     println!(
         "running {} ({}) on {}{} ...\n",
@@ -147,10 +231,20 @@ fn run() -> Result<(), String> {
         }
     );
     let obs = icache_obs::Obs::new();
+    let mut service = None;
     let runs = if nodes >= 2 {
-        scenario
-            .run_distributed_with_obs(nodes as u32, &obs)
-            .map_err(|e| e.to_string())?
+        match &churn {
+            Some(spec) => {
+                let (runs, svc) = scenario
+                    .run_distributed_churn_with_obs(nodes as u32, spec, &obs)
+                    .map_err(|e| e.to_string())?;
+                service = Some(svc);
+                runs
+            }
+            None => scenario
+                .run_distributed_with_obs(nodes as u32, &obs)
+                .map_err(|e| e.to_string())?,
+        }
     } else {
         vec![scenario.run_with_obs(&obs).map_err(|e| e.to_string())?]
     };
@@ -186,6 +280,27 @@ fn run() -> Result<(), String> {
             ]);
         }
         println!("\nper-node fetch classification:\n{}", nt.render());
+    }
+    if let Some(svc) = &service {
+        let c = |k: &str| obs.counter(k);
+        println!(
+            "\nchurn: kills={} rejoins={} moved={} purged={} warm_restarts={} \
+             cold_restarts={} restored={} recovery_bytes={}",
+            c("svc.kills"),
+            c("svc.rejoins"),
+            c("svc.repartition.moved"),
+            c("svc.repartition.purged"),
+            c("svc.recovery.warm_restarts"),
+            c("svc.recovery.cold_restarts"),
+            c("svc.recovery.restored_samples"),
+            c("svc.recovery.bytes"),
+        );
+        println!(
+            "membership: live={:?}  partition_version={}  directory_entries={}",
+            svc.live_nodes().iter().map(|n| n.0).collect::<Vec<_>>(),
+            svc.partition_version(),
+            svc.directory_len(),
+        );
     }
     if let Some(path) = args.get("csv") {
         std::fs::write(path, report::run_metrics_csv(metrics))

@@ -1,126 +1,24 @@
-//! Distributed iCache (§III-E).
+//! Distributed iCache (§III-E) — compatibility facade.
+//!
+//! The multi-node cache is implemented by the message-passing
+//! [`CacheService`] in [`crate::service`]. This module keeps the
+//! original `DistributedCache` surface as a thin wrapper with the exact
+//! observable behavior of the old direct-call cluster: static
+//! membership, zero-latency control plane, service-plane metrics kept
+//! out of the shared registry — a `--nodes N` run serializes
+//! byte-identically before and after the redesign. Anything beyond
+//! that (churn, racing, recovery) is reached through
+//! [`DistributedCache::service_mut`] or by using [`CacheService`]
+//! directly.
 
-use crate::{CacheStats, CacheSystem, Fetch, FetchOutcome, IcacheConfig, IcacheManager};
-use icache_obs::{Obs, TraceEvent};
+use crate::service::{CacheService, ServiceConfig};
+use crate::{CacheStats, CacheSystem, Fetch, IcacheConfig};
+use icache_obs::{Obs, Observable};
 use icache_sampling::HList;
 use icache_storage::StorageBackend;
 use icache_types::{
     ByteSize, Dataset, Epoch, Error, JobId, NodeId, Result, SampleId, SimDuration, SimTime,
 };
-use std::collections::HashMap;
-
-/// The distributed key-value directory: which node caches which sample.
-///
-/// The paper shares one such store among all training nodes so that cached
-/// data is never duplicated: a sample cached anywhere is read from that
-/// node instead of storage.
-///
-/// Directory traffic is recorded in the attached [`Obs`] registry under
-/// `dist.directory.lookups` / `.inserts` / `.removes` / `.remaps`. Fresh
-/// inserts and successful removes are what get counted, so at any point
-/// `len() == inserts − removes`; an insert that overwrites an existing
-/// mapping with a different node counts as a *remap* (and emits a
-/// [`TraceEvent::DirectoryRemap`]), not as an insert.
-///
-/// # Examples
-///
-/// ```
-/// use icache_core::DirectoryKv;
-/// use icache_obs::Obs;
-/// use icache_types::{NodeId, SampleId};
-///
-/// let obs = Obs::new();
-/// let mut dir = DirectoryKv::new();
-/// dir.set_obs(obs.clone());
-/// dir.insert(SampleId(5), NodeId(1));
-/// assert_eq!(dir.lookup(SampleId(5)), Some(NodeId(1)));
-/// // Overwriting with a different node is a remap, not a fresh insert.
-/// assert_eq!(dir.insert(SampleId(5), NodeId(2)), Some(NodeId(1)));
-/// assert_eq!(obs.counter("dist.directory.inserts"), 1);
-/// assert_eq!(obs.counter("dist.directory.remaps"), 1);
-/// dir.remove(SampleId(5));
-/// assert_eq!(dir.lookup(SampleId(5)), None);
-/// assert_eq!(
-///     dir.len() as u64,
-///     obs.counter("dist.directory.inserts") - obs.counter("dist.directory.removes")
-/// );
-/// ```
-#[derive(Debug, Clone)]
-pub struct DirectoryKv {
-    // lint: allow(determinism): sample->node lookups and removals only;
-    // the directory is never iterated, so order cannot escape
-    map: HashMap<SampleId, NodeId>,
-    obs: Obs,
-}
-
-impl Default for DirectoryKv {
-    fn default() -> Self {
-        DirectoryKv {
-            map: HashMap::new(), // lint: allow(determinism): see field note
-            obs: Obs::noop(),
-        }
-    }
-}
-
-impl DirectoryKv {
-    /// An empty directory.
-    pub fn new() -> Self {
-        DirectoryKv::default()
-    }
-
-    /// Install the shared observability handle.
-    pub fn set_obs(&mut self, obs: Obs) {
-        self.obs = obs;
-    }
-
-    /// Number of registered samples.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// True when no samples are registered.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// The node caching `id`, if any.
-    pub fn lookup(&self, id: SampleId) -> Option<NodeId> {
-        self.obs.inc("dist.directory.lookups");
-        self.map.get(&id).copied()
-    }
-
-    /// Register `id` as cached on `node`; returns the previous owner.
-    ///
-    /// Overwriting an existing mapping with a *different* node counts as
-    /// a remap and emits [`TraceEvent::DirectoryRemap`]; re-inserting the
-    /// same owner is a no-op for the counters.
-    pub fn insert(&mut self, id: SampleId, node: NodeId) -> Option<NodeId> {
-        let prev = self.map.insert(id, node);
-        match prev {
-            None => self.obs.inc("dist.directory.inserts"),
-            Some(old) if old != node => {
-                self.obs.inc("dist.directory.remaps");
-                self.obs.emit(TraceEvent::DirectoryRemap {
-                    sample: id.0,
-                    from_node: old.0 as u64,
-                    to_node: node.0 as u64,
-                });
-            }
-            Some(_) => {}
-        }
-        prev
-    }
-
-    /// Unregister `id`; returns the previous owner. Removing a missing
-    /// sample is a no-op for the counters.
-    pub fn remove(&mut self, id: SampleId) -> Option<NodeId> {
-        let prev = self.map.remove(&id);
-        if prev.is_some() {
-            self.obs.inc("dist.directory.removes");
-        }
-        prev
-    }
-}
 
 /// Where a distributed fetch was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,13 +65,30 @@ impl DistributedConfig {
     }
 }
 
-/// Per-node counter names, pre-rendered so the fetch hot path does not
-/// format strings.
+/// Read-only view over the sharded sample→node directory, presented as
+/// the single logical store the old cluster exposed. Lookups are routed
+/// to the responsible shard and counted exactly like the fetch path's
+/// directory reads.
 #[derive(Debug)]
-struct NodeCounterKeys {
-    local_hits: String,
-    remote_hits: String,
-    storage_fetches: String,
+pub struct DirectoryView<'a> {
+    svc: &'a CacheService,
+}
+
+impl DirectoryView<'_> {
+    /// Total registered samples across every shard.
+    pub fn len(&self) -> usize {
+        self.svc.directory_len()
+    }
+
+    /// True when no samples are registered anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node caching `id`, if any (a counted directory read).
+    pub fn lookup(&self, id: SampleId) -> Option<NodeId> {
+        self.svc.directory_lookup(id)
+    }
 }
 
 /// The multi-node iCache: per-node managers plus a shared directory.
@@ -181,25 +96,22 @@ struct NodeCounterKeys {
 /// Data-parallel training maps worker `JobId(k)` to node `k % nodes`. The
 /// fetch path follows §III-E: local cache → directory lookup → peer cache
 /// → shared storage, registering freshly cached samples in the directory
-/// so no sample is duplicated across nodes.
+/// so no sample is duplicated across nodes. Since the sharded-service
+/// redesign every one of those steps is a [`crate::service::CacheRpc`]
+/// exchange inside the wrapped [`CacheService`]; this facade pins the
+/// service to the old cluster's semantics.
 ///
-/// With an [`Obs`] handle installed (see [`CacheSystem::set_obs`]), every
+/// With an [`Obs`] handle installed (see [`Observable::set_obs`]), every
 /// fetch is classified into one of three per-node counters —
 /// `dist.node<i>.local_hits`, `dist.node<i>.remote_hits`,
 /// `dist.node<i>.storage_fetches` — and the cluster-wide
 /// `dist.remote_hits` total always matches [`DistributedCache::remote_hits`].
-/// The handle is forwarded to each node's manager and to the shared
-/// [`DirectoryKv`], so single-node `cache.*` counters and
-/// `dist.directory.*` counters aggregate into the same registry.
+/// The handle is forwarded to each node's manager and to the directory
+/// shards, so single-node `cache.*` counters and `dist.directory.*`
+/// counters aggregate into the same registry.
 #[derive(Debug)]
 pub struct DistributedCache {
-    config: DistributedConfig,
-    nodes: Vec<IcacheManager>,
-    directory: DirectoryKv,
-    remote_hits: u64,
-    remote_bytes: ByteSize,
-    obs: Obs,
-    node_keys: Vec<NodeCounterKeys>,
+    svc: CacheService,
 }
 
 impl DistributedCache {
@@ -210,103 +122,57 @@ impl DistributedCache {
     /// Returns [`Error::InvalidConfig`] when any per-node manager cannot
     /// be built.
     pub fn new(config: DistributedConfig, dataset: &Dataset) -> Result<Self> {
-        let nodes = (0..config.nodes)
-            .map(|i| {
-                let mut c = config.node_config.clone();
-                c.seed = c.seed.wrapping_add(i as u64);
-                IcacheManager::new(c, dataset)
-            })
-            .collect::<Result<Vec<_>>>()?;
-        // Counter names are assembled once here and emitted through the
-        // cached strings below, so the contract checker learns them from
-        // these declarations:
-        // lint: metric("dist.node{*}.local_hits")
-        // lint: metric("dist.node{*}.remote_hits")
-        // lint: metric("dist.node{*}.storage_fetches")
-        let node_keys = (0..config.nodes)
-            .map(|i| NodeCounterKeys {
-                local_hits: format!("dist.node{i}.local_hits"),
-                remote_hits: format!("dist.node{i}.remote_hits"),
-                storage_fetches: format!("dist.node{i}.storage_fetches"),
-            })
-            .collect();
         Ok(DistributedCache {
-            config,
-            nodes,
-            directory: DirectoryKv::new(),
-            remote_hits: 0,
-            remote_bytes: ByteSize::ZERO,
-            obs: Obs::noop(),
-            node_keys,
+            svc: CacheService::new(ServiceConfig::from_distributed(&config), dataset)?,
         })
     }
 
     /// Number of nodes in the cluster.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.svc.node_count()
     }
 
     /// The shared directory (read access for diagnostics).
-    pub fn directory(&self) -> &DirectoryKv {
-        &self.directory
+    pub fn directory(&self) -> DirectoryView<'_> {
+        DirectoryView { svc: &self.svc }
     }
 
     /// Peer-cache hits served so far.
     pub fn remote_hits(&self) -> u64 {
-        self.remote_hits
+        self.svc.remote_hits()
     }
 
+    /// The underlying sharded cache service.
+    pub fn service(&self) -> &CacheService {
+        &self.svc
+    }
+
+    /// Mutable access to the underlying service (churn scheduling,
+    /// link shaping, direct RPC injection).
+    pub fn service_mut(&mut self) -> &mut CacheService {
+        &mut self.svc
+    }
+
+    /// Unwrap into the underlying service.
+    pub fn into_service(self) -> CacheService {
+        self.svc
+    }
+
+    #[cfg(test)]
     fn node_of(&self, job: JobId) -> usize {
-        job.0 as usize % self.nodes.len()
+        job.0 as usize % self.svc.node_count()
     }
 
     /// Classify where a fetch for `job`/`id` would be served from,
     /// without performing it.
     pub fn classify(&self, job: JobId, id: SampleId) -> RemoteFetchKind {
-        let local = self.node_of(job);
-        if self.nodes[local].contains_cached(id) {
-            return RemoteFetchKind::Local;
-        }
-        match self.remote_owner(local, id) {
-            Some(_) => RemoteFetchKind::RemoteCache,
-            None => RemoteFetchKind::Storage,
-        }
+        self.svc.classify(job, id)
     }
+}
 
-    /// The peer node that can serve `id` to node `local`, if any
-    /// (directory hit on a different node whose cache still holds it).
-    fn remote_owner(&self, local: usize, id: SampleId) -> Option<NodeId> {
-        match self.directory.lookup(id) {
-            Some(owner)
-                if owner.0 as usize != local
-                    && self.nodes[owner.0 as usize].contains_cached(id) =>
-            {
-                Some(owner)
-            }
-            _ => None,
-        }
-    }
-
-    /// Route a fetch through the requesting node's own manager and keep
-    /// the directory's residency view in sync.
-    fn local_fetch(
-        &mut self,
-        local: usize,
-        job: JobId,
-        id: SampleId,
-        size: ByteSize,
-        now: SimTime,
-        storage: &mut dyn StorageBackend,
-    ) -> Fetch {
-        let fetch = self.nodes[local].fetch(job, id, size, now, storage);
-        // Register fresh residency; unregister when the sample is served
-        // from storage but was not admitted anywhere.
-        if self.nodes[local].contains_cached(id) {
-            self.directory.insert(id, NodeId(local as u32));
-        } else if self.directory.lookup(id) == Some(NodeId(local as u32)) {
-            self.directory.remove(id);
-        }
-        fetch
+impl Observable for DistributedCache {
+    fn set_obs(&mut self, obs: Obs) {
+        Observable::set_obs(&mut self.svc, obs);
     }
 }
 
@@ -323,106 +189,47 @@ impl CacheSystem for DistributedCache {
         now: SimTime,
         storage: &mut dyn StorageBackend,
     ) -> Fetch {
-        let local = self.node_of(job);
-        if self.nodes[local].contains_cached(id) {
-            self.obs.inc(&self.node_keys[local].local_hits);
-            return self.local_fetch(local, job, id, size, now, storage);
-        }
-        if let Some(owner) = self.remote_owner(local, id) {
-            // Serve over the interconnect; do not duplicate locally.
-            let transfer =
-                SimDuration::from_secs_f64(size.as_f64() / self.config.interconnect_bandwidth);
-            self.remote_hits += 1;
-            self.remote_bytes += size;
-            self.obs.inc(&self.node_keys[local].remote_hits);
-            self.obs.inc("dist.remote_hits");
-            self.obs.emit(TraceEvent::RemoteHit {
-                job: job.0 as u64,
-                sample: id.0,
-                node: owner.0 as u64,
-            });
-            return Fetch {
-                ready_at: now + self.config.remote_hop + transfer,
-                served_id: id,
-                outcome: FetchOutcome::HitH,
-            };
-        }
-        // Not cached anywhere useful: the local manager goes to storage
-        // (and may still serve a substitution from its own L-region).
-        self.obs.inc(&self.node_keys[local].storage_fetches);
-        self.local_fetch(local, job, id, size, now, storage)
+        self.svc.fetch(job, id, size, now, storage)
     }
 
     fn update_hlist(&mut self, job: JobId, hlist: &HList) {
-        // Every node needs the importance view to manage its region.
-        for node in &mut self.nodes {
-            node.update_hlist(job, hlist);
-        }
+        self.svc.update_hlist(job, hlist);
     }
 
     fn on_epoch_start(&mut self, job: JobId, epoch: Epoch) {
-        let local = self.node_of(job);
-        self.nodes[local].on_epoch_start(job, epoch);
+        self.svc.on_epoch_start(job, epoch);
     }
 
     fn on_epoch_end(&mut self, job: JobId, epoch: Epoch) {
-        let local = self.node_of(job);
-        self.nodes[local].on_epoch_end(job, epoch);
+        self.svc.on_epoch_end(job, epoch);
     }
 
     fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
-        for n in &self.nodes {
-            let s = n.stats();
-            total.h_hits += s.h_hits;
-            total.l_hits += s.l_hits;
-            total.pm_hits += s.pm_hits;
-            total.substitutions += s.substitutions;
-            total.misses += s.misses;
-            total.insertions += s.insertions;
-            total.evictions += s.evictions;
-            total.rejections += s.rejections;
-            total.bytes_from_cache += s.bytes_from_cache;
-            total.bytes_from_storage += s.bytes_from_storage;
-        }
-        // Peer hits are cache hits of the cluster.
-        total.h_hits += self.remote_hits;
-        total.bytes_from_cache += self.remote_bytes;
-        total
+        self.svc.stats()
     }
 
     fn set_obs(&mut self, obs: Obs) {
-        // One shared handle across every layer of the cluster: node
-        // managers, the directory, and the cluster-level counters all
-        // record into the same registry and trace ring.
-        for node in &mut self.nodes {
-            node.set_obs(obs.clone());
-        }
-        self.directory.set_obs(obs.clone());
-        obs.set_gauge("dist.nodes", self.nodes.len() as f64);
-        self.obs = obs;
+        Observable::set_obs(self, obs);
     }
 
     fn reset_stats(&mut self) {
-        for n in &mut self.nodes {
-            n.reset_stats();
-        }
-        self.remote_hits = 0;
-        self.remote_bytes = ByteSize::ZERO;
+        self.svc.reset_stats();
     }
 
     fn used_bytes(&self) -> ByteSize {
-        self.nodes.iter().map(|n| n.used_bytes()).sum()
+        self.svc.used_bytes()
     }
 
     fn capacity(&self) -> ByteSize {
-        self.nodes.iter().map(|n| n.capacity()).sum()
+        self.svc.capacity()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::{DirectoryChange, DirectoryKv};
+    use crate::FetchOutcome;
     use icache_sampling::ImportanceTable;
     use icache_storage::{Nfs, NfsConfig};
     use icache_types::{DatasetBuilder, SizeModel};
@@ -520,24 +327,31 @@ mod tests {
     }
 
     #[test]
-    fn directory_insert_overwrite_returns_prev_and_traces_a_remap() {
+    fn directory_insert_overwrite_reports_remap_and_traces_it() {
         let obs = Obs::new();
-        let mut dir = DirectoryKv::new();
-        dir.set_obs(obs.clone());
+        let mut dir = DirectoryKv::new().with_obs(obs.clone());
 
-        assert_eq!(dir.insert(SampleId(9), NodeId(0)), None);
+        assert_eq!(
+            dir.insert(SampleId(9), NodeId(0)),
+            DirectoryChange::Inserted
+        );
         assert_eq!(obs.counter("dist.directory.inserts"), 1);
         assert_eq!(obs.counter("dist.directory.remaps"), 0);
 
         // Re-inserting the same owner is idempotent for the counters.
-        assert_eq!(dir.insert(SampleId(9), NodeId(0)), Some(NodeId(0)));
+        assert_eq!(
+            dir.insert(SampleId(9), NodeId(0)),
+            DirectoryChange::Unchanged
+        );
         assert_eq!(obs.counter("dist.directory.inserts"), 1);
         assert_eq!(obs.counter("dist.directory.remaps"), 0);
         assert_eq!(obs.trace_len(), 0);
 
-        // Overwriting with a different node returns the previous owner and
+        // Overwriting with a different node reports the previous owner and
         // emits a remap event (the silently-overwritten-mapping fix).
-        assert_eq!(dir.insert(SampleId(9), NodeId(2)), Some(NodeId(0)));
+        let change = dir.insert(SampleId(9), NodeId(2));
+        assert_eq!(change, DirectoryChange::Remapped { from: NodeId(0) });
+        assert_eq!(change.previous(), Some(NodeId(0)));
         assert_eq!(dir.lookup(SampleId(9)), Some(NodeId(2)));
         assert_eq!(obs.counter("dist.directory.remaps"), 1);
         let jsonl = obs.trace_jsonl();
@@ -558,8 +372,7 @@ mod tests {
     #[test]
     fn directory_remove_missing_is_a_counted_noop() {
         let obs = Obs::new();
-        let mut dir = DirectoryKv::new();
-        dir.set_obs(obs.clone());
+        let mut dir = DirectoryKv::new().with_obs(obs.clone());
         assert_eq!(dir.remove(SampleId(1)), None);
         assert_eq!(
             obs.counter("dist.directory.removes"),
@@ -577,7 +390,7 @@ mod tests {
         let ds = dataset();
         let mut dc = cluster(&ds, 2);
         let obs = Obs::new();
-        dc.set_obs(obs.clone());
+        Observable::set_obs(&mut dc, obs.clone());
         let mut st = Nfs::new(NfsConfig::cloud_default()).unwrap();
         dc.update_hlist(JobId(0), &hlist(&ds));
         dc.update_hlist(JobId(1), &hlist(&ds));
@@ -597,6 +410,11 @@ mod tests {
         let counts: std::collections::HashMap<String, u64> =
             obs.trace_event_counts().into_iter().collect();
         assert_eq!(counts.get("remote_hit"), Some(&1));
+
+        // The facade keeps the service plane silent: no svc.* counters
+        // leak into the shared registry.
+        assert_eq!(obs.counter("svc.net.sent"), 0);
+        assert_eq!(obs.counter("svc.heartbeats_sent"), 0);
     }
 
     #[test]

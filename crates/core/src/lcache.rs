@@ -317,6 +317,12 @@ impl LCache {
         self.resident.contains_key(&id)
     }
 
+    /// Resident sample ids, ascending (used by warm-restart recovery
+    /// snapshots).
+    pub fn resident_ids(&self) -> impl Iterator<Item = SampleId> + '_ {
+        self.resident_index.iter().copied()
+    }
+
     /// Number of resident samples not yet accessed this epoch.
     pub fn fresh_count(&self) -> usize {
         self.fresh.len()

@@ -18,8 +18,13 @@
 //!   from clients, and serves Algorithm 1's `get_batch` path.
 //! * [`MultiJobCoordinator`] — cache-benefit probing and aggregated
 //!   importance values for concurrent jobs on one dataset (§III-D).
-//! * [`DistributedCache`] + [`DirectoryKv`] — the multi-node extension
-//!   with a directory key-value store and no duplication (§III-E).
+//! * [`service`] — the multi-node extension as a sharded,
+//!   message-passing cache service (§III-E): [`CacheService`] nodes
+//!   exchanging [`service::CacheRpc`] messages over a simulated
+//!   interconnect, with heartbeat membership, rendezvous-hashed
+//!   directory shards ([`DirectoryKv`]), repartitioning on churn, and
+//!   warm restarts from per-node recovery indexes. [`DistributedCache`]
+//!   remains as the static-membership facade.
 //! * [`IcacheClient`] — the client module mirroring the paper's
 //!   `iCacheImageFolder` / `rpc_loader` / `update_ipersample` interfaces.
 //!
@@ -64,6 +69,7 @@ mod lcache;
 mod manager;
 mod multijob;
 mod server;
+pub mod service;
 mod shadow;
 mod stats;
 mod system;
@@ -71,13 +77,17 @@ mod victim;
 
 pub use client::IcacheClient;
 pub use data::SampleData;
-pub use distributed::{DirectoryKv, DistributedCache, DistributedConfig, RemoteFetchKind};
+pub use distributed::{DirectoryView, DistributedCache, DistributedConfig, RemoteFetchKind};
 pub use hcache::{AdmitResult, HCache};
 pub use hheap::HHeap;
 pub use lcache::{LCache, LCacheConfig, LFetch, Package, PackageId, Packager};
 pub use manager::{IcacheConfig, IcacheManager, Substitution};
 pub use multijob::{BenefitProbe, JobBenefit, MultiJobCoordinator, ProbePhase};
 pub use server::{IcacheServer, Request, Response};
+pub use service::{
+    CacheRpc, CacheRpcReply, CacheService, ChurnEvent, DirectoryChange, DirectoryKv,
+    HeartbeatConfig, LinkConfig, NodeHandle, RecoveryIndex, RecoveryMode, ServiceConfig,
+};
 pub use shadow::ShadowedHeap;
 pub use stats::CacheStats;
 pub use system::{CacheSystem, Fetch, FetchOutcome};

@@ -1,10 +1,11 @@
 //! The iCache cache manager (system overview, §III-A; Algorithm 1).
 
+use crate::service::{RecoveryEntry, RecoveryRegion};
 use crate::{
     CacheStats, CacheSystem, Fetch, FetchOutcome, HCache, LCache, LCacheConfig, LFetch,
     MultiJobCoordinator, Packager, PmTierConfig, SampleData, VictimCache,
 };
-use icache_obs::{Obs, TraceEvent};
+use icache_obs::{Obs, Observable, TraceEvent};
 use icache_sampling::HList;
 use icache_storage::StorageBackend;
 use icache_types::{
@@ -574,6 +575,124 @@ impl IcacheManager {
             outcome: FetchOutcome::Miss,
         }
     }
+
+    /// Snapshot resident cache contents for a warm-restart recovery
+    /// index (sorted by region then sample id): every H-sample with its
+    /// current effective importance, every L-sample with importance
+    /// zero.
+    pub fn residency_snapshot(&self) -> Vec<RecoveryEntry> {
+        let mut out: Vec<RecoveryEntry> = self
+            .hcache
+            .ids()
+            .map(|id| RecoveryEntry {
+                region: RecoveryRegion::H,
+                id,
+                size: self.dataset.sample_size(id),
+                iv: self
+                    .effective_iv
+                    .get(&id)
+                    .copied()
+                    .unwrap_or(ImportanceValue::ZERO)
+                    .get(),
+            })
+            .collect();
+        out.extend(self.lcache.resident_ids().map(|id| RecoveryEntry {
+            region: RecoveryRegion::L,
+            id,
+            size: self.dataset.sample_size(id),
+            iv: 0.0,
+        }));
+        out.sort_by_key(|e| (e.region, e.id));
+        out
+    }
+
+    /// Rebuild cache residency from a recovery index after a warm
+    /// restart: H entries are re-admitted individually at their recorded
+    /// importance, L entries are re-packaged (package-size chunks,
+    /// deterministic — the packager's random fill is never consulted)
+    /// and installed ready at `now`. Restoration is not demand traffic:
+    /// it touches no fetch counters, no traces, and no storage backend —
+    /// the payload comes from the node's local disk image.
+    ///
+    /// Returns `(restored_ids, h_count, l_count)`; entries squeezed out
+    /// by capacity (the fresh manager starts at the configured region
+    /// split, which may be tighter than the snapshot's) are dropped from
+    /// all three.
+    pub fn restore_residency(
+        &mut self,
+        entries: &[RecoveryEntry],
+        now: SimTime,
+    ) -> (Vec<SampleId>, u64, u64) {
+        let mut restored_h: BTreeSet<SampleId> = BTreeSet::new();
+        let mut sizes: BTreeMap<SampleId, ByteSize> = BTreeMap::new();
+        let mut l_ids: Vec<SampleId> = Vec::new();
+        for e in entries {
+            match e.region {
+                RecoveryRegion::H => {
+                    let iv = ImportanceValue::saturating(e.iv);
+                    let result = self.hcache.admit(SampleData::generate(e.id, e.size), iv);
+                    if result.admitted {
+                        restored_h.insert(e.id);
+                    }
+                    for v in result.evicted {
+                        restored_h.remove(&v);
+                    }
+                }
+                RecoveryRegion::L => {
+                    sizes.insert(e.id, e.size);
+                    l_ids.push(e.id);
+                }
+            }
+        }
+        // Chunk the L residency into package-size groups and rebuild
+        // each as one package; with an empty fill pool the packager
+        // takes exactly the listed samples.
+        let target = self.config.package_size;
+        let mut groups: Vec<(Vec<SampleId>, ByteSize)> = Vec::new();
+        let mut group: Vec<SampleId> = Vec::new();
+        let mut group_bytes = ByteSize::ZERO;
+        for id in l_ids {
+            let sz = sizes.get(&id).copied().unwrap_or(ByteSize::ZERO);
+            if !group.is_empty() && group_bytes + sz > target {
+                groups.push((std::mem::take(&mut group), group_bytes));
+                group_bytes = ByteSize::ZERO;
+            }
+            group.push(id);
+            group_bytes += sz;
+        }
+        if !group.is_empty() {
+            groups.push((group, group_bytes));
+        }
+        let mut restored_l: Vec<SampleId> = Vec::new();
+        for (ids, bytes) in groups {
+            let pkg = self.packager.build_with_target(
+                &ids,
+                &[],
+                |i| sizes.get(&i).copied().unwrap_or(ByteSize::ZERO),
+                bytes,
+            );
+            self.lcache.install_package(pkg, now);
+            restored_l.extend(ids);
+        }
+        self.lcache.integrate(now);
+        restored_l.retain(|id| self.lcache.contains(*id));
+        let h = restored_h.len() as u64;
+        let l = restored_l.len() as u64;
+        let mut all: Vec<SampleId> = restored_h.into_iter().collect();
+        all.extend(restored_l);
+        (all, h, l)
+    }
+}
+
+impl Observable for IcacheManager {
+    fn set_obs(&mut self, obs: Obs) {
+        // Seed the gauges so snapshots carry the split before the first
+        // rebalance; every rebalance keeps them current.
+        obs.set_gauge("cache.h_capacity", self.hcache.capacity().as_f64());
+        obs.set_gauge("cache.l_capacity", self.lcache.capacity().as_f64());
+        self.coordinator.set_obs(obs.clone());
+        self.obs = obs;
+    }
 }
 
 impl CacheSystem for IcacheManager {
@@ -728,12 +847,7 @@ impl CacheSystem for IcacheManager {
     }
 
     fn set_obs(&mut self, obs: icache_obs::Obs) {
-        // Seed the gauges so snapshots carry the split before the first
-        // rebalance; every rebalance keeps them current.
-        obs.set_gauge("cache.h_capacity", self.hcache.capacity().as_f64());
-        obs.set_gauge("cache.l_capacity", self.lcache.capacity().as_f64());
-        self.coordinator.set_obs(obs.clone());
-        self.obs = obs;
+        Observable::set_obs(self, obs);
     }
 
     fn stats(&self) -> CacheStats {

@@ -1,6 +1,6 @@
 //! Multi-job coordination (§III-D).
 
-use icache_obs::Obs;
+use icache_obs::{Obs, Observable};
 use icache_sampling::HList;
 use icache_types::{Error, ImportanceValue, JobId, Result, SampleId, SimDuration};
 use std::collections::BTreeMap;
@@ -160,6 +160,16 @@ pub struct MultiJobCoordinator {
     obs: Obs,
 }
 
+impl Observable for MultiJobCoordinator {
+    /// Install the shared observability handle. Probe completions land in
+    /// the `multijob.probes_completed` / `multijob.eligible_verdicts`
+    /// counters and each job's latest benefit in a
+    /// `multijob.job<k>.benefit` gauge.
+    fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+}
+
 impl MultiJobCoordinator {
     /// Create a coordinator over a dataset of `num_samples`, with the
     /// given eligibility `threshold` and per-phase probe length.
@@ -185,14 +195,6 @@ impl MultiJobCoordinator {
             jobs: BTreeMap::new(),
             obs: Obs::noop(),
         })
-    }
-
-    /// Install the shared observability handle. Probe completions land in
-    /// the `multijob.probes_completed` / `multijob.eligible_verdicts`
-    /// counters and each job's latest benefit in a
-    /// `multijob.job<k>.benefit` gauge.
-    pub fn set_obs(&mut self, obs: Obs) {
-        self.obs = obs;
     }
 
     /// Number of registered jobs.

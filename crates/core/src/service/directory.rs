@@ -1,0 +1,275 @@
+//! The sample→node directory and its change vocabulary.
+//!
+//! The paper shares one key-value directory among all training nodes so
+//! cached data is never duplicated (§III-E). In the sharded service the
+//! directory is physically partitioned: each live node hosts one
+//! [`DirectoryKv`] shard and the partitioner (see
+//! [`crate::service::Partitioner`]) routes every sample to exactly one
+//! shard, so the counters below aggregate across shards exactly as they
+//! did for the old single-map directory.
+
+use icache_obs::{Obs, Observable, TraceEvent};
+use icache_types::{NodeId, SampleId};
+use std::collections::BTreeMap;
+
+/// What a [`DirectoryKv::insert`] actually did.
+///
+/// The old API returned `Option<NodeId>` (the previous owner), which
+/// conflated three cases the counters and callers kept re-deriving:
+/// a fresh insert, a remap to a different node, and a same-owner no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectoryChange {
+    /// The sample had no owner; a fresh mapping was added.
+    Inserted,
+    /// The sample moved to a different node (counted as a remap and
+    /// traced as `directory_remap`).
+    Remapped {
+        /// The node that owned the sample before this insert.
+        from: NodeId,
+    },
+    /// The mapping already named this owner; nothing changed.
+    Unchanged,
+}
+
+impl DirectoryChange {
+    /// The previous owner, when there was one.
+    pub fn previous(self) -> Option<NodeId> {
+        match self {
+            DirectoryChange::Inserted => None,
+            DirectoryChange::Remapped { from } => Some(from),
+            DirectoryChange::Unchanged => None,
+        }
+    }
+}
+
+/// The distributed key-value directory: which node caches which sample.
+///
+/// The paper shares one such store among all training nodes so that cached
+/// data is never duplicated: a sample cached anywhere is read from that
+/// node instead of storage.
+///
+/// Directory traffic is recorded in the attached [`Obs`] registry under
+/// `dist.directory.lookups` / `.inserts` / `.removes` / `.remaps`. Fresh
+/// inserts and successful removes are what get counted, so at any point
+/// `len() == inserts − removes`; an insert that overwrites an existing
+/// mapping with a different node counts as a *remap* (and emits a
+/// [`TraceEvent::DirectoryRemap`]), not as an insert.
+///
+/// `DirectoryKv` is deliberately **not** `Clone`: a clone would share the
+/// original's `Obs` handle and double-count directory traffic the moment
+/// both copies serve lookups. Use [`DirectoryKv::detach`] to copy the
+/// mapping with a fresh detached observability handle.
+///
+/// # Examples
+///
+/// ```
+/// use icache_core::{DirectoryChange, DirectoryKv};
+/// use icache_obs::{Obs, Observable};
+/// use icache_types::{NodeId, SampleId};
+///
+/// let obs = Obs::new();
+/// let mut dir = DirectoryKv::new();
+/// dir.set_obs(obs.clone());
+/// assert_eq!(dir.insert(SampleId(5), NodeId(1)), DirectoryChange::Inserted);
+/// assert_eq!(dir.lookup(SampleId(5)), Some(NodeId(1)));
+/// // Overwriting with a different node is a remap, not a fresh insert.
+/// assert_eq!(
+///     dir.insert(SampleId(5), NodeId(2)),
+///     DirectoryChange::Remapped { from: NodeId(1) }
+/// );
+/// assert_eq!(obs.counter("dist.directory.inserts"), 1);
+/// assert_eq!(obs.counter("dist.directory.remaps"), 1);
+/// dir.remove(SampleId(5));
+/// assert_eq!(dir.lookup(SampleId(5)), None);
+/// assert_eq!(
+///     dir.len() as u64,
+///     obs.counter("dist.directory.inserts") - obs.counter("dist.directory.removes")
+/// );
+/// ```
+#[derive(Debug)]
+pub struct DirectoryKv {
+    map: BTreeMap<SampleId, NodeId>,
+    obs: Obs,
+}
+
+impl Default for DirectoryKv {
+    fn default() -> Self {
+        DirectoryKv {
+            map: BTreeMap::new(),
+            obs: Obs::noop(),
+        }
+    }
+}
+
+impl Observable for DirectoryKv {
+    fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+}
+
+impl DirectoryKv {
+    /// An empty directory.
+    pub fn new() -> Self {
+        DirectoryKv::default()
+    }
+
+    /// Copy the mapping into a new directory with a fresh detached
+    /// [`Obs::noop`] handle.
+    ///
+    /// This is the only sanctioned way to duplicate a directory: the
+    /// copy starts from zero counters and records nothing into the
+    /// original's registry, so diagnostic copies can never double-count
+    /// live traffic.
+    pub fn detach(&self) -> Self {
+        DirectoryKv {
+            map: self.map.clone(),
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Number of registered samples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no samples are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The node caching `id`, if any.
+    pub fn lookup(&self, id: SampleId) -> Option<NodeId> {
+        self.obs.inc("dist.directory.lookups");
+        self.map.get(&id).copied()
+    }
+
+    /// [`DirectoryKv::lookup`] without touching the `lookups` counter —
+    /// for internal reconciliation reads (repartitioning, recovery
+    /// anti-entropy) that are not fetch-path directory traffic.
+    pub fn peek(&self, id: SampleId) -> Option<NodeId> {
+        self.map.get(&id).copied()
+    }
+
+    /// Register `id` as cached on `node`.
+    ///
+    /// Overwriting an existing mapping with a *different* node counts as
+    /// a remap and emits [`TraceEvent::DirectoryRemap`]; re-inserting the
+    /// same owner is a no-op for the counters.
+    pub fn insert(&mut self, id: SampleId, node: NodeId) -> DirectoryChange {
+        let prev = self.map.insert(id, node);
+        match prev {
+            None => {
+                self.obs.inc("dist.directory.inserts");
+                DirectoryChange::Inserted
+            }
+            Some(old) if old != node => {
+                self.obs.inc("dist.directory.remaps");
+                self.obs.emit(TraceEvent::DirectoryRemap {
+                    sample: id.0,
+                    from_node: old.0 as u64,
+                    to_node: node.0 as u64,
+                });
+                DirectoryChange::Remapped { from: old }
+            }
+            Some(_) => DirectoryChange::Unchanged,
+        }
+    }
+
+    /// Unregister `id`; returns the previous owner. Removing a missing
+    /// sample is a no-op for the counters.
+    pub fn remove(&mut self, id: SampleId) -> Option<NodeId> {
+        let prev = self.map.remove(&id);
+        if prev.is_some() {
+            self.obs.inc("dist.directory.removes");
+        }
+        prev
+    }
+
+    /// Iterate `(sample, owner)` entries in sample order.
+    pub fn entries(&self) -> impl Iterator<Item = (SampleId, NodeId)> + '_ {
+        self.map.iter().map(|(&s, &n)| (s, n))
+    }
+
+    /// Install a mapping without touching any counter — used when a
+    /// repartition moves an entry between shards (the entry itself is
+    /// not new; only its metadata host changed).
+    pub(crate) fn adopt(&mut self, id: SampleId, node: NodeId) {
+        self.map.insert(id, node);
+    }
+
+    /// Drain the whole mapping (counter-neutral), leaving the shard
+    /// empty — the first step of a repartition.
+    pub(crate) fn take_map(&mut self) -> BTreeMap<SampleId, NodeId> {
+        std::mem::take(&mut self.map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_classifies_fresh_remap_and_noop() {
+        let obs = Obs::new();
+        let mut dir = DirectoryKv::new().with_obs(obs.clone());
+        assert_eq!(
+            dir.insert(SampleId(1), NodeId(0)),
+            DirectoryChange::Inserted
+        );
+        assert_eq!(
+            dir.insert(SampleId(1), NodeId(0)),
+            DirectoryChange::Unchanged
+        );
+        assert_eq!(
+            dir.insert(SampleId(1), NodeId(3)),
+            DirectoryChange::Remapped { from: NodeId(0) }
+        );
+        assert_eq!(
+            DirectoryChange::Remapped { from: NodeId(3) }.previous(),
+            Some(NodeId(3))
+        );
+        assert_eq!(DirectoryChange::Inserted.previous(), None);
+        assert_eq!(obs.counter("dist.directory.inserts"), 1);
+        assert_eq!(obs.counter("dist.directory.remaps"), 1);
+    }
+
+    #[test]
+    fn detach_copies_the_map_but_not_the_registry() {
+        let obs = Obs::new();
+        let mut dir = DirectoryKv::new().with_obs(obs.clone());
+        dir.insert(SampleId(7), NodeId(1));
+        let copy = dir.detach();
+        assert_eq!(copy.len(), 1);
+        assert_eq!(copy.peek(SampleId(7)), Some(NodeId(1)));
+        // Counting traffic on the copy must not reach the original registry.
+        assert_eq!(copy.lookup(SampleId(7)), Some(NodeId(1)));
+        assert_eq!(obs.counter("dist.directory.lookups"), 0);
+    }
+
+    #[test]
+    fn peek_and_adopt_are_counter_neutral() {
+        let obs = Obs::new();
+        let mut dir = DirectoryKv::new().with_obs(obs.clone());
+        dir.adopt(SampleId(2), NodeId(1));
+        assert_eq!(dir.peek(SampleId(2)), Some(NodeId(1)));
+        assert_eq!(dir.len(), 1);
+        assert_eq!(obs.counter("dist.directory.inserts"), 0);
+        assert_eq!(obs.counter("dist.directory.lookups"), 0);
+        let drained = dir.take_map();
+        assert_eq!(drained.len(), 1);
+        assert!(dir.is_empty());
+        assert_eq!(obs.counter("dist.directory.removes"), 0);
+    }
+
+    #[test]
+    fn entries_iterate_in_sample_order() {
+        let mut dir = DirectoryKv::new();
+        dir.adopt(SampleId(9), NodeId(0));
+        dir.adopt(SampleId(3), NodeId(1));
+        let got: Vec<_> = dir.entries().collect();
+        assert_eq!(
+            got,
+            vec![(SampleId(3), NodeId(1)), (SampleId(9), NodeId(0))]
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Warm-restart recovery indexes.
+//!
+//! Every node with recovery enabled writes a small index of its resident
+//! samples on a periodic cadence (`ServiceConfig::index_interval`) and at
+//! each of its epoch ends: one line per sample with region, id, payload
+//! size, and admission importance. After a crash the
+//! rejoining node replays the most recent index against its fresh
+//! manager — re-admitting H-samples and re-packaging L-samples from the
+//! local disk image — instead of refetching everything from shared
+//! storage (the warm restart of the churn experiment).
+//!
+//! The file format is a deterministic line protocol (sorted by region
+//! then id, exact float round-trip via Rust's shortest representation):
+//!
+//! ```text
+//! icache-recovery v1
+//! node 1
+//! epoch 3
+//! h 5 3072 12.5
+//! l 10 3072 0.0
+//! ```
+
+use icache_types::{ByteSize, Epoch, Error, NodeId, Result, SampleId};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Which cache region a recovered sample belonged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryRegion {
+    /// High-importance region (individually admitted samples).
+    H,
+    /// Low-importance region (package-resident samples).
+    L,
+}
+
+impl RecoveryRegion {
+    fn tag(self) -> &'static str {
+        match self {
+            RecoveryRegion::H => "h",
+            RecoveryRegion::L => "l",
+        }
+    }
+}
+
+/// One resident sample in a recovery index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEntry {
+    /// Region the sample was resident in at snapshot time.
+    pub region: RecoveryRegion,
+    /// The sample.
+    pub id: SampleId,
+    /// Payload size (so restore needs no dataset round trip).
+    pub size: ByteSize,
+    /// Admission importance at snapshot time (H-region re-admission
+    /// uses it; zero for L entries).
+    pub iv: f64,
+}
+
+/// A node's snapshot of resident cache contents at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryIndex {
+    /// The node that wrote the index.
+    pub node: NodeId,
+    /// The cluster epoch current when the snapshot was taken.
+    pub epoch: Epoch,
+    /// Resident samples, sorted by (region, id).
+    pub entries: Vec<RecoveryEntry>,
+}
+
+impl RecoveryIndex {
+    /// Total payload bytes the index describes (what a warm restore
+    /// reads back from local disk).
+    pub fn payload_bytes(&self) -> ByteSize {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+
+    /// Serialize to the deterministic line protocol.
+    pub fn to_text(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|e| (e.region, e.id));
+        let mut out = String::from("icache-recovery v1\n");
+        out.push_str(&format!("node {}\n", self.node.0));
+        out.push_str(&format!("epoch {}\n", self.epoch.0));
+        for e in &entries {
+            out.push_str(&format!(
+                "{} {} {} {:?}\n",
+                e.region.tag(),
+                e.id.0,
+                e.size.as_u64(),
+                e.iv
+            ));
+        }
+        out
+    }
+
+    /// Parse the line protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidState`] on a bad magic line or any
+    /// malformed record; a truncated index must not silently restore a
+    /// subset.
+    pub fn parse(text: &str) -> Result<Self> {
+        let bad = |what: &str| Error::InvalidState(format!("recovery index: {what}"));
+        let mut lines = text.lines();
+        if lines.next() != Some("icache-recovery v1") {
+            return Err(bad("missing `icache-recovery v1` magic"));
+        }
+        let node = lines
+            .next()
+            .and_then(|l| l.strip_prefix("node "))
+            .and_then(|v| v.parse::<u32>().ok())
+            .map(NodeId)
+            .ok_or_else(|| bad("malformed node line"))?;
+        let epoch = lines
+            .next()
+            .and_then(|l| l.strip_prefix("epoch "))
+            .and_then(|v| v.parse::<u32>().ok())
+            .map(Epoch)
+            .ok_or_else(|| bad("malformed epoch line"))?;
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split(' ');
+            let region = match parts.next() {
+                Some("h") => RecoveryRegion::H,
+                Some("l") => RecoveryRegion::L,
+                _ => return Err(bad("unknown region tag")),
+            };
+            let id = parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(SampleId)
+                .ok_or_else(|| bad("malformed sample id"))?;
+            let size = parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(ByteSize::new)
+                .ok_or_else(|| bad("malformed size"))?;
+            let iv = parts
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| bad("malformed importance value"))?;
+            if parts.next().is_some() {
+                return Err(bad("trailing fields on entry line"));
+            }
+            entries.push(RecoveryEntry {
+                region,
+                id,
+                size,
+                iv,
+            });
+        }
+        Ok(RecoveryIndex {
+            node,
+            epoch,
+            entries,
+        })
+    }
+}
+
+/// Where recovery indexes live.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RecoveryMode {
+    /// No indexes are written; every restart is cold (the compatibility
+    /// default — zero filesystem traffic, zero new counters).
+    #[default]
+    Disabled,
+    /// Indexes held in memory, modelling a node-local disk that
+    /// survives the cache process crash. Deterministic and hermetic —
+    /// the default for churn simulations.
+    Memory,
+    /// Indexes written as real files (`node<i>.recovery`) under the
+    /// given directory.
+    Dir(PathBuf),
+}
+
+/// The store behind [`RecoveryMode`].
+#[derive(Debug)]
+pub enum RecoveryStore {
+    /// See [`RecoveryMode::Disabled`].
+    Disabled,
+    /// See [`RecoveryMode::Memory`].
+    Memory(BTreeMap<u32, String>),
+    /// See [`RecoveryMode::Dir`].
+    Dir(PathBuf),
+}
+
+impl RecoveryStore {
+    /// Build the store for a mode.
+    pub fn new(mode: &RecoveryMode) -> Self {
+        match mode {
+            RecoveryMode::Disabled => RecoveryStore::Disabled,
+            RecoveryMode::Memory => RecoveryStore::Memory(BTreeMap::new()),
+            RecoveryMode::Dir(dir) => RecoveryStore::Dir(dir.clone()),
+        }
+    }
+
+    /// Whether indexes are being written at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, RecoveryStore::Disabled)
+    }
+
+    /// Persist `index`, replacing the node's previous snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidState`] when the backing directory cannot
+    /// be written.
+    pub fn save(&mut self, index: &RecoveryIndex) -> Result<()> {
+        match self {
+            RecoveryStore::Disabled => Ok(()),
+            RecoveryStore::Memory(map) => {
+                map.insert(index.node.0, index.to_text());
+                Ok(())
+            }
+            RecoveryStore::Dir(dir) => {
+                let path = dir.join(format!("node{}.recovery", index.node.0));
+                std::fs::create_dir_all(&dir).map_err(|e| {
+                    Error::InvalidState(format!("recovery dir {}: {e}", dir.display()))
+                })?;
+                std::fs::write(&path, index.to_text()).map_err(|e| {
+                    Error::InvalidState(format!("recovery write {}: {e}", path.display()))
+                })
+            }
+        }
+    }
+
+    /// The most recent index for `node`, if one was written and parses
+    /// cleanly (a corrupt on-disk index degrades to a cold restart).
+    pub fn load(&self, node: NodeId) -> Option<RecoveryIndex> {
+        let text = match self {
+            RecoveryStore::Disabled => return None,
+            RecoveryStore::Memory(map) => map.get(&node.0).cloned()?,
+            RecoveryStore::Dir(dir) => {
+                std::fs::read_to_string(dir.join(format!("node{}.recovery", node.0))).ok()?
+            }
+        };
+        RecoveryIndex::parse(&text).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> RecoveryIndex {
+        RecoveryIndex {
+            node: NodeId(1),
+            epoch: Epoch(3),
+            entries: vec![
+                RecoveryEntry {
+                    region: RecoveryRegion::L,
+                    id: SampleId(10),
+                    size: ByteSize::kib(3),
+                    iv: 0.0,
+                },
+                RecoveryEntry {
+                    region: RecoveryRegion::H,
+                    id: SampleId(5),
+                    size: ByteSize::kib(3),
+                    iv: 12.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips_and_sorts_entries() {
+        let idx = index();
+        let text = idx.to_text();
+        assert!(text.starts_with("icache-recovery v1\nnode 1\nepoch 3\n"));
+        // Serialization sorts (region, id), so H entries precede L.
+        let h_pos = text.find("h 5 ").expect("H entry serialized");
+        let l_pos = text.find("l 10 ").expect("L entry serialized");
+        assert!(h_pos < l_pos);
+        let parsed = RecoveryIndex::parse(&text).expect("round trip parse");
+        assert_eq!(parsed.node, idx.node);
+        assert_eq!(parsed.epoch, idx.epoch);
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.payload_bytes(), ByteSize::kib(6));
+    }
+
+    #[test]
+    fn corrupt_indexes_are_rejected() {
+        assert!(RecoveryIndex::parse("nonsense").is_err());
+        assert!(RecoveryIndex::parse("icache-recovery v1\nnode x\nepoch 0\n").is_err());
+        assert!(RecoveryIndex::parse("icache-recovery v1\nnode 0\nepoch 0\nq 1 2 3.0\n").is_err());
+        assert!(
+            RecoveryIndex::parse("icache-recovery v1\nnode 0\nepoch 0\nh 1 2 NaN\n").is_err(),
+            "non-finite importance must not restore"
+        );
+    }
+
+    #[test]
+    fn memory_store_replaces_per_node_snapshots() {
+        let mut store = RecoveryStore::new(&RecoveryMode::Memory);
+        assert!(store.enabled());
+        store.save(&index()).expect("memory save never fails");
+        let mut newer = index();
+        newer.epoch = Epoch(4);
+        store.save(&newer).expect("memory save never fails");
+        let loaded = store.load(NodeId(1)).expect("snapshot present");
+        assert_eq!(loaded.epoch, Epoch(4));
+        assert!(store.load(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn disabled_store_writes_and_loads_nothing() {
+        let mut store = RecoveryStore::new(&RecoveryMode::Disabled);
+        assert!(!store.enabled());
+        store.save(&index()).expect("disabled save is a no-op");
+        assert!(store.load(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn dir_store_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!("icache-recovery-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = RecoveryStore::new(&RecoveryMode::Dir(dir.clone()));
+        store.save(&index()).expect("dir save");
+        let loaded = store.load(NodeId(1)).expect("file parsed");
+        assert_eq!(loaded, {
+            let mut idx = index();
+            idx.entries.sort_by_key(|e| (e.region, e.id));
+            idx
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

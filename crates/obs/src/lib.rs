@@ -12,14 +12,18 @@
 //! - [`trace`]: typed [`TraceEvent`]s in a bounded ring buffer, shared
 //!   across layers through the clonable [`Obs`] handle, exported as
 //!   JSON Lines.
+//! - [`observable`]: the [`Observable`] trait every instrumented
+//!   component implements to accept an [`Obs`] handle uniformly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
 pub mod metrics;
+pub mod observable;
 pub mod trace;
 
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::MetricsRegistry;
+pub use observable::Observable;
 pub use trace::{Obs, TraceBuffer, TraceEvent, DEFAULT_TRACE_CAPACITY};

@@ -1,0 +1,86 @@
+//! The [`Observable`] trait: one way to install an [`Obs`] handle.
+//!
+//! Before this trait every instrumented component grew its own
+//! hand-rolled `set_obs(&mut self, obs: Obs)` inherent method with
+//! subtly different doc comments and no shared builder form. Components
+//! that record metrics or trace events now implement `Observable` and
+//! get the `with_obs` builder for free.
+
+use crate::trace::Obs;
+
+/// Types that record into a shared [`Obs`] handle.
+///
+/// Implementors hold an `Obs` (usually starting as [`Obs::noop`]) and
+/// replace it wholesale when a run installs the shared handle. An
+/// implementation must forward the handle to every instrumented
+/// sub-component it owns, so one `set_obs` call wires a whole subtree
+/// into the same registry and trace ring.
+///
+/// # Examples
+///
+/// ```
+/// use icache_obs::{Obs, Observable};
+///
+/// struct Layer {
+///     obs: Obs,
+/// }
+///
+/// impl Observable for Layer {
+///     fn set_obs(&mut self, obs: Obs) {
+///         self.obs = obs;
+///     }
+/// }
+///
+/// let obs = Obs::new();
+/// let layer = Layer { obs: Obs::noop() }.with_obs(obs.clone());
+/// layer.obs.inc("layer.events");
+/// assert_eq!(obs.counter("layer.events"), 1);
+/// ```
+pub trait Observable {
+    /// Install the shared observability handle, replacing the previous
+    /// one (components start with a detached [`Obs::noop`] handle).
+    fn set_obs(&mut self, obs: Obs);
+
+    /// Builder-style [`Observable::set_obs`]: consume, install, return.
+    fn with_obs(mut self, obs: Obs) -> Self
+    where
+        Self: Sized,
+    {
+        self.set_obs(obs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        obs: Obs,
+    }
+
+    impl Observable for Probe {
+        fn set_obs(&mut self, obs: Obs) {
+            self.obs = obs;
+        }
+    }
+
+    #[test]
+    fn with_obs_installs_the_handle() {
+        let shared = Obs::new();
+        let p = Probe { obs: Obs::noop() }.with_obs(shared.clone());
+        p.obs.inc("probe.hits");
+        assert_eq!(shared.counter("probe.hits"), 1);
+    }
+
+    #[test]
+    fn set_obs_replaces_a_previous_handle() {
+        let first = Obs::new();
+        let second = Obs::new();
+        let mut p = Probe { obs: Obs::noop() }.with_obs(first.clone());
+        p.set_obs(second.clone());
+        p.obs.inc("probe.hits");
+        assert_eq!(first.counter("probe.hits"), 0);
+        assert_eq!(second.counter("probe.hits"), 1);
+    }
+}

@@ -138,7 +138,8 @@ pub enum TraceEvent {
         node: u64,
     },
     /// The distributed directory re-mapped a sample from one node to
-    /// another (an insert overwrote an existing residency entry).
+    /// another (an insert overwrote an existing residency entry, or a
+    /// repartition moved the entry's directory shard between nodes).
     DirectoryRemap {
         /// Re-mapped sample.
         sample: u64,
@@ -146,6 +147,39 @@ pub enum TraceEvent {
         from_node: u64,
         /// Node that caches the sample now.
         to_node: u64,
+    },
+    /// The sharded cache service's failure detector moved a node to a new
+    /// membership state (`"alive"`, `"suspect"`, or `"down"`).
+    MembershipChange {
+        /// Node whose state changed.
+        node: u64,
+        /// New membership state.
+        state: &'static str,
+    },
+    /// The directory partition map was recomputed after a membership
+    /// change (each shard move is additionally traced as
+    /// [`Self::DirectoryRemap`]).
+    PartitionUpdate {
+        /// Monotonic partition-map version.
+        version: u64,
+        /// Number of live nodes after the change.
+        live: u64,
+        /// Directory entries whose shard moved between nodes.
+        moved: u64,
+        /// Residency entries purged because their owner went down.
+        purged: u64,
+    },
+    /// A rejoining node rebuilt cache contents from its recovery index
+    /// instead of refetching from storage.
+    WarmRecovery {
+        /// Recovering node.
+        node: u64,
+        /// H-region samples re-admitted from the index.
+        restored_h: u64,
+        /// L-region samples re-installed from the index.
+        restored_l: u64,
+        /// Index entries skipped because another live node owns them now.
+        skipped: u64,
     },
 }
 
@@ -167,6 +201,9 @@ impl TraceEvent {
             TraceEvent::EpochEnd { .. } => "epoch_end",
             TraceEvent::RemoteHit { .. } => "remote_hit",
             TraceEvent::DirectoryRemap { .. } => "directory_remap",
+            TraceEvent::MembershipChange { .. } => "membership_change",
+            TraceEvent::PartitionUpdate { .. } => "partition_update",
+            TraceEvent::WarmRecovery { .. } => "warm_recovery",
         }
     }
 
@@ -262,6 +299,32 @@ impl TraceEvent {
                 fields.push(("sample".to_string(), Json::UInt(*sample)));
                 fields.push(("from_node".to_string(), Json::UInt(*from_node)));
                 fields.push(("to_node".to_string(), Json::UInt(*to_node)));
+            }
+            TraceEvent::MembershipChange { node, state } => {
+                fields.push(("node".to_string(), Json::UInt(*node)));
+                fields.push(("state".to_string(), Json::Str((*state).to_string())));
+            }
+            TraceEvent::PartitionUpdate {
+                version,
+                live,
+                moved,
+                purged,
+            } => {
+                fields.push(("version".to_string(), Json::UInt(*version)));
+                fields.push(("live".to_string(), Json::UInt(*live)));
+                fields.push(("moved".to_string(), Json::UInt(*moved)));
+                fields.push(("purged".to_string(), Json::UInt(*purged)));
+            }
+            TraceEvent::WarmRecovery {
+                node,
+                restored_h,
+                restored_l,
+                skipped,
+            } => {
+                fields.push(("node".to_string(), Json::UInt(*node)));
+                fields.push(("restored_h".to_string(), Json::UInt(*restored_h)));
+                fields.push(("restored_l".to_string(), Json::UInt(*restored_l)));
+                fields.push(("skipped".to_string(), Json::UInt(*skipped)));
             }
         }
         Json::Obj(fields)
@@ -613,6 +676,22 @@ mod tests {
                 sample: 5,
                 from_node: 0,
                 to_node: 1,
+            },
+            TraceEvent::MembershipChange {
+                node: 1,
+                state: "suspect",
+            },
+            TraceEvent::PartitionUpdate {
+                version: 2,
+                live: 2,
+                moved: 40,
+                purged: 12,
+            },
+            TraceEvent::WarmRecovery {
+                node: 1,
+                restored_h: 30,
+                restored_l: 60,
+                skipped: 3,
             },
         ];
         for e in events {

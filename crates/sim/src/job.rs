@@ -3,7 +3,7 @@
 use crate::{EpochMetrics, RunMetrics};
 use icache_core::{CacheSystem, FetchOutcome};
 use icache_dnn::{AccuracyModel, EpochQuality, LossModel, LossModelConfig, ModelProfile};
-use icache_obs::{Obs, TraceEvent};
+use icache_obs::{Obs, Observable, TraceEvent};
 use icache_sampling::{
     CisSelector, CriterionTable, EpochPlan, HList, IisSelector, ImportanceCriterion,
     ImportanceTable, Selector, UniformSelector,
@@ -267,14 +267,6 @@ impl TrainingJob {
             obs: Obs::noop(),
             config,
         })
-    }
-
-    /// Install the shared observability handle. The job contributes
-    /// [`TraceEvent::EpochStart`]/[`TraceEvent::EpochEnd`] markers to the
-    /// trace; in sharded runs only rank 0 emits them, so splitting the
-    /// JSONL on `epoch_start` yields exactly one segment per epoch.
-    pub fn set_obs(&mut self, obs: Obs) {
-        self.obs = obs;
     }
 
     /// Whether this job emits cluster-wide epoch markers: the unsharded
@@ -622,6 +614,16 @@ impl TrainingJob {
             self.finish_epoch(cache, storage);
         }
         !self.done
+    }
+}
+
+impl Observable for TrainingJob {
+    /// Install the shared observability handle. The job contributes
+    /// [`TraceEvent::EpochStart`]/[`TraceEvent::EpochEnd`] markers to the
+    /// trace; in sharded runs only rank 0 emits them, so splitting the
+    /// JSONL on `epoch_start` yields exactly one segment per epoch.
+    fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 }
 

@@ -52,5 +52,5 @@ pub use job::{JobConfig, SamplingMode, TrainingJob};
 pub use metrics::{EpochMetrics, RunMetrics};
 pub use perjob::PerJobCache;
 pub use runner::{run_multi_job, run_multi_job_with_obs, run_single_job, run_single_job_with_obs};
-pub use scenario::{Scenario, StorageKind, SystemKind};
+pub use scenario::{ChurnSpec, Scenario, StorageKind, SystemKind};
 pub use trace::{FetchEvent, TracingCache};

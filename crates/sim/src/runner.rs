@@ -2,6 +2,7 @@
 
 use crate::{JobConfig, RunMetrics, TrainingJob};
 use icache_core::CacheSystem;
+use icache_obs::Observable;
 use icache_storage::StorageBackend;
 use icache_types::Result;
 

@@ -3,12 +3,13 @@
 use crate::{run_single_job, JobConfig, RunMetrics, SamplingMode};
 use icache_baselines::{IlfuCache, LruCache, MinIoCache, OracleSource, QuiverCache};
 use icache_core::{
-    CacheSystem, DistributedCache, DistributedConfig, IcacheConfig, IcacheManager, Substitution,
+    CacheService, CacheSystem, DistributedCache, DistributedConfig, IcacheConfig, IcacheManager,
+    RecoveryMode, ServiceConfig, Substitution,
 };
 use icache_dnn::ModelProfile;
 use icache_sampling::ImportanceCriterion;
 use icache_storage::{LocalTier, Nfs, NfsConfig, Pfs, PfsConfig, StorageBackend};
-use icache_types::{Dataset, JobId, Result};
+use icache_types::{Dataset, Epoch, JobId, NodeId, Result, SimDuration};
 
 /// The cache/sampling systems compared in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -424,6 +425,114 @@ impl Scenario {
             })
             .collect();
         crate::run_multi_job_with_obs(configs, &mut cluster, storage.as_mut(), obs)
+    }
+
+    /// Like [`Scenario::run_distributed_with_obs`], but on the full
+    /// [`CacheService`] with membership churn enabled: a heartbeat
+    /// failure detector, directory repartitioning, and (optionally) a
+    /// scheduled kill/rejoin of one node. Returns the service alongside
+    /// the per-rank metrics so callers can assert on post-run cluster
+    /// state (membership, directory ownership, recovery counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`icache_types::Error::InvalidConfig`] when the system is
+    /// not `Icache`, `nodes < 2`, or the churn spec names a node outside
+    /// the cluster; propagates construction errors otherwise.
+    pub fn run_distributed_churn_with_obs(
+        &self,
+        nodes: u32,
+        churn: &ChurnSpec,
+        obs: &icache_obs::Obs,
+    ) -> Result<(Vec<RunMetrics>, CacheService)> {
+        if self.system != SystemKind::Icache {
+            return Err(icache_types::Error::InvalidConfig {
+                field: "system",
+                reason: format!(
+                    "distributed runs require the iCache system, got {:?}",
+                    self.system
+                ),
+            });
+        }
+        if nodes < 2 {
+            return Err(icache_types::Error::InvalidConfig {
+                field: "nodes",
+                reason: format!("a distributed run needs at least 2 nodes, got {nodes}"),
+            });
+        }
+        let dist =
+            DistributedConfig::for_dataset(&self.dataset, nodes as usize, self.cache_fraction)?;
+        let mut svc_cfg = ServiceConfig::from_distributed(&dist).with_churn();
+        svc_cfg.race_fetches = churn.race;
+        if let Some(latency) = churn.net_latency {
+            svc_cfg.control.latency = latency;
+            svc_cfg.data.latency = latency;
+        }
+        if let Some(dir) = &churn.recovery_dir {
+            svc_cfg.recovery = RecoveryMode::Dir(dir.clone());
+        }
+        let mut service = CacheService::new(svc_cfg, &self.dataset)?;
+        if let Some((node, epoch)) = churn.kill {
+            if node >= nodes {
+                return Err(icache_types::Error::InvalidConfig {
+                    field: "kill",
+                    reason: format!("cannot kill node {node} in a {nodes}-node cluster"),
+                });
+            }
+            service.schedule_kill(NodeId(node), epoch);
+            if churn.rejoin {
+                service.schedule_rejoin(NodeId(node), Epoch(epoch.0 + 1), churn.warm);
+            }
+        }
+        let mut storage = self.build_storage()?;
+        let configs = (0..nodes)
+            .map(|k| {
+                let mut cfg = self.job_config(JobId(k));
+                cfg.shard = Some((k, nodes));
+                // Shards share one epoch plan: same seed on every rank.
+                cfg.seed = self.seed;
+                cfg
+            })
+            .collect();
+        let metrics = crate::run_multi_job_with_obs(configs, &mut service, storage.as_mut(), obs)?;
+        Ok((metrics, service))
+    }
+}
+
+/// Membership-churn schedule for
+/// [`Scenario::run_distributed_churn_with_obs`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnSpec {
+    /// Crash this node mid-way through this epoch (the `--kill-node i@e`
+    /// flag). `None` runs the churn machinery — heartbeats, detector,
+    /// repartition-capable directory — with no actual failure.
+    pub kill: Option<(u32, Epoch)>,
+    /// Bring the killed node back at the start of the following epoch.
+    pub rejoin: bool,
+    /// Warm rejoin: replay the node's recovery index instead of
+    /// restarting with an empty cache. Only meaningful with `rejoin`.
+    pub warm: bool,
+    /// Override both control- and data-plane link latency (the
+    /// `--net-latency` flag); `None` keeps the facade-equivalent
+    /// defaults (zero control latency, `remote_hop` data latency).
+    pub net_latency: Option<SimDuration>,
+    /// Race remote cache reads against a hedged local storage fetch.
+    pub race: bool,
+    /// Write recovery indexes as real files under this directory instead
+    /// of the in-memory store.
+    pub recovery_dir: Option<std::path::PathBuf>,
+}
+
+impl ChurnSpec {
+    /// Kill `node` in `epoch` and rejoin it warm one epoch later — the
+    /// canonical churn experiment.
+    pub fn kill_and_rejoin(node: u32, epoch: u32) -> Self {
+        ChurnSpec {
+            kill: Some((node, Epoch(epoch))),
+            rejoin: true,
+            warm: true,
+            ..ChurnSpec::default()
+        }
     }
 }
 

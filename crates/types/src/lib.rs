@@ -33,6 +33,7 @@ mod hist;
 mod ids;
 mod idset;
 mod importance;
+mod membership;
 mod rngutil;
 mod time;
 
@@ -43,5 +44,6 @@ pub use hist::LatencyHistogram;
 pub use ids::{Epoch, JobId, NodeId, SampleId};
 pub use idset::IdSet;
 pub use importance::ImportanceValue;
+pub use membership::NodeState;
 pub use rngutil::{mix_seed, splitmix64, SeedSequence};
 pub use time::{SimDuration, SimTime};

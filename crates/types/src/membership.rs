@@ -1,0 +1,75 @@
+//! Membership states for the sharded cache service.
+
+use std::fmt;
+
+/// The failure detector's view of one cache node (paper §III-E extended
+/// with churn: nodes can crash, be suspected via missed heartbeats, be
+/// declared down, and later rejoin).
+///
+/// The state machine is strictly `Alive → Suspect → Down` on missed
+/// heartbeats, and `* → Alive` on an explicit rejoin; there is no
+/// direct `Alive → Down` edge, so a single late heartbeat can clear a
+/// suspicion before any repartitioning happens.
+///
+/// # Examples
+///
+/// ```
+/// use icache_types::NodeState;
+/// assert!(NodeState::Alive.is_live());
+/// assert!(NodeState::Suspect.is_live(), "suspects still serve traffic");
+/// assert!(!NodeState::Down.is_live());
+/// assert_eq!(NodeState::Suspect.name(), "suspect");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum NodeState {
+    /// Heartbeats arriving on schedule; full cluster member.
+    #[default]
+    Alive,
+    /// Heartbeats overdue; still owns its shards while the detector
+    /// waits for the down threshold.
+    Suspect,
+    /// Declared failed: excluded from ownership until it rejoins.
+    Down,
+}
+
+impl NodeState {
+    /// Short lowercase name (the `state` field of `membership_change`
+    /// trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeState::Alive => "alive",
+            NodeState::Suspect => "suspect",
+            NodeState::Down => "down",
+        }
+    }
+
+    /// Whether the node still participates in directory ownership and
+    /// serving (only `Down` nodes are excluded).
+    pub fn is_live(self) -> bool {
+        !matches!(self, NodeState::Down)
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_trace_vocabulary() {
+        assert_eq!(NodeState::Alive.to_string(), "alive");
+        assert_eq!(NodeState::Suspect.to_string(), "suspect");
+        assert_eq!(NodeState::Down.to_string(), "down");
+    }
+
+    #[test]
+    fn default_is_alive_and_live() {
+        assert_eq!(NodeState::default(), NodeState::Alive);
+        assert!(NodeState::default().is_live());
+    }
+}
