@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks of the replay hot path: per-access replay
-//! stepping through the policy lineup, and the epoch-boundary work (the
-//! L-cache fresh-pool rebuild and the manager's region rebalance).
+//! stepping through the policy lineup, the epoch-boundary work (the
+//! L-cache fresh-pool rebuild and the manager's region rebalance), and
+//! the lock-striped concurrent cache's contention scaling (one shared
+//! cache served by 1/2/4/8 loader threads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use icache_bench::workload;
 use icache_core::{LCache, LCacheConfig, Package, PackageId, SampleData};
-use icache_sim::replay::{replay, AccessPattern, Trace};
+use icache_sim::replay::{replay, replay_concurrent, AccessPattern, Trace};
 use icache_sim::StorageKind;
 use icache_types::{ByteSize, Dataset, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
 
@@ -99,5 +101,43 @@ fn bench_epoch_boundary(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_replay_step, bench_epoch_boundary);
+fn bench_contention(c: &mut Criterion) {
+    // The tentpole measurement: one lock-striped iCache served by N
+    // loader threads at once. Wall-clock (not virtual) time per replay
+    // is the scaling signal — on a multi-core runner throughput should
+    // grow with threads; on a 1-core container it will not (see
+    // `bench_snapshot`'s `available_parallelism` field).
+    let (dataset, trace) = workload_inputs();
+    let hlist = workload::popularity_hlist(&trace, UNIVERSE);
+    let cap = dataset.total_bytes().scaled(0.1);
+    let mut group = c.benchmark_group("contention");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("loader_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let cache = workload::build_concurrent_policy(
+                        "icache", &dataset, cap, 0.1, SEED, &hlist, threads,
+                    )
+                    .expect("policy builds");
+                    cache.on_epoch_start(JobId(0), Epoch(0));
+                    replay_concurrent(&trace, &dataset, cache.as_ref(), threads, SEED, || {
+                        StorageKind::Tmpfs.build()
+                    })
+                    .expect("concurrent replay")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replay_step,
+    bench_epoch_boundary,
+    bench_contention
+);
 criterion_main!(benches);

@@ -1,12 +1,20 @@
 //! `bench_snapshot` — record the repo's perf trajectory as one JSON file.
 //!
 //! Measures (a) the five-policy replay workload sequentially and on the
-//! parallel sweep engine, and (b) the cache-core hot paths (L-cache
-//! fresh-pool rebuild, shadow-heap refresh open vs naive rebuild, IIS
-//! epoch planning, package assembly), then writes everything as one
-//! canonical-JSON object — `BENCH_icache.json` at the repo root when run
-//! via `scripts/bench_snapshot.sh` — so successive PRs have comparable
+//! parallel sweep engine, (b) the lock-striped concurrent cache served
+//! by 1/2/4/8 loader threads (the contention scaling curve), and
+//! (c) the cache-core hot paths (L-cache fresh-pool rebuild,
+//! shadow-heap refresh open vs naive rebuild, IIS epoch planning,
+//! package assembly), then writes everything as one canonical-JSON
+//! object — `BENCH_icache.json` at the repo root when run via
+//! `scripts/bench_snapshot.sh` — so successive PRs have comparable
 //! numbers.
+//!
+//! Every speedup in the snapshot is only meaningful relative to the
+//! recorded `available_parallelism`: on a 1-core runner the parallel
+//! and multi-loader-thread passes time-slice one CPU and a ~1x ratio
+//! is expected, so the tool prints a loud warning rather than letting
+//! the number masquerade as a scaling result.
 //!
 //! ```sh
 //! cargo run --release -p icache-bench --bin bench_snapshot -- \
@@ -22,7 +30,7 @@ use icache_bench::{sweep, workload};
 use icache_core::{LCache, LCacheConfig, Package, PackageId, Packager, SampleData, ShadowedHeap};
 use icache_obs::json;
 use icache_sampling::{IisSelector, ImportanceTable, Selector};
-use icache_sim::replay::{replay, AccessPattern};
+use icache_sim::replay::{replay, replay_concurrent, AccessPattern};
 use icache_sim::StorageKind;
 use icache_types::{
     ByteSize, DatasetBuilder, Epoch, ImportanceValue, JobId, SampleId, SeedSequence, SimTime,
@@ -108,6 +116,30 @@ fn run() -> Result<(), String> {
     let sequential = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, 1);
     let parallel = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, workers);
 
+    eprintln!("bench_snapshot: loader-thread contention scaling (lock-striped icache)");
+    let mut contention_curve: Vec<(String, icache_obs::Json)> = Vec::new();
+    let mut loader_secs: BTreeMap<usize, f64> = BTreeMap::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let cache =
+            workload::build_concurrent_policy("icache", &dataset, cap, 0.1, seed, &hlist, threads)?;
+        cache.on_epoch_start(JobId(0), Epoch(0));
+        let start = Instant::now();
+        replay_concurrent(&trace, &dataset, cache.as_ref(), threads, seed, || {
+            StorageKind::OrangeFs.build()
+        })
+        .map_err(|e| e.to_string())?;
+        let secs = start.elapsed().as_secs_f64();
+        loader_secs.insert(threads, secs);
+        contention_curve.push((
+            threads.to_string(),
+            json!({
+                "secs": secs,
+                "contended": cache.contended(),
+            }),
+        ));
+    }
+    let scaling_4t = loader_secs[&1] / loader_secs[&4];
+
     eprintln!("bench_snapshot: hot-path micro timings");
     let n = 100_000u64;
     let mut lc = LCache::new(LCacheConfig {
@@ -173,9 +205,17 @@ fn run() -> Result<(), String> {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    if cores == 1 {
+        eprintln!("bench_snapshot: ==============================================================");
+        eprintln!("bench_snapshot: WARNING: available_parallelism == 1 on this machine.");
+        eprintln!("bench_snapshot: Every parallel/loader-thread pass time-sliced a single CPU,");
+        eprintln!("bench_snapshot: so the recorded speedups are NOT scaling results. Re-record");
+        eprintln!("bench_snapshot: this snapshot on a multi-core runner before comparing them.");
+        eprintln!("bench_snapshot: ==============================================================");
+    }
     let summary = json!({
         "bench": "icache",
-        "cores": cores as u64,
+        "available_parallelism": cores as u64,
         "replay": {
             "requests": requests as u64,
             "universe": universe,
@@ -184,6 +224,11 @@ fn run() -> Result<(), String> {
             "sequential_secs": sequential,
             "parallel_secs": parallel,
             "speedup": sequential / parallel,
+        },
+        "contention": {
+            "policy": "icache",
+            "loader_threads": icache_obs::Json::Obj(contention_curve),
+            "speedup_4t": scaling_4t,
         },
         "micro_ns": {
             "lcache_fresh_rebuild_100k": lcache_rebuild,

@@ -20,7 +20,9 @@
 //! observability counters, latency histograms, and trace accounting),
 //! `--parallel [n|auto]` (replay the policies on `n` worker threads —
 //! bare `--parallel` or `auto` uses the machine's parallelism; see
-//! DESIGN.md §8).
+//! DESIGN.md §8),
+//! `--loader-threads <n>` (serve ONE cache from `n` concurrent loader
+//! threads — the lock-striped in-node path; see DESIGN.md §8).
 //!
 //! The policies share nothing but the read-only workload, so the
 //! parallel path produces byte-identical stdout, `--json`, and
@@ -28,6 +30,15 @@
 //! against its own [`icache_obs::Obs`] ring and derives its randomness
 //! from `--seed` alone, and results are printed in policy order after
 //! all workers join.
+//!
+//! `--loader-threads 1` (the default) short-circuits to the sequential
+//! driver and is byte-identical to it. With `n > 1` each policy is
+//! built as a shared `ConcurrentCache` (`icache` gets the lock-striped
+//! `ConcurrentManager`, baselines a coarse-lock `MutexCache`), the
+//! trace is split round-robin across the loader threads, and results
+//! depend on thread interleaving — so this mode refuses `--trace-out`
+//! (no per-event stream on the concurrent path) and `--parallel`
+//! (one axis of parallelism at a time).
 //!
 //! On top of whatever the policy itself records, the replay driver
 //! records `replay.accesses`, `replay.h_hits`, `replay.l_hits`,
@@ -179,6 +190,83 @@ fn run_policy(name: &str, ctx: &ReplayCtx) -> Result<PolicyOutput, String> {
     })
 }
 
+/// Replay every policy as a shared concurrent cache served by
+/// `threads` loader threads. Output mirrors the sequential driver's
+/// table plus a `contended` column (lock acquisitions that had to
+/// wait).
+fn run_concurrent(threads: usize, ctx: &ReplayCtx, json_path: Option<&str>) -> Result<(), String> {
+    let mut policy_summaries: Vec<(String, icache_obs::Json)> = Vec::new();
+    let mut out =
+        report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed", "contended"]);
+    for &name in workload::POLICIES.iter() {
+        let obs = icache_obs::Obs::new();
+        let cache = workload::build_concurrent_policy(
+            name,
+            ctx.dataset,
+            ctx.cap,
+            ctx.cache_frac,
+            ctx.seed,
+            ctx.hlist,
+            threads,
+        )?;
+        cache.set_obs(obs.clone());
+        cache.on_epoch_start(JobId(0), icache_types::Epoch(0));
+        let rep = icache_sim::replay::replay_concurrent(
+            ctx.trace,
+            ctx.dataset,
+            cache.as_ref(),
+            threads,
+            ctx.seed,
+            || ctx.storage_kind.build(),
+        )
+        .map_err(|e| e.to_string())?;
+        // Publishes the cache.stripe.* gauges and the counter deltas
+        // accumulated over the replay into this policy's registry.
+        cache.on_epoch_end(JobId(0), icache_types::Epoch(0));
+        obs.add("replay.accesses", ctx.trace.len() as u64);
+        obs.add("replay.h_hits", rep.stats.h_hits);
+        obs.add("replay.l_hits", rep.stats.l_hits);
+        obs.add("replay.pm_hits", rep.stats.pm_hits);
+        obs.add("replay.substitutions", rep.stats.substitutions);
+        obs.add("replay.misses", rep.stats.misses);
+        let contended = cache.contended();
+        out.row(vec![
+            name.to_string(),
+            format!("{:.1}", rep.hit_ratio() * 100.0),
+            format!("{}", rep.latency.quantile(0.5)),
+            format!("{}", rep.latency.quantile(0.99)),
+            format!("{}", rep.elapsed),
+            format!("{contended}"),
+        ]);
+        println!("{name:8} {} | contended {contended}", summarize(&rep));
+        policy_summaries.push((
+            name.to_string(),
+            icache_obs::Json::Obj(vec![
+                ("metrics".into(), obs.metrics_snapshot()),
+                ("contended".into(), icache_obs::Json::UInt(contended)),
+            ]),
+        ));
+    }
+    println!();
+    println!("{}", out.render());
+    if let Some(path) = json_path {
+        let summary = icache_obs::Json::Obj(vec![
+            (
+                "accesses".into(),
+                icache_obs::Json::UInt(ctx.trace.len() as u64),
+            ),
+            (
+                "loader_threads".into(),
+                icache_obs::Json::UInt(threads as u64),
+            ),
+            ("policies".into(), icache_obs::Json::Obj(policy_summaries)),
+        ]);
+        std::fs::write(path, format!("{summary}\n")).map_err(|e| format!("--json {path}: {e}"))?;
+        println!("wrote replay summary to {path}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
@@ -205,6 +293,28 @@ fn run() -> Result<(), String> {
         Some(v) => sweep::parse_workers(v)?,
         None => 1,
     };
+    let loader_threads: usize = get("loader-threads", "1")
+        .parse()
+        .map_err(|e| format!("--loader-threads: {e}"))?;
+    if loader_threads == 0 {
+        return Err("--loader-threads: need at least one loader thread".into());
+    }
+    if loader_threads > 1 {
+        if args.contains_key("trace-out") {
+            return Err(
+                "--trace-out records a per-event stream and requires --loader-threads 1 \
+                 (the concurrent path publishes counters, not events)"
+                    .into(),
+            );
+        }
+        if args.contains_key("parallel") {
+            return Err(
+                "--parallel replays policies on worker threads and cannot combine with \
+                 --loader-threads; pick one axis of parallelism"
+                    .into(),
+            );
+        }
+    }
 
     let trace = if let Some(path) = args.get("trace") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("--trace {path}: {e}"))?;
@@ -243,6 +353,9 @@ fn run() -> Result<(), String> {
         cap,
         cache_frac * 100.0
     );
+    if loader_threads > 1 {
+        println!("loader threads: {loader_threads} (one shared cache per policy)\n");
+    }
 
     let ctx = ReplayCtx {
         trace: &trace,
@@ -254,6 +367,9 @@ fn run() -> Result<(), String> {
         storage_kind,
         trace_out: args.get("trace-out").map(String::as_str),
     };
+    if loader_threads > 1 {
+        return run_concurrent(loader_threads, &ctx, args.get("json").map(String::as_str));
+    }
     let ctx_ref = &ctx;
     let tasks: Vec<_> = workload::POLICIES
         .iter()

@@ -9,7 +9,9 @@
 //! `dyn CacheSystem` trait object never crosses a thread boundary.
 
 use icache_baselines::{IlfuCache, LruCache, MinIoCache, QuiverCache};
-use icache_core::{CacheSystem, IcacheConfig, IcacheManager};
+use icache_core::{
+    CacheSystem, ConcurrentCache, ConcurrentManager, IcacheConfig, IcacheManager, MutexCache,
+};
 use icache_sampling::{HList, ImportanceTable};
 use icache_sim::replay::Trace;
 use icache_types::{ByteSize, Dataset, JobId, SampleId};
@@ -46,7 +48,7 @@ pub fn build_policy(
     cache_frac: f64,
     seed: u64,
     hlist: &HList,
-) -> Result<Box<dyn CacheSystem>, String> {
+) -> Result<Box<dyn CacheSystem + Send>, String> {
     Ok(match name {
         "lru" => Box::new(LruCache::new(cap)),
         "coordl" => Box::new(MinIoCache::new(cap)),
@@ -59,6 +61,40 @@ pub fn build_policy(
             Box::new(m)
         }
         other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+/// Build one policy of the lineup as a [`ConcurrentCache`] servable by
+/// many loader threads at once.
+///
+/// `icache` gets the real lock-striped [`ConcurrentManager`] with
+/// `stripes` lock stripes; every baseline is wrapped in a coarse-lock
+/// [`MutexCache`] — the honest comparison point the contention metrics
+/// are measured against.
+///
+/// # Errors
+///
+/// Returns a message for an unknown policy name or an invalid cache
+/// configuration.
+pub fn build_concurrent_policy(
+    name: &str,
+    dataset: &Dataset,
+    cap: ByteSize,
+    cache_frac: f64,
+    seed: u64,
+    hlist: &HList,
+    stripes: usize,
+) -> Result<Box<dyn ConcurrentCache>, String> {
+    Ok(match name {
+        "icache" => {
+            let cfg = IcacheConfig::for_dataset(dataset, cache_frac).map_err(|e| e.to_string())?;
+            let m = ConcurrentManager::new(cfg, dataset, stripes).map_err(|e| e.to_string())?;
+            m.update_hlist(JobId(0), hlist);
+            Box::new(m)
+        }
+        other => Box::new(MutexCache::new(build_policy(
+            other, dataset, cap, cache_frac, seed, hlist,
+        )?)),
     })
 }
 

@@ -1,0 +1,135 @@
+//! `icache_replay --loader-threads 1` must short-circuit to the
+//! sequential driver and be byte-identical to it — stdout, `--json`
+//! summary, and per-policy `--trace-out` files (DESIGN.md §8's
+//! workers==1 determinism contract). With more threads the flag must
+//! refuse the combinations the concurrent path cannot honor.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const POLICIES: [&str; 5] = ["lru", "coordl", "ilfu", "quiver", "icache"];
+
+fn replay_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_icache_replay"));
+    cmd.args([
+        "--pattern",
+        "zipf",
+        "--skew",
+        "1.1",
+        "--requests",
+        "5000",
+        "--universe",
+        "2000",
+        "--seed",
+        "11",
+    ]);
+    cmd
+}
+
+fn run_replay(dir: &Path, loader_threads: Option<&str>) -> String {
+    let mut cmd = replay_cmd();
+    cmd.arg("--trace-out").arg(dir.join("trace.jsonl"));
+    cmd.arg("--json").arg(dir.join("summary.json"));
+    if let Some(n) = loader_threads {
+        cmd.args(["--loader-threads", n]);
+    }
+    let out = cmd.output().expect("icache_replay runs");
+    assert!(
+        out.status.success(),
+        "icache_replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is utf-8")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icache_lt_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn loader_threads_1_is_byte_identical_to_sequential() {
+    let seq_dir = scratch("seq");
+    let lt1_dir = scratch("lt1");
+    let seq_stdout = run_replay(&seq_dir, None);
+    let lt1_stdout = run_replay(&lt1_dir, Some("1"));
+
+    // Stdout differs only in the embedded output paths; normalise those.
+    let norm = |s: &str, dir: &Path| s.replace(&dir.display().to_string(), "<out>");
+    assert_eq!(
+        norm(&seq_stdout, &seq_dir),
+        norm(&lt1_stdout, &lt1_dir),
+        "stdout must not depend on --loader-threads 1"
+    );
+
+    let read = |dir: &Path, file: &str| {
+        std::fs::read(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"))
+    };
+    assert_eq!(
+        read(&seq_dir, "summary.json"),
+        read(&lt1_dir, "summary.json"),
+        "--json summary must not depend on --loader-threads 1"
+    );
+    for policy in POLICIES {
+        let file = format!("trace.{policy}.jsonl");
+        assert_eq!(
+            read(&seq_dir, &file),
+            read(&lt1_dir, &file),
+            "{file} must not depend on --loader-threads 1"
+        );
+    }
+
+    for dir in [seq_dir, lt1_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn multi_loader_threads_replays_every_policy() {
+    let out = replay_cmd()
+        .args(["--loader-threads", "4"])
+        .output()
+        .expect("icache_replay runs");
+    assert!(
+        out.status.success(),
+        "4-thread replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is utf-8");
+    assert!(
+        stdout.contains("loader threads: 4"),
+        "mode banner missing:\n{stdout}"
+    );
+    for policy in POLICIES {
+        assert!(stdout.contains(policy), "{policy} row missing:\n{stdout}");
+    }
+    assert!(stdout.contains("contended"), "contention column missing");
+}
+
+#[test]
+fn concurrent_mode_refuses_trace_out_and_parallel() {
+    for extra in [vec!["--trace-out", "unused.jsonl"], vec!["--parallel", "2"]] {
+        let out = replay_cmd()
+            .args(["--loader-threads", "2"])
+            .args(&extra)
+            .output()
+            .expect("icache_replay runs");
+        assert!(
+            !out.status.success(),
+            "--loader-threads 2 {extra:?} must be refused"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--loader-threads"),
+            "error should name the conflicting flag: {stderr}"
+        );
+    }
+
+    let out = replay_cmd()
+        .args(["--loader-threads", "0"])
+        .output()
+        .expect("icache_replay runs");
+    assert!(!out.status.success(), "--loader-threads 0 must be refused");
+}

@@ -1,0 +1,111 @@
+//! Cache counters on atomics, so concurrent fetch paths never take a
+//! lock just to count.
+
+use crate::CacheStats;
+use icache_types::ByteSize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// [`CacheStats`] with every counter on an [`AtomicU64`].
+///
+/// Counters are advanced with `Relaxed` ordering: each is an
+/// independent monotonic tally, and cross-counter consistency is only
+/// needed at epoch boundaries, where the caller holds the epoch write
+/// barrier and all loader threads are quiesced. A [`snapshot`] taken
+/// mid-flight may therefore be *slightly* torn across counters (e.g.
+/// a fetch counted as a hit whose bytes are not yet added) but each
+/// individual counter is exact.
+///
+/// [`snapshot`]: AtomicCacheStats::snapshot
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    /// See [`CacheStats::h_hits`].
+    pub h_hits: AtomicU64,
+    /// See [`CacheStats::l_hits`].
+    pub l_hits: AtomicU64,
+    /// See [`CacheStats::pm_hits`].
+    pub pm_hits: AtomicU64,
+    /// See [`CacheStats::substitutions`].
+    pub substitutions: AtomicU64,
+    /// See [`CacheStats::misses`].
+    pub misses: AtomicU64,
+    /// See [`CacheStats::insertions`].
+    pub insertions: AtomicU64,
+    /// See [`CacheStats::evictions`].
+    pub evictions: AtomicU64,
+    /// See [`CacheStats::rejections`].
+    pub rejections: AtomicU64,
+    /// See [`CacheStats::bytes_from_cache`] (raw bytes).
+    pub bytes_from_cache: AtomicU64,
+    /// See [`CacheStats::bytes_from_storage`] (raw bytes).
+    pub bytes_from_storage: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        AtomicCacheStats::default()
+    }
+
+    /// Bump `counter` by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `bytes` to a byte counter.
+    #[inline]
+    pub fn add_bytes(counter: &AtomicU64, bytes: ByteSize) {
+        counter.fetch_add(bytes.as_u64(), Ordering::Relaxed);
+    }
+
+    /// Materialize a plain [`CacheStats`] view of the counters.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            h_hits: self.h_hits.load(Ordering::Relaxed),
+            l_hits: self.l_hits.load(Ordering::Relaxed),
+            pm_hits: self.pm_hits.load(Ordering::Relaxed),
+            substitutions: self.substitutions.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            bytes_from_cache: ByteSize::new(self.bytes_from_cache.load(Ordering::Relaxed)),
+            bytes_from_storage: ByteSize::new(self.bytes_from_storage.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zero every counter (epoch-barrier only).
+    pub fn reset(&self) {
+        self.h_hits.store(0, Ordering::Relaxed);
+        self.l_hits.store(0, Ordering::Relaxed);
+        self.pm_hits.store(0, Ordering::Relaxed);
+        self.substitutions.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.rejections.store(0, Ordering::Relaxed);
+        self.bytes_from_cache.store(0, Ordering::Relaxed);
+        self.bytes_from_storage.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = AtomicCacheStats::new();
+        AtomicCacheStats::bump(&s.h_hits);
+        AtomicCacheStats::bump(&s.h_hits);
+        AtomicCacheStats::bump(&s.misses);
+        AtomicCacheStats::add_bytes(&s.bytes_from_cache, ByteSize::kib(4));
+        let snap = s.snapshot();
+        assert_eq!(snap.h_hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.bytes_from_cache, ByteSize::kib(4));
+        assert_eq!(snap.requests(), 3);
+        s.reset();
+        assert_eq!(s.snapshot(), CacheStats::default());
+    }
+}

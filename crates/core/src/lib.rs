@@ -27,6 +27,11 @@
 //!   remains as the static-membership facade.
 //! * [`IcacheClient`] — the client module mirroring the paper's
 //!   `iCacheImageFolder` / `rpc_loader` / `update_ipersample` interfaces.
+//! * [`concurrent`] — the lock-striped in-node cache
+//!   ([`ConcurrentManager`]): one node serving many data-loader threads
+//!   concurrently via striped resident maps, a sharded H-heap with a
+//!   deterministic cross-shard eviction merge, atomic counters, and an
+//!   epoch write barrier (DESIGN.md §8).
 //!
 //! The crate is substrate-agnostic: all I/O timing flows through the
 //! [`icache_storage::StorageBackend`] passed into each fetch, and every
@@ -61,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod concurrent;
 mod data;
 mod distributed;
 mod hcache;
@@ -76,6 +82,10 @@ mod system;
 mod victim;
 
 pub use client::IcacheClient;
+pub use concurrent::{
+    AtomicCacheStats, ConcurrentCache, ConcurrentManager, FreshPool, MutexCache, ShardedHeap,
+    StripedMap,
+};
 pub use data::SampleData;
 pub use distributed::{DirectoryView, DistributedCache, DistributedConfig, RemoteFetchKind};
 pub use hcache::{AdmitResult, HCache};

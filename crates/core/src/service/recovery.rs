@@ -99,7 +99,10 @@ impl RecoveryIndex {
     ///
     /// Returns [`Error::InvalidState`] on a bad magic line or any
     /// malformed record; a truncated index must not silently restore a
-    /// subset.
+    /// subset. Entries must be strictly ascending by `(region, id)` —
+    /// the order [`RecoveryIndex::to_text`] writes — so a corrupt or
+    /// hand-edited index with duplicate or out-of-order entries is
+    /// rejected instead of double-restoring a sample on warm rejoin.
     pub fn parse(text: &str) -> Result<Self> {
         let bad = |what: &str| Error::InvalidState(format!("recovery index: {what}"));
         let mut lines = text.lines();
@@ -118,7 +121,7 @@ impl RecoveryIndex {
             .and_then(|v| v.parse::<u32>().ok())
             .map(Epoch)
             .ok_or_else(|| bad("malformed epoch line"))?;
-        let mut entries = Vec::new();
+        let mut entries: Vec<RecoveryEntry> = Vec::new();
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -146,6 +149,15 @@ impl RecoveryIndex {
                 .ok_or_else(|| bad("malformed importance value"))?;
             if parts.next().is_some() {
                 return Err(bad("trailing fields on entry line"));
+            }
+            if let Some(prev) = entries.last() {
+                let prev_key: (RecoveryRegion, SampleId) = (prev.region, prev.id);
+                if prev_key == (region, id) {
+                    return Err(bad("duplicate (region, id) entry"));
+                }
+                if prev_key > (region, id) {
+                    return Err(bad("entries out of (region, id) order"));
+                }
             }
             entries.push(RecoveryEntry {
                 region,
@@ -293,6 +305,29 @@ mod tests {
             RecoveryIndex::parse("icache-recovery v1\nnode 0\nepoch 0\nh 1 2 NaN\n").is_err(),
             "non-finite importance must not restore"
         );
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected() {
+        // A duplicated line would double-restore sample 5 on warm rejoin.
+        let text = "icache-recovery v1\nnode 0\nepoch 0\nh 5 3072 1.0\nh 5 3072 1.0\n";
+        let err = RecoveryIndex::parse(text).expect_err("duplicate entry must fail");
+        assert!(format!("{err}").contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_entries_are_rejected() {
+        // Ids descending within a region.
+        let text = "icache-recovery v1\nnode 0\nepoch 0\nh 9 3072 1.0\nh 5 3072 1.0\n";
+        let err = RecoveryIndex::parse(text).expect_err("descending ids must fail");
+        assert!(format!("{err}").contains("order"), "{err}");
+        // L entries must never precede H entries.
+        let text = "icache-recovery v1\nnode 0\nepoch 0\nl 1 3072 0.0\nh 5 3072 1.0\n";
+        assert!(RecoveryIndex::parse(text).is_err(), "L before H must fail");
+        // Same id in both regions stays legal: (h, 5) < (l, 5).
+        let text = "icache-recovery v1\nnode 0\nepoch 0\nh 5 3072 1.0\nl 5 3072 0.0\n";
+        let idx = RecoveryIndex::parse(text).expect("cross-region same id is ordered");
+        assert_eq!(idx.entries.len(), 2);
     }
 
     #[test]

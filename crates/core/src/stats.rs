@@ -62,18 +62,27 @@ impl CacheStats {
     }
 
     /// Counter-wise difference `self - earlier` (per-epoch deltas).
+    ///
+    /// Saturates at zero per counter: a delta mark taken before a
+    /// `reset_stats()` legitimately exceeds the post-reset counters
+    /// (e.g. a job holding an epoch mark across a cluster-wide reset),
+    /// and must clamp rather than underflow.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
-            h_hits: self.h_hits - earlier.h_hits,
-            l_hits: self.l_hits - earlier.l_hits,
-            pm_hits: self.pm_hits - earlier.pm_hits,
-            substitutions: self.substitutions - earlier.substitutions,
-            misses: self.misses - earlier.misses,
-            insertions: self.insertions - earlier.insertions,
-            evictions: self.evictions - earlier.evictions,
-            rejections: self.rejections - earlier.rejections,
-            bytes_from_cache: self.bytes_from_cache - earlier.bytes_from_cache,
-            bytes_from_storage: self.bytes_from_storage - earlier.bytes_from_storage,
+            h_hits: self.h_hits.saturating_sub(earlier.h_hits),
+            l_hits: self.l_hits.saturating_sub(earlier.l_hits),
+            pm_hits: self.pm_hits.saturating_sub(earlier.pm_hits),
+            substitutions: self.substitutions.saturating_sub(earlier.substitutions),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            rejections: self.rejections.saturating_sub(earlier.rejections),
+            bytes_from_cache: self
+                .bytes_from_cache
+                .saturating_sub(earlier.bytes_from_cache),
+            bytes_from_storage: self
+                .bytes_from_storage
+                .saturating_sub(earlier.bytes_from_storage),
         }
     }
 }
@@ -138,5 +147,29 @@ mod tests {
         assert_eq!(d.h_hits, 4);
         assert_eq!(d.misses, 5);
         assert_eq!(d.evictions, 1);
+    }
+
+    #[test]
+    fn delta_mark_straddling_reset_saturates_to_zero() {
+        // A job takes a delta mark, then the cluster's counters are
+        // reset behind its back (ClusterService::reset_stats). The next
+        // delta used to underflow (debug-build panic); it must clamp.
+        let mark = CacheStats {
+            h_hits: 10,
+            misses: 4,
+            bytes_from_cache: ByteSize::kib(64),
+            bytes_from_storage: ByteSize::kib(16),
+            ..Default::default()
+        };
+        let after_reset = CacheStats {
+            h_hits: 2, // fewer than the mark: counters restarted from zero
+            ..Default::default()
+        };
+        let d = after_reset.delta_since(&mark);
+        assert_eq!(d.h_hits, 0);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.bytes_from_cache, ByteSize::ZERO);
+        assert_eq!(d.bytes_from_storage, ByteSize::ZERO);
+        assert_eq!(d.requests(), 0);
     }
 }

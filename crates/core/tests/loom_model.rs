@@ -1,0 +1,131 @@
+//! Model tests for the lock-striped concurrency primitives, run under
+//! the `loom` harness (see `vendor/loom`: a stress-iterating stand-in
+//! for real loom's exhaustive schedule exploration; `RUSTFLAGS="--cfg
+//! loom"` raises the iteration count the way real loom runs do).
+//!
+//! Each model spawns racing threads over one shared structure and then
+//! asserts the structure's internal invariants — the striped position
+//! map (`fresh[pos[id]] == id`), shard-local id ownership, and the
+//! atomic length counters — survived the interleaving.
+
+use icache_core::{FreshPool, ShardedHeap, StripedMap};
+use icache_types::{ImportanceValue, SampleId, SeedSequence};
+
+fn iv(v: f64) -> ImportanceValue {
+    ImportanceValue::saturating(v)
+}
+
+#[test]
+fn striped_map_survives_racing_inserts_and_removes() {
+    loom::model(|| {
+        let map = StripedMap::<u32>::new(4);
+        std::thread::scope(|s| {
+            // Two writers over overlapping id ranges plus a remover.
+            s.spawn(|| {
+                for i in 0..60u64 {
+                    map.insert(SampleId(i), 1);
+                }
+            });
+            s.spawn(|| {
+                for i in 30..90u64 {
+                    map.insert(SampleId(i), 2);
+                }
+            });
+            s.spawn(|| {
+                for i in (0..90u64).step_by(3) {
+                    map.remove(SampleId(i));
+                }
+            });
+        });
+        assert!(map.check_invariants(), "striped map invariants violated");
+        // Everything never touched by the remover must be present.
+        for i in 0..60u64 {
+            if i % 3 != 0 {
+                assert!(map.contains(SampleId(i)), "lost sample {i}");
+            }
+        }
+    });
+}
+
+#[test]
+fn fresh_pool_position_map_survives_draw_push_race() {
+    loom::model(|| {
+        let pool = FreshPool::new(4);
+        for i in 0..40u64 {
+            pool.push(SampleId(i));
+        }
+        let drawn = std::thread::scope(|s| {
+            let pusher = s.spawn(|| {
+                for i in 40..80u64 {
+                    pool.push(SampleId(i));
+                }
+            });
+            let drawer = s.spawn(|| {
+                let mut rng = SeedSequence::new(7).rng("model-drawer");
+                let mut drawn = Vec::new();
+                for _ in 0..30 {
+                    if let Some(id) = pool.draw(&mut rng) {
+                        drawn.push(id);
+                    }
+                }
+                drawn
+            });
+            let remover = s.spawn(|| {
+                for i in (0..40u64).step_by(4) {
+                    pool.remove(SampleId(i));
+                }
+            });
+            pusher.join().expect("pusher thread panicked");
+            remover.join().expect("remover thread panicked");
+            drawer.join().expect("drawer thread panicked")
+        });
+        assert!(pool.check_invariants(), "fresh-pool position map broken");
+        // A draw removes: no drawn id may still be in the pool, and no
+        // id is drawn twice.
+        let mut seen = std::collections::BTreeSet::new();
+        for id in drawn {
+            assert!(seen.insert(id), "sample {id} drawn twice");
+            assert!(!pool.remove(id), "drawn sample {id} still pooled");
+        }
+    });
+}
+
+#[test]
+fn sharded_heap_survives_racing_inserts_and_evictions() {
+    loom::model(|| {
+        let heap = ShardedHeap::new(4);
+        for i in 0..20u64 {
+            heap.insert(SampleId(i), iv(i as f64));
+        }
+        let popped = std::thread::scope(|s| {
+            let a = s.spawn(|| {
+                for i in 20..50u64 {
+                    heap.insert(SampleId(i), iv(i as f64 * 0.5));
+                }
+            });
+            let b = s.spawn(|| {
+                let mut popped = Vec::new();
+                for _ in 0..25 {
+                    if let Some((id, _)) = heap.pop_global_min() {
+                        popped.push(id);
+                    }
+                }
+                popped
+            });
+            a.join().expect("insert thread panicked");
+            b.join().expect("evict thread panicked")
+        });
+        assert!(heap.check_invariants(), "sharded heap invariants violated");
+        // Conservation: every id is either still in the heap or was
+        // popped, never both, never neither.
+        for i in 0..50u64 {
+            let id = SampleId(i);
+            let in_heap = heap.contains(id);
+            let was_popped = popped.contains(&id);
+            assert!(
+                in_heap != was_popped,
+                "sample {id}: in_heap={in_heap} popped={was_popped}"
+            );
+        }
+    });
+}

@@ -10,7 +10,7 @@
 //!   sequential scan, and epoch-shuffle (the DNN pattern);
 //! * hand-built [`Trace`]s in tests.
 
-use icache_core::{CacheStats, CacheSystem};
+use icache_core::{CacheStats, CacheSystem, ConcurrentCache};
 use icache_storage::StorageBackend;
 use icache_types::{
     Dataset, Error, JobId, LatencyHistogram, Result, SampleId, SeedSequence, SimDuration, SimTime,
@@ -216,6 +216,95 @@ pub fn replay(
     }
 }
 
+/// Replay `trace` through a shared [`ConcurrentCache`] on `threads`
+/// loader threads.
+///
+/// The trace is partitioned round-robin (record `i` goes to thread
+/// `i % threads`), mirroring how a DNN data loader splits one epoch's
+/// index list across workers. Each thread owns its storage backend
+/// (built by `make_storage` inside the thread), its RNG stream
+/// (derived from `seed` and the thread index), and its virtual clock;
+/// the cache is the only shared state. The report's `elapsed` is the
+/// *slowest* thread's clock — the batch is ready when the last worker
+/// is — and the latency histogram is the merge of all threads'.
+///
+/// With `threads == 1` this visits records in exactly the sequential
+/// [`replay`] order. With more threads the per-access results depend
+/// on the interleaving, so runs are reproducible only given the same
+/// thread schedule; counters still sum exactly (see
+/// `icache_core::AtomicCacheStats`).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when `threads == 0`, and
+/// propagates `make_storage` failures. A panicking loader thread
+/// surfaces as [`Error::InvalidState`] rather than poisoning the
+/// caller.
+pub fn replay_concurrent<F>(
+    trace: &Trace,
+    dataset: &Dataset,
+    cache: &dyn ConcurrentCache,
+    threads: usize,
+    seed: u64,
+    make_storage: F,
+) -> Result<ReplayReport>
+where
+    F: Fn() -> Result<Box<dyn StorageBackend>> + Sync,
+{
+    if threads == 0 {
+        return Err(Error::invalid_config(
+            "threads",
+            "need at least one loader thread",
+        ));
+    }
+    let start_stats = cache.stats();
+    let mut shards: Vec<Vec<TraceRecord>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, r) in trace.records.iter().enumerate() {
+        shards[i % threads].push(*r);
+    }
+    let make_storage = &make_storage;
+    let per_thread: Vec<Result<(LatencyHistogram, SimTime)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(t, records)| {
+                s.spawn(move || -> Result<(LatencyHistogram, SimTime)> {
+                    let mut storage = make_storage()?;
+                    let mut rng = SeedSequence::new(seed).rng(&format!("loader{t}"));
+                    let mut now = SimTime::ZERO;
+                    let mut latency = LatencyHistogram::new();
+                    for r in records {
+                        let size = dataset.sample_size(r.sample);
+                        let f = cache.fetch(r.job, r.sample, size, now, storage.as_mut(), &mut rng);
+                        latency.record(f.ready_at.saturating_since(now));
+                        now = f.ready_at;
+                    }
+                    Ok((latency, now))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::InvalidState("loader thread panicked".into())))
+            })
+            .collect()
+    });
+    let mut latency = LatencyHistogram::new();
+    let mut elapsed = SimTime::ZERO;
+    for r in per_thread {
+        let (hist, now) = r?;
+        latency.merge(&hist);
+        elapsed = elapsed.max(now);
+    }
+    Ok(ReplayReport {
+        stats: cache.stats().delta_since(&start_stats),
+        latency,
+        elapsed: elapsed.saturating_since(SimTime::ZERO),
+    })
+}
+
 /// Convenience: a one-line summary string for reports.
 pub fn summarize(report: &ReplayReport) -> String {
     format!(
@@ -314,6 +403,51 @@ mod tests {
         assert!(AccessPattern::Zipf { s: f64::NAN }
             .generate(10, 10, JobId(0), 1)
             .is_err());
+    }
+
+    #[test]
+    fn concurrent_replay_one_thread_matches_sequential() {
+        use icache_core::MutexCache;
+        let ds = dataset(500);
+        let cap = ds.total_bytes().scaled(0.2);
+        let t = AccessPattern::Zipf { s: 1.1 }
+            .generate(500, 2_000, JobId(0), 9)
+            .unwrap();
+
+        let mut lru = LruCache::new(cap);
+        let mut st = LocalTier::tmpfs();
+        let seq = replay(&t, &ds, &mut lru, &mut st);
+
+        let shared = MutexCache::new(Box::new(LruCache::new(cap)));
+        let conc =
+            replay_concurrent(&t, &ds, &shared, 1, 9, || Ok(Box::new(LocalTier::tmpfs()))).unwrap();
+        assert_eq!(seq.stats, conc.stats);
+        assert_eq!(seq.elapsed, conc.elapsed);
+        assert_eq!(
+            seq.latency.quantile(0.99),
+            conc.latency.quantile(0.99),
+            "one loader thread visits records in sequential order"
+        );
+    }
+
+    #[test]
+    fn concurrent_replay_counters_sum_across_threads() {
+        use icache_core::MutexCache;
+        let ds = dataset(500);
+        let t = AccessPattern::Uniform
+            .generate(500, 4_000, JobId(0), 5)
+            .unwrap();
+        let shared = MutexCache::new(Box::new(LruCache::new(ds.total_bytes().scaled(0.2))));
+        let rep =
+            replay_concurrent(&t, &ds, &shared, 4, 5, || Ok(Box::new(LocalTier::tmpfs()))).unwrap();
+        assert_eq!(
+            rep.stats.requests(),
+            4_000,
+            "per-thread fetches must add up exactly"
+        );
+        assert!(
+            replay_concurrent(&t, &ds, &shared, 0, 5, || Ok(Box::new(LocalTier::tmpfs()))).is_err()
+        );
     }
 
     #[test]

@@ -47,13 +47,17 @@ impl StorageStats {
     }
 
     /// Counter-wise difference `self - earlier` (for per-epoch deltas).
+    ///
+    /// Saturates at zero per counter: a delta mark taken before a
+    /// `reset_stats()` legitimately exceeds the post-reset counters and
+    /// must clamp rather than underflow.
     pub fn delta_since(&self, earlier: &StorageStats) -> StorageStats {
         StorageStats {
-            sample_reads: self.sample_reads - earlier.sample_reads,
-            package_reads: self.package_reads - earlier.package_reads,
-            sample_bytes: self.sample_bytes - earlier.sample_bytes,
-            package_bytes: self.package_bytes - earlier.package_bytes,
-            service_time: self.service_time - earlier.service_time,
+            sample_reads: self.sample_reads.saturating_sub(earlier.sample_reads),
+            package_reads: self.package_reads.saturating_sub(earlier.package_reads),
+            sample_bytes: self.sample_bytes.saturating_sub(earlier.sample_bytes),
+            package_bytes: self.package_bytes.saturating_sub(earlier.package_bytes),
+            service_time: self.service_time.saturating_sub(earlier.service_time),
         }
     }
 }
@@ -94,5 +98,20 @@ mod tests {
         assert_eq!(d.sample_reads, 1);
         assert_eq!(d.sample_bytes, ByteSize::new(20));
         assert_eq!(d.service_time, SimDuration::from_nanos(7));
+    }
+
+    #[test]
+    fn delta_mark_straddling_reset_saturates_to_zero() {
+        // Mark taken, backend stats reset behind the caller's back: the
+        // next delta used to underflow in debug builds; it must clamp.
+        let mut mark = StorageStats::default();
+        mark.record_sample(ByteSize::kib(3), SimDuration::from_micros(500));
+        mark.record_package(ByteSize::mib(1), SimDuration::from_millis(1));
+        let after_reset = StorageStats::default();
+        let d = after_reset.delta_since(&mark);
+        assert_eq!(d.sample_reads, 0);
+        assert_eq!(d.package_reads, 0);
+        assert_eq!(d.total_bytes(), ByteSize::ZERO);
+        assert_eq!(d.service_time, SimDuration::ZERO);
     }
 }

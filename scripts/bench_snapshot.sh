@@ -10,5 +10,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$cores" -le 1 ]; then
+    echo "==============================================================" >&2
+    echo "WARNING: this machine exposes only 1 CPU. Parallel and" >&2
+    echo "loader-thread speedups recorded in BENCH_icache.json will be" >&2
+    echo "~1x by construction — they are NOT scaling results. Re-record" >&2
+    echo "on a multi-core runner before comparing speedups." >&2
+    echo "==============================================================" >&2
+fi
+
 cargo build --release -p icache-bench --bin bench_snapshot
 target/release/bench_snapshot --out BENCH_icache.json "$@"

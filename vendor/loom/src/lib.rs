@@ -1,0 +1,102 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! Real loom replaces `std::thread` and `std::sync` with instrumented
+//! versions and exhaustively explores every interleaving of a bounded
+//! concurrent closure. This build environment has no registry access,
+//! so this stand-in keeps loom's *API shape* — [`model`], [`thread`],
+//! [`sync`] — on top of plain `std`: [`model`] stress-iterates the
+//! closure with real OS threads instead of enumerating schedules.
+//!
+//! Differences from upstream, deliberately accepted for an offline
+//! build:
+//!
+//! * **Probabilistic, not exhaustive.** Each iteration runs one real
+//!   interleaving; bugs that need a precise schedule may survive. The
+//!   iteration count is high enough that lock-ordering deadlocks and
+//!   torn-invariant races surface in practice.
+//! * `sync` and `thread` re-export `std` directly, so code under test
+//!   runs its production synchronization, not a simulation.
+//! * Built with `RUSTFLAGS="--cfg loom"` (how real loom tests are
+//!   invoked) the iteration count rises from [`FAST_ITERS`] to
+//!   [`MODEL_ITERS`]; the `LOOM_ITERS` env var overrides both.
+
+#![forbid(unsafe_code)]
+
+/// Iterations of a [`model`] closure in a plain `cargo test` run.
+pub const FAST_ITERS: usize = 64;
+
+/// Iterations of a [`model`] closure under `RUSTFLAGS="--cfg loom"`.
+pub const MODEL_ITERS: usize = 1024;
+
+/// Mirrors `loom::thread`.
+pub mod thread {
+    pub use std::thread::{current, park, spawn, yield_now, Builder, JoinHandle};
+}
+
+/// Mirrors `loom::sync`.
+pub mod sync {
+    pub use std::sync::{
+        Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    };
+
+    /// Mirrors `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// How many times [`model`] runs its closure.
+pub fn iterations() -> usize {
+    if let Ok(v) = std::env::var("LOOM_ITERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    #[cfg(loom)]
+    {
+        MODEL_ITERS
+    }
+    #[cfg(not(loom))]
+    {
+        FAST_ITERS
+    }
+}
+
+/// Run `f` repeatedly, each run on fresh state, the way a loom model
+/// is run once per explored schedule. The closure must spawn its
+/// threads via [`thread::spawn`] (or `std::thread::scope`) and panic
+/// on any invariant violation — a panic in any iteration fails the
+/// test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for _ in 0..iterations() {
+        f();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sync::atomic::{AtomicUsize, Ordering};
+    use sync::Arc;
+
+    // One test, not two: `iterations` reads an env var, and parallel
+    // tests mutating the same var race.
+    #[test]
+    fn model_runs_the_closure_iterations_times() {
+        std::env::set_var("LOOM_ITERS", "3");
+        assert_eq!(iterations(), 3);
+        let runs = Arc::new(AtomicUsize::new(0));
+        let seen = runs.clone();
+        model(move || {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 3);
+        std::env::remove_var("LOOM_ITERS");
+        assert!(iterations() >= FAST_ITERS);
+    }
+}
