@@ -22,7 +22,24 @@
 //! bare `--parallel` or `auto` uses the machine's parallelism; see
 //! DESIGN.md §8),
 //! `--loader-threads <n>` (serve ONE cache from `n` concurrent loader
-//! threads — the lock-striped in-node path; see DESIGN.md §8).
+//! threads — the lock-striped in-node path; see DESIGN.md §8),
+//! `--prefetch-depth <n>` (clairvoyant prefetch lookahead; 0 — the
+//! default — disables the pipeline and is byte-identical to the plain
+//! driver; see DESIGN.md §11),
+//! `--compute-us <n>` (simulated per-sample compute for the prefetch
+//! overlap clock, default 50 µs; requires `--prefetch-depth >= 1`).
+//!
+//! With `--prefetch-depth N` (N ≥ 1) each policy replays under a
+//! compute/IO overlap clock: a prefetcher issues the trace's known
+//! access order up to `N` fetches ahead, the consumer spends
+//! `--compute-us` per sample, and the table gains a `stall` column —
+//! total time the consumer waited on data. The cache sees the same
+//! access *order* at every depth; time-agnostic policies (lru, coordl,
+//! ilfu) therefore count identically across depths, while policies
+//! with time-paced machinery (icache's background package loader) may
+//! shift slightly because virtual timestamps feed their pacing. The
+//! mode refuses `--loader-threads > 1` (the concurrent path has no
+//! deterministic plan order to prefetch).
 //!
 //! The policies share nothing but the read-only workload, so the
 //! parallel path produces byte-identical stdout, `--json`, and
@@ -48,9 +65,9 @@
 
 use icache_bench::{sweep, workload};
 use icache_sampling::HList;
-use icache_sim::replay::{replay, summarize, AccessPattern, Trace};
+use icache_sim::replay::{replay, replay_prefetch, summarize, AccessPattern, Trace};
 use icache_sim::{report, StorageKind};
-use icache_types::{ByteSize, Dataset, DatasetBuilder, JobId, SizeModel};
+use icache_types::{ByteSize, Dataset, DatasetBuilder, JobId, SimDuration, SizeModel};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -100,6 +117,8 @@ struct ReplayCtx<'a> {
     seed: u64,
     storage_kind: StorageKind,
     trace_out: Option<&'a str>,
+    prefetch_depth: usize,
+    compute: SimDuration,
 }
 
 /// Everything one policy replay produces, rendered but not yet printed:
@@ -129,7 +148,24 @@ fn run_policy(name: &str, ctx: &ReplayCtx) -> Result<PolicyOutput, String> {
     cache.set_obs(obs.clone());
     storage.set_obs(obs.clone());
     cache.on_epoch_start(JobId(0), icache_types::Epoch(0));
-    let rep = replay(ctx.trace, ctx.dataset, cache.as_mut(), storage.as_mut());
+    let (rep, stall) = if ctx.prefetch_depth > 0 {
+        let pr = replay_prefetch(
+            ctx.trace,
+            ctx.dataset,
+            cache.as_mut(),
+            storage.as_mut(),
+            ctx.prefetch_depth,
+            ctx.compute,
+            obs.clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        (pr.report, Some(pr.stall))
+    } else {
+        (
+            replay(ctx.trace, ctx.dataset, cache.as_mut(), storage.as_mut()),
+            None,
+        )
+    };
     // The replay driver's own accounting: baselines record nothing
     // into the registry themselves, so these six counters make every
     // policy snapshot sum to the shared workload's access count.
@@ -139,14 +175,18 @@ fn run_policy(name: &str, ctx: &ReplayCtx) -> Result<PolicyOutput, String> {
     obs.add("replay.pm_hits", rep.stats.pm_hits);
     obs.add("replay.substitutions", rep.stats.substitutions);
     obs.add("replay.misses", rep.stats.misses);
-    let row = vec![
+    let mut row = vec![
         name.to_string(),
         format!("{:.1}", rep.hit_ratio() * 100.0),
         format!("{}", rep.latency.quantile(0.5)),
         format!("{}", rep.latency.quantile(0.99)),
         format!("{}", rep.elapsed),
     ];
-    let line = format!("{name:8} {}", summarize(&rep));
+    let mut line = format!("{name:8} {}", summarize(&rep));
+    if let Some(stall) = stall {
+        row.push(format!("{stall}"));
+        line = format!("{line} | stall {stall}");
+    }
     let trace_note = match ctx.trace_out {
         Some(path) => {
             let path = policy_path(path, name);
@@ -299,6 +339,28 @@ fn run() -> Result<(), String> {
     if loader_threads == 0 {
         return Err("--loader-threads: need at least one loader thread".into());
     }
+    let prefetch_depth: usize = get("prefetch-depth", "0")
+        .parse()
+        .map_err(|e| format!("--prefetch-depth: {e}"))?;
+    if args.contains_key("compute-us") && prefetch_depth == 0 {
+        return Err(
+            "--compute-us drives the prefetch overlap clock and requires --prefetch-depth >= 1"
+                .into(),
+        );
+    }
+    let compute = SimDuration::from_micros(
+        get("compute-us", "50")
+            .parse()
+            .map_err(|e| format!("--compute-us: {e}"))?,
+    );
+    if prefetch_depth > 0 && loader_threads > 1 {
+        return Err(
+            "--prefetch-depth issues the trace's plan order ahead of a sequential consumer \
+             and cannot combine with --loader-threads > 1 (no deterministic plan order on \
+             the concurrent path)"
+                .into(),
+        );
+    }
     if loader_threads > 1 {
         if args.contains_key("trace-out") {
             return Err(
@@ -356,6 +418,11 @@ fn run() -> Result<(), String> {
     if loader_threads > 1 {
         println!("loader threads: {loader_threads} (one shared cache per policy)\n");
     }
+    if prefetch_depth > 0 {
+        println!(
+            "clairvoyant prefetch: lookahead depth {prefetch_depth}, compute {compute}/sample\n"
+        );
+    }
 
     let ctx = ReplayCtx {
         trace: &trace,
@@ -366,6 +433,8 @@ fn run() -> Result<(), String> {
         seed,
         storage_kind,
         trace_out: args.get("trace-out").map(String::as_str),
+        prefetch_depth,
+        compute,
     };
     if loader_threads > 1 {
         return run_concurrent(loader_threads, &ctx, args.get("json").map(String::as_str));
@@ -378,7 +447,11 @@ fn run() -> Result<(), String> {
     let outputs = sweep::run_indexed(tasks, workers);
 
     let mut policy_summaries: Vec<(String, icache_obs::Json)> = Vec::new();
-    let mut out = report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed"]);
+    let mut out = if prefetch_depth > 0 {
+        report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed", "stall"])
+    } else {
+        report::Table::with_columns(&["policy", "hit%", "p50", "p99", "elapsed"])
+    };
     for result in outputs {
         let po = result?;
         out.row(po.row);

@@ -21,6 +21,7 @@
 //! | `--batch` | `256` | mini-batch size |
 //! | `--workers` | `6` | data-loader workers |
 //! | `--gpus` | `1` | data-parallel GPUs |
+//! | `--prefetch-depth` | `0` | clairvoyant prefetch lookahead depth (DESIGN.md §11); `0` disables the pipeline and is byte-identical to the pre-prefetch driver |
 //! | `--nodes` | `1` | cluster nodes; `>= 2` runs the distributed iCache (one sharded job per node, requires `--system icache`) |
 //! | `--seed` | `0x5EED` | run seed |
 //! | `--json` | - | write the machine-readable run summary (per-epoch metrics + counters + latency histograms) to this JSON path |
@@ -203,7 +204,9 @@ fn run() -> Result<(), String> {
         .batch_size(parse_usize("batch", "256")?)
         .workers(parse_usize("workers", "6")?)
         .gpus(parse_usize("gpus", "1")?)
+        .prefetch_depth(parse_usize("prefetch-depth", "0")?)
         .seed(seed);
+    let prefetch_depth = parse_usize("prefetch-depth", "0")?;
     let nodes = parse_usize("nodes", "1")?;
     let churn = churn_of(&args)?;
     if churn.is_some() && nodes < 2 {
@@ -230,6 +233,9 @@ fn run() -> Result<(), String> {
             String::new()
         }
     );
+    if prefetch_depth > 0 {
+        println!("clairvoyant prefetch: lookahead depth {prefetch_depth}\n");
+    }
     let obs = icache_obs::Obs::new();
     let mut service = None;
     let runs = if nodes >= 2 {

@@ -1,0 +1,142 @@
+//! `icache_replay --prefetch-depth 0` must be byte-identical to the
+//! plain sequential driver — stdout, `--json` summary, and per-policy
+//! `--trace-out` files (DESIGN.md §11's depth-0 golden contract). With
+//! depth ≥ 1 the flag must refuse the combinations the prefetch clock
+//! cannot honor, and depth-0 runs must refuse `--compute-us`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const POLICIES: [&str; 5] = ["lru", "coordl", "ilfu", "quiver", "icache"];
+
+fn replay_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_icache_replay"));
+    cmd.args([
+        "--pattern",
+        "zipf",
+        "--skew",
+        "1.1",
+        "--requests",
+        "5000",
+        "--universe",
+        "2000",
+        "--seed",
+        "11",
+    ]);
+    cmd
+}
+
+fn run_replay(dir: &Path, prefetch_depth: Option<&str>) -> String {
+    let mut cmd = replay_cmd();
+    cmd.arg("--trace-out").arg(dir.join("trace.jsonl"));
+    cmd.arg("--json").arg(dir.join("summary.json"));
+    if let Some(n) = prefetch_depth {
+        cmd.args(["--prefetch-depth", n]);
+    }
+    let out = cmd.output().expect("icache_replay runs");
+    assert!(
+        out.status.success(),
+        "icache_replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is utf-8")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icache_pf_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn prefetch_depth_0_is_byte_identical_to_plain_driver() {
+    let plain_dir = scratch("plain");
+    let d0_dir = scratch("d0");
+    let plain_stdout = run_replay(&plain_dir, None);
+    let d0_stdout = run_replay(&d0_dir, Some("0"));
+
+    // Stdout differs only in the embedded output paths; normalise those.
+    let norm = |s: &str, dir: &Path| s.replace(&dir.display().to_string(), "<out>");
+    assert_eq!(
+        norm(&plain_stdout, &plain_dir),
+        norm(&d0_stdout, &d0_dir),
+        "stdout must not depend on --prefetch-depth 0"
+    );
+
+    let read = |dir: &Path, file: &str| {
+        std::fs::read(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"))
+    };
+    assert_eq!(
+        read(&plain_dir, "summary.json"),
+        read(&d0_dir, "summary.json"),
+        "--json summary must not depend on --prefetch-depth 0"
+    );
+    for policy in POLICIES {
+        let file = format!("trace.{policy}.jsonl");
+        assert_eq!(
+            read(&plain_dir, &file),
+            read(&d0_dir, &file),
+            "{file} must not depend on --prefetch-depth 0"
+        );
+    }
+
+    for dir in [plain_dir, d0_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn prefetch_mode_reports_stall_for_every_policy() {
+    let out = replay_cmd()
+        .args(["--prefetch-depth", "8", "--compute-us", "50"])
+        .output()
+        .expect("icache_replay runs");
+    assert!(
+        out.status.success(),
+        "depth-8 replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is utf-8");
+    assert!(
+        stdout.contains("clairvoyant prefetch: lookahead depth 8"),
+        "mode banner missing:\n{stdout}"
+    );
+    for policy in POLICIES {
+        assert!(stdout.contains(policy), "{policy} row missing:\n{stdout}");
+    }
+    assert!(stdout.contains("stall"), "stall column missing:\n{stdout}");
+}
+
+#[test]
+fn prefetch_mode_refuses_invalid_flag_combinations() {
+    // --compute-us drives the overlap clock; meaningless without a window.
+    let out = replay_cmd()
+        .args(["--compute-us", "50"])
+        .output()
+        .expect("icache_replay runs");
+    assert!(
+        !out.status.success(),
+        "--compute-us without --prefetch-depth must be refused"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--prefetch-depth"),
+        "error should name the missing flag: {stderr}"
+    );
+
+    // The concurrent path has no deterministic plan order to prefetch.
+    let out = replay_cmd()
+        .args(["--prefetch-depth", "4", "--loader-threads", "2"])
+        .output()
+        .expect("icache_replay runs");
+    assert!(
+        !out.status.success(),
+        "--prefetch-depth with --loader-threads 2 must be refused"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--loader-threads"),
+        "error should name the conflicting flag: {stderr}"
+    );
+}

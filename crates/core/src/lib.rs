@@ -32,6 +32,12 @@
 //!   concurrently via striped resident maps, a sharded H-heap with a
 //!   deterministic cross-shard eviction merge, atomic counters, and an
 //!   epoch write barrier (DESIGN.md §8).
+//! * [`prefetch`] — the clairvoyant prefetch pipeline
+//!   ([`PrefetchPipeline`]): since IIS/CIS fix the epoch's access order
+//!   in advance, a bounded lookahead window overlaps storage fetches
+//!   with simulated compute so per-request latency becomes
+//!   `max(compute, stall)` instead of `compute + fetch` (DESIGN.md
+//!   §11).
 //!
 //! The crate is substrate-agnostic: all I/O timing flows through the
 //! [`icache_storage::StorageBackend`] passed into each fetch, and every
@@ -74,6 +80,7 @@ mod hheap;
 mod lcache;
 mod manager;
 mod multijob;
+pub mod prefetch;
 mod server;
 pub mod service;
 mod shadow;
@@ -93,6 +100,7 @@ pub use hheap::HHeap;
 pub use lcache::{LCache, LCacheConfig, LFetch, Package, PackageId, Packager};
 pub use manager::{IcacheConfig, IcacheManager, Substitution};
 pub use multijob::{BenefitProbe, JobBenefit, MultiJobCoordinator, ProbePhase};
+pub use prefetch::{InflightWindow, IssueRecord, PlannedAccess, PrefetchPipeline, PrefetchReport};
 pub use server::{IcacheServer, Request, Response};
 pub use service::{
     CacheRpc, CacheRpcReply, CacheService, ChurnEvent, DirectoryChange, DirectoryKv,

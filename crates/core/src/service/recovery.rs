@@ -307,6 +307,113 @@ mod tests {
         );
     }
 
+    /// Every `parse` error path, table-driven: one corrupt input per
+    /// `InvalidState` message, checked against the exact cause string so
+    /// a refactor cannot silently collapse two failure modes into one.
+    #[test]
+    fn every_parse_error_path_names_its_cause() {
+        const HEADER: &str = "icache-recovery v1\nnode 0\nepoch 0\n";
+        let entry = |line: &str| format!("{HEADER}{line}\n");
+        let cases: Vec<(&str, String)> = vec![
+            ("empty input", String::new()),
+            (
+                "wrong magic",
+                "icache-recovery v2\nnode 0\nepoch 0\n".into(),
+            ),
+            ("truncated after magic", "icache-recovery v1\n".into()),
+            (
+                "non-numeric node",
+                "icache-recovery v1\nnode x\nepoch 0\n".into(),
+            ),
+            (
+                "truncated after node",
+                "icache-recovery v1\nnode 0\n".into(),
+            ),
+            (
+                "non-numeric epoch",
+                "icache-recovery v1\nnode 0\nepoch x\n".into(),
+            ),
+            ("unknown region tag", entry("q 1 3072 1.0")),
+            ("region-only truncated line", entry("h")),
+            ("non-numeric sample id", entry("h x 3072 1.0")),
+            ("line truncated after id", entry("h 1")),
+            ("non-numeric size", entry("h 1 x 1.0")),
+            ("line truncated after size", entry("h 1 3072")),
+            ("non-numeric importance", entry("h 1 3072 x")),
+            ("negative importance", entry("h 1 3072 -1.0")),
+            ("infinite importance", entry("h 1 3072 inf")),
+            ("trailing field", entry("h 1 3072 1.0 extra")),
+            ("duplicate entry", entry("h 5 3072 1.0\nh 5 3072 1.0")),
+            ("ids out of order", entry("h 9 3072 1.0\nh 5 3072 1.0")),
+            ("regions out of order", entry("l 1 3072 0.0\nh 5 3072 1.0")),
+        ];
+        let expected = [
+            ("empty input", "missing `icache-recovery v1` magic"),
+            ("wrong magic", "missing `icache-recovery v1` magic"),
+            ("truncated after magic", "malformed node line"),
+            ("non-numeric node", "malformed node line"),
+            ("truncated after node", "malformed epoch line"),
+            ("non-numeric epoch", "malformed epoch line"),
+            ("unknown region tag", "unknown region tag"),
+            ("region-only truncated line", "malformed sample id"),
+            ("non-numeric sample id", "malformed sample id"),
+            ("line truncated after id", "malformed size"),
+            ("non-numeric size", "malformed size"),
+            ("line truncated after size", "malformed importance value"),
+            ("non-numeric importance", "malformed importance value"),
+            ("negative importance", "malformed importance value"),
+            ("infinite importance", "malformed importance value"),
+            ("trailing field", "trailing fields on entry line"),
+            ("duplicate entry", "duplicate (region, id) entry"),
+            ("ids out of order", "entries out of (region, id) order"),
+            ("regions out of order", "entries out of (region, id) order"),
+        ];
+        assert_eq!(cases.len(), expected.len(), "tables must stay in sync");
+        for ((name, input), (ename, cause)) in cases.iter().zip(expected) {
+            assert_eq!(*name, ename, "tables must stay in sync");
+            let err = RecoveryIndex::parse(input).expect_err(&format!("`{name}` must be rejected"));
+            let msg = format!("{err}");
+            assert!(
+                msg.contains(cause),
+                "`{name}` should report `{cause}`, got: {msg}"
+            );
+        }
+    }
+
+    /// A corrupt persisted snapshot must degrade to a cold restart
+    /// (`load` returns `None`), never a partial or panicking restore —
+    /// in both the in-memory store and the on-disk one.
+    #[test]
+    fn corrupt_store_degrades_to_cold_restart() {
+        // Memory store with a snapshot whose tail was lost mid-write.
+        let good = index().to_text();
+        let truncated = good[..good.len() - 4].replace("h 5 3072", "h 5");
+        let mut map = BTreeMap::new();
+        map.insert(1u32, truncated.clone());
+        let store = RecoveryStore::Memory(map);
+        assert!(
+            store.load(NodeId(1)).is_none(),
+            "corrupt memory snapshot must cold-restart"
+        );
+
+        // Dir store pointed at a corrupt on-disk file.
+        let dir =
+            std::env::temp_dir().join(format!("icache-recovery-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        std::fs::write(dir.join("node1.recovery"), &truncated).expect("write corrupt index");
+        let store = RecoveryStore::new(&RecoveryMode::Dir(dir.clone()));
+        assert!(
+            store.load(NodeId(1)).is_none(),
+            "corrupt on-disk snapshot must cold-restart"
+        );
+        assert!(
+            store.load(NodeId(2)).is_none(),
+            "missing snapshot is a cold restart, not an error"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn duplicate_entries_are_rejected() {
         // A duplicated line would double-restore sample 5 on warm rejoin.

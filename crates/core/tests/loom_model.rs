@@ -8,7 +8,7 @@
 //! map (`fresh[pos[id]] == id`), shard-local id ownership, and the
 //! atomic length counters — survived the interleaving.
 
-use icache_core::{FreshPool, ShardedHeap, StripedMap};
+use icache_core::{FreshPool, InflightWindow, ShardedHeap, StripedMap};
 use icache_types::{ImportanceValue, SampleId, SeedSequence};
 
 fn iv(v: f64) -> ImportanceValue {
@@ -86,6 +86,75 @@ fn fresh_pool_position_map_survives_draw_push_race() {
         for id in drawn {
             assert!(seen.insert(id), "sample {id} drawn twice");
             assert!(!pool.remove(id), "drawn sample {id} still pooled");
+        }
+    });
+}
+
+#[test]
+fn inflight_window_survives_producer_consumer_race() {
+    const DEPTH: usize = 4;
+    const POSITIONS: u64 = 48;
+    loom::model(|| {
+        let window = InflightWindow::new(DEPTH);
+        let (issued, delivered) = std::thread::scope(|s| {
+            // Producer: sweep the plan repeatedly, issuing whatever the
+            // window admits (a full window or an already-delivered
+            // position refuses the issue, exactly like the pipeline's
+            // pump loop).
+            let producer = s.spawn(|| {
+                let mut issued = Vec::new();
+                for _ in 0..3 {
+                    for pos in 0..POSITIONS {
+                        if window.try_issue(pos) {
+                            issued.push(pos);
+                        }
+                    }
+                }
+                issued
+            });
+            // Consumer: deliver every position it observes in flight,
+            // retrying the sweep so it drains what the producer issues.
+            let consumer = s.spawn(|| {
+                let mut delivered = Vec::new();
+                for _ in 0..3 {
+                    for pos in 0..POSITIONS {
+                        if window.consume(pos) {
+                            delivered.push(pos);
+                        }
+                    }
+                }
+                delivered
+            });
+            (
+                producer.join().expect("producer thread panicked"),
+                consumer.join().expect("consumer thread panicked"),
+            )
+        });
+        assert!(window.check_invariants(), "window invariants violated");
+        assert!(
+            window.max_in_flight() <= DEPTH,
+            "window overflowed: {} > {DEPTH}",
+            window.max_in_flight()
+        );
+        // No position is ever issued twice or delivered twice.
+        let mut seen = std::collections::BTreeSet::new();
+        for &pos in &issued {
+            assert!(seen.insert(pos), "position {pos} issued twice");
+        }
+        seen.clear();
+        for &pos in &delivered {
+            assert!(seen.insert(pos), "position {pos} delivered twice");
+        }
+        // Every delivery consumes an issue; the rest are still in flight.
+        assert!(
+            delivered.len() <= issued.len(),
+            "delivered more than issued"
+        );
+        assert_eq!(window.issued() as usize, issued.len());
+        assert_eq!(window.consumed() as usize, delivered.len());
+        assert_eq!(window.in_flight(), issued.len() - delivered.len());
+        for &pos in &delivered {
+            assert!(issued.contains(&pos), "position {pos} delivered unissued");
         }
     });
 }

@@ -181,6 +181,29 @@ pub enum TraceEvent {
         /// Index entries skipped because another live node owns them now.
         skipped: u64,
     },
+    /// The clairvoyant prefetcher issued a lookahead fetch for a planned
+    /// access ahead of the consumer (DESIGN.md §11).
+    PrefetchIssue {
+        /// Job whose epoch plan is being prefetched.
+        job: u64,
+        /// Sample being prefetched.
+        sample: u64,
+        /// Zero-based position of the access in the epoch plan.
+        position: u64,
+    },
+    /// A consumed sample was not resident in time: the consumer stalled
+    /// on it (or had to demand-fetch it outside the lookahead window).
+    PrefetchLate {
+        /// Consuming job.
+        job: u64,
+        /// Sample that arrived late.
+        sample: u64,
+        /// Zero-based position of the access in the epoch plan.
+        position: u64,
+        /// How long the consumer stalled waiting for the data, in
+        /// nanoseconds.
+        wait_nanos: u64,
+    },
 }
 
 impl TraceEvent {
@@ -204,6 +227,8 @@ impl TraceEvent {
             TraceEvent::MembershipChange { .. } => "membership_change",
             TraceEvent::PartitionUpdate { .. } => "partition_update",
             TraceEvent::WarmRecovery { .. } => "warm_recovery",
+            TraceEvent::PrefetchIssue { .. } => "prefetch_issue",
+            TraceEvent::PrefetchLate { .. } => "prefetch_late",
         }
     }
 
@@ -325,6 +350,26 @@ impl TraceEvent {
                 fields.push(("restored_h".to_string(), Json::UInt(*restored_h)));
                 fields.push(("restored_l".to_string(), Json::UInt(*restored_l)));
                 fields.push(("skipped".to_string(), Json::UInt(*skipped)));
+            }
+            TraceEvent::PrefetchIssue {
+                job,
+                sample,
+                position,
+            } => {
+                fields.push(("job".to_string(), Json::UInt(*job)));
+                fields.push(("sample".to_string(), Json::UInt(*sample)));
+                fields.push(("position".to_string(), Json::UInt(*position)));
+            }
+            TraceEvent::PrefetchLate {
+                job,
+                sample,
+                position,
+                wait_nanos,
+            } => {
+                fields.push(("job".to_string(), Json::UInt(*job)));
+                fields.push(("sample".to_string(), Json::UInt(*sample)));
+                fields.push(("position".to_string(), Json::UInt(*position)));
+                fields.push(("wait_nanos".to_string(), Json::UInt(*wait_nanos)));
             }
         }
         Json::Obj(fields)
@@ -692,6 +737,17 @@ mod tests {
                 restored_h: 30,
                 restored_l: 60,
                 skipped: 3,
+            },
+            TraceEvent::PrefetchIssue {
+                job: 0,
+                sample: 9,
+                position: 4,
+            },
+            TraceEvent::PrefetchLate {
+                job: 0,
+                sample: 9,
+                position: 4,
+                wait_nanos: 1_500,
             },
         ];
         for e in events {

@@ -1,7 +1,7 @@
 //! One training job over simulated time.
 
 use crate::{EpochMetrics, RunMetrics};
-use icache_core::{CacheSystem, FetchOutcome};
+use icache_core::{CacheSystem, FetchOutcome, PlannedAccess, PrefetchPipeline};
 use icache_dnn::{AccuracyModel, EpochQuality, LossModel, LossModelConfig, ModelProfile};
 use icache_obs::{Obs, Observable, TraceEvent};
 use icache_sampling::{
@@ -80,6 +80,11 @@ pub struct JobConfig {
     pub criterion: ImportanceCriterion,
     /// Seed for all of this job's randomness.
     pub seed: u64,
+    /// Clairvoyant prefetch lookahead depth (DESIGN.md §11): how many
+    /// planned fetches the loader may run ahead of consumption. `0`
+    /// disables the pipeline entirely — the job fetches on demand,
+    /// byte-identical to the pre-prefetch simulator.
+    pub prefetch_depth: usize,
     /// Data-parallel shard `(index, world_size)`: the job trains every
     /// `world_size`-th planned sample starting at `index` (PyTorch's
     /// `DistributedSampler`), and pays a gradient-synchronisation factor.
@@ -104,6 +109,7 @@ impl JobConfig {
             epochs: 5,
             criterion: ImportanceCriterion::Loss,
             seed: 42,
+            prefetch_depth: 0,
             shard: None,
         }
     }
@@ -191,6 +197,8 @@ pub struct TrainingJob {
     plan: Option<EpochPlan>,
     num_batches: usize,
     workers: Vec<WorkerState>,
+    /// Clairvoyant prefetcher for the current epoch (depth > 0 only).
+    prefetch: Option<PrefetchPipeline>,
     assign_next: usize,
     train_next: usize,
     batch_ready: Vec<Option<SimTime>>,
@@ -244,6 +252,7 @@ impl TrainingJob {
                 };
                 config.workers
             ],
+            prefetch: None,
             assign_next: 0,
             train_next: 0,
             batch_ready: Vec::new(),
@@ -380,6 +389,30 @@ impl TrainingJob {
         self.batch_lens = (0..self.num_batches)
             .map(|b| ((plan.len() - b * bs).min(bs)) as u32)
             .collect();
+        // Arm the clairvoyant prefetcher over the (post-shard) plan: the
+        // access order is now fully known, which is the whole premise.
+        self.prefetch = if self.config.prefetch_depth > 0 {
+            let planned: Vec<PlannedAccess> = plan
+                .fetch_order()
+                .iter()
+                .map(|&id| PlannedAccess {
+                    job: self.config.job,
+                    id,
+                    size: self.config.dataset.sample_size(id),
+                })
+                .collect();
+            Some(
+                PrefetchPipeline::new(
+                    self.config.prefetch_depth,
+                    planned,
+                    self.epoch_start,
+                    self.obs.clone(),
+                )
+                .expect("depth checked nonzero by the surrounding branch"),
+            )
+        } else {
+            None
+        };
         self.plan = Some(plan);
         self.assign_next = 0;
         self.train_next = 0;
@@ -459,6 +492,12 @@ impl TrainingJob {
 
     fn finish_epoch(&mut self, cache: &mut dyn CacheSystem, storage: &dyn StorageBackend) {
         let epoch = Epoch(self.epoch);
+        if let Some(pipe) = self.prefetch.take() {
+            // Counters and trace events were emitted as they happened;
+            // finishing just settles leftover in-flight issues as
+            // cancelled.
+            let _ = pipe.finish();
+        }
         cache.on_epoch_end(self.config.job, epoch);
         if self.emits_epoch_markers() {
             self.obs.emit(TraceEvent::EpochEnd {
@@ -568,7 +607,13 @@ impl TrainingJob {
         let cur = self.workers[w].cur;
         let preprocess = self.config.model.preprocess_time_per_sample();
 
-        let fetch = cache.fetch(self.config.job, id, size, cur, storage);
+        // With the prefetcher armed, delivery time is max(request,
+        // prefetch completion): the fetch cost the consumer sees is only
+        // its residual stall. Depth 0 keeps the original demand path.
+        let fetch = match self.prefetch.as_mut() {
+            Some(pipe) => pipe.fetch(i, cur, cache, storage),
+            None => cache.fetch(self.config.job, id, size, cur, storage),
+        };
         let latency = fetch.ready_at.saturating_since(cur);
         self.accum.fetch_latency.record(latency);
         self.accum.fetch += latency;

@@ -10,7 +10,9 @@
 //!   sequential scan, and epoch-shuffle (the DNN pattern);
 //! * hand-built [`Trace`]s in tests.
 
-use icache_core::{CacheStats, CacheSystem, ConcurrentCache};
+use icache_core::{
+    CacheStats, CacheSystem, ConcurrentCache, PlannedAccess, PrefetchPipeline, PrefetchReport,
+};
 use icache_storage::StorageBackend;
 use icache_types::{
     Dataset, Error, JobId, LatencyHistogram, Result, SampleId, SeedSequence, SimDuration, SimTime,
@@ -305,6 +307,85 @@ where
     })
 }
 
+/// The outcome of a pipelined (compute/IO-overlapped) replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetchReplayReport {
+    /// The usual replay accounting. With prefetching the latency
+    /// histogram records per-access *stall* (delivery minus request),
+    /// not raw storage time, and `elapsed` includes per-sample compute.
+    pub report: ReplayReport,
+    /// Total time the consumer stalled waiting on data.
+    pub stall: SimDuration,
+    /// Prefetcher counters; all zero at depth 0 (no prefetcher runs).
+    pub prefetch: PrefetchReport,
+}
+
+/// Replay `trace` with a simulated compute/IO overlap clock: the
+/// consumer spends `compute` per sample, and a clairvoyant prefetcher
+/// of lookahead `depth` issues the known access order ahead of it
+/// (DESIGN.md §11), so per-access cost is `max(compute, stall)` instead
+/// of `compute + fetch`.
+///
+/// `depth == 0` disables the prefetcher: every access is a demand fetch
+/// whose full storage latency is a stall. The access *order* seen by
+/// the cache is identical at every depth (plan order), so time-agnostic
+/// policies count identically across depths; policies with time-paced
+/// machinery (e.g. iCache's background package loader) may shift
+/// because issue timestamps feed their pacing.
+pub fn replay_prefetch(
+    trace: &Trace,
+    dataset: &Dataset,
+    cache: &mut dyn CacheSystem,
+    storage: &mut dyn StorageBackend,
+    depth: usize,
+    compute: SimDuration,
+    obs: icache_obs::Obs,
+) -> Result<PrefetchReplayReport> {
+    let mut now = SimTime::ZERO;
+    let mut latency = LatencyHistogram::new();
+    let mut stall = SimDuration::ZERO;
+    let start_stats = cache.stats();
+    let prefetch = if depth == 0 {
+        for r in &trace.records {
+            let size = dataset.sample_size(r.sample);
+            let f = cache.fetch(r.job, r.sample, size, now, storage);
+            let wait = f.ready_at.saturating_since(now);
+            latency.record(wait);
+            stall += wait;
+            now = f.ready_at + compute;
+        }
+        PrefetchReport::default()
+    } else {
+        let plan: Vec<PlannedAccess> = trace
+            .records
+            .iter()
+            .map(|r| PlannedAccess {
+                job: r.job,
+                id: r.sample,
+                size: dataset.sample_size(r.sample),
+            })
+            .collect();
+        let mut pipe = PrefetchPipeline::new(depth, plan, SimTime::ZERO, obs)?;
+        for pos in 0..trace.records.len() {
+            let f = pipe.fetch(pos, now, cache, storage);
+            let wait = f.ready_at.saturating_since(now);
+            latency.record(wait);
+            stall += wait;
+            now = f.ready_at + compute;
+        }
+        pipe.finish()
+    };
+    Ok(PrefetchReplayReport {
+        report: ReplayReport {
+            stats: cache.stats().delta_since(&start_stats),
+            latency,
+            elapsed: now.saturating_since(SimTime::ZERO),
+        },
+        stall,
+        prefetch,
+    })
+}
+
 /// Convenience: a one-line summary string for reports.
 pub fn summarize(report: &ReplayReport) -> String {
     format!(
@@ -447,6 +528,92 @@ mod tests {
         );
         assert!(
             replay_concurrent(&t, &ds, &shared, 0, 5, || Ok(Box::new(LocalTier::tmpfs()))).is_err()
+        );
+    }
+
+    #[test]
+    fn prefetch_depth_zero_matches_demand_access_stream() {
+        let ds = dataset(2_000);
+        let cap = ds.total_bytes().scaled(0.1);
+        let t = AccessPattern::Zipf { s: 1.1 }
+            .generate(2_000, 6_000, JobId(0), 3)
+            .unwrap();
+
+        let mut lru = LruCache::new(cap);
+        let mut st =
+            icache_storage::Pfs::new(icache_storage::PfsConfig::orangefs_default()).unwrap();
+        let seq = replay(&t, &ds, &mut lru, &mut st);
+
+        let mut lru = LruCache::new(cap);
+        let mut st =
+            icache_storage::Pfs::new(icache_storage::PfsConfig::orangefs_default()).unwrap();
+        let p0 = replay_prefetch(
+            &t,
+            &ds,
+            &mut lru,
+            &mut st,
+            0,
+            SimDuration::ZERO,
+            icache_obs::Obs::noop(),
+        )
+        .unwrap();
+        assert_eq!(seq.stats, p0.report.stats, "same access stream");
+        assert_eq!(seq.elapsed, p0.report.elapsed, "zero compute, depth 0");
+        assert_eq!(
+            p0.stall, p0.report.elapsed,
+            "with zero compute at depth 0 the whole replay is stall"
+        );
+        assert_eq!(p0.prefetch, icache_core::PrefetchReport::default());
+    }
+
+    #[test]
+    fn prefetch_stall_non_increasing_in_depth() {
+        let ds = dataset(2_000);
+        let cap = ds.total_bytes().scaled(0.1);
+        let t = AccessPattern::Zipf { s: 1.1 }
+            .generate(2_000, 6_000, JobId(0), 3)
+            .unwrap();
+        let compute = SimDuration::from_micros(150);
+        let mut stalls = Vec::new();
+        let mut stats = Vec::new();
+        for depth in [0usize, 1, 4, 16] {
+            let mut lru = LruCache::new(cap);
+            let mut st =
+                icache_storage::Pfs::new(icache_storage::PfsConfig::orangefs_default()).unwrap();
+            let rep = replay_prefetch(
+                &t,
+                &ds,
+                &mut lru,
+                &mut st,
+                depth,
+                compute,
+                icache_obs::Obs::noop(),
+            )
+            .unwrap();
+            if depth > 0 {
+                assert_eq!(
+                    rep.prefetch.hits + rep.prefetch.late,
+                    t.len() as u64,
+                    "conservation: every consumed access is a hit or late"
+                );
+                assert_eq!(rep.prefetch.issued, t.len() as u64);
+                assert_eq!(rep.prefetch.cancelled, 0);
+            }
+            stalls.push(rep.stall);
+            stats.push(rep.report.stats);
+        }
+        for s in &stats[1..] {
+            assert_eq!(&stats[0], s, "cache behavior identical across depths");
+        }
+        for pair in stalls.windows(2) {
+            assert!(
+                pair[1] <= pair[0],
+                "stall must not increase with depth: {stalls:?}"
+            );
+        }
+        assert!(
+            *stalls.last().unwrap() < stalls[0],
+            "deep lookahead hides some storage latency: {stalls:?}"
         );
     }
 

@@ -152,6 +152,7 @@ pub struct Scenario {
     h_list_fraction: f64,
     criterion: ImportanceCriterion,
     seed: u64,
+    prefetch_depth: usize,
 }
 
 impl Scenario {
@@ -174,6 +175,7 @@ impl Scenario {
             h_list_fraction: 0.5,
             criterion: ImportanceCriterion::Loss,
             seed: 0x5EED,
+            prefetch_depth: 0,
         }
     }
 
@@ -275,6 +277,14 @@ impl Scenario {
         self
     }
 
+    /// Set the clairvoyant prefetch lookahead depth (DESIGN.md §11).
+    /// Depth 0 — the default — disables the prefetch pipeline and is
+    /// byte-identical to the pre-prefetch simulator.
+    pub fn prefetch_depth(mut self, depth: usize) -> Scenario {
+        self.prefetch_depth = depth;
+        self
+    }
+
     /// The dataset this scenario trains on.
     pub fn dataset_ref(&self) -> &Dataset {
         &self.dataset
@@ -339,6 +349,7 @@ impl Scenario {
         cfg.h_list_fraction = self.h_list_fraction;
         cfg.criterion = self.criterion;
         cfg.seed = self.seed ^ (job.0 as u64).wrapping_mul(0x9E37_79B9);
+        cfg.prefetch_depth = self.prefetch_depth;
         cfg
     }
 
@@ -603,6 +614,34 @@ mod tests {
         assert_eq!(SystemKind::Icache.label(), "iCache");
         assert_eq!(SystemKind::Default.label(), "Default");
         assert_eq!(SystemKind::figure8_lineup().len(), 7);
+    }
+
+    #[test]
+    fn prefetch_depth_zero_matches_unpiped_run() {
+        let base = quick(SystemKind::Icache).run().unwrap();
+        let piped = quick(SystemKind::Icache).prefetch_depth(0).run().unwrap();
+        assert_eq!(base, piped, "depth 0 must not perturb the simulation");
+    }
+
+    #[test]
+    fn prefetch_reduces_stall_time() {
+        // One loader worker so consumption follows plan order: the
+        // lookahead window then slides cleanly (a multi-worker consumer
+        // visits batch-strided positions and needs depth ≳ workers ×
+        // batch_size before the window covers its working set).
+        let demand = quick(SystemKind::Default).workers(1).run().unwrap();
+        let piped = quick(SystemKind::Default)
+            .workers(1)
+            .prefetch_depth(8)
+            .run()
+            .unwrap();
+        let stall = |m: &RunMetrics| m.epochs.iter().map(|e| e.stall_time).sum::<SimDuration>();
+        assert!(
+            stall(&piped) < stall(&demand),
+            "lookahead 8 should hide stall: demand {} piped {}",
+            stall(&demand),
+            stall(&piped)
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ for b in fig01_io_fraction fig02_cis_limits fig03_importance_drift \
          fig08_epoch_time fig09_io_time fig10_ablation_time \
          fig11_ablation_hitratio table3_substitution fig12_multi_gpu \
          fig13_distributed fig14_multi_job fig15_workers fig16_cache_size \
+         fig17_churn fig18_prefetch \
          ablation_package_size ablation_benefit_threshold ablation_pm_tier \
          ablation_criterion; do
   echo "== $b"

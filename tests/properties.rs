@@ -2,13 +2,15 @@
 //! hold for arbitrary workloads driven through the public facade.
 
 use icache::baselines::LruCache;
-use icache::core::{CacheSystem, IcacheConfig, IcacheManager};
+use icache::core::{CacheSystem, IcacheConfig, IcacheManager, PlannedAccess, PrefetchPipeline};
 use icache::dnn::ModelProfile;
 use icache::obs::{Json, Obs};
 use icache::sampling::{HList, ImportanceTable};
 use icache::sim::{run_single_job_with_obs, JobConfig};
 use icache::storage::LocalTier;
-use icache::types::{ByteSize, DatasetBuilder, Epoch, JobId, SampleId, SimTime, SizeModel};
+use icache::types::{
+    ByteSize, DatasetBuilder, Epoch, JobId, SampleId, SimDuration, SimTime, SizeModel,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -145,6 +147,87 @@ proptest! {
                 cache.h_capacity(), cache.l_capacity(), capacity
             );
             prop_assert!(cache.used_bytes() <= cache.capacity());
+        }
+    }
+
+    /// The prefetch pipeline's issue stream is a duplicate-free
+    /// plan-order subsequence of the epoch access order whose in-flight
+    /// count never exceeds the window depth, and every consumed sample
+    /// is either served from a prefetched slot (`hits`) or counted
+    /// `late` — conservation holds for arbitrary consumption orders.
+    #[test]
+    fn prefetch_issue_stream_is_window_bounded_and_conserving(
+        seed in 0u64..1_000,
+        depth in 1usize..16,
+        ids in proptest::collection::vec(0u64..300, 20..200),
+        compute_us in 0u64..200,
+    ) {
+        let ds = DatasetBuilder::new("prop5", 300)
+            .size_model(SizeModel::Fixed(ByteSize::kib(3)))
+            .build()
+            .expect("dataset");
+        let plan: Vec<PlannedAccess> = ids
+            .iter()
+            .map(|&raw| {
+                let id = SampleId(raw);
+                PlannedAccess { job: JobId(0), id, size: ds.sample_size(id) }
+            })
+            .collect();
+        let n = plan.len();
+        let samples: Vec<SampleId> = plan.iter().map(|a| a.id).collect();
+        let mut cache = LruCache::new(ds.total_bytes().scaled(0.2));
+        let mut st = LocalTier::tmpfs();
+        let mut pipe = PrefetchPipeline::new(depth, plan, SimTime::ZERO, Obs::noop())
+            .expect("nonzero depth");
+
+        // Deterministic Fisher-Yates driven by `seed`: an arbitrary
+        // consumption order over the plan positions.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let compute = SimDuration::from_micros(compute_us);
+        let mut now = SimTime::ZERO;
+        for &pos in &order {
+            let f = pipe.fetch(pos, now, &mut cache, &mut st);
+            prop_assert!(f.ready_at >= now, "delivery went backwards in time");
+            now = f.ready_at + compute;
+        }
+        let rep = pipe.finish();
+
+        // Conservation: every consumed sample was a prefetch hit or late.
+        prop_assert_eq!(rep.hits + rep.late, n as u64);
+        prop_assert_eq!(rep.issue_log.len() as u64, rep.issued);
+        prop_assert!(rep.hits <= rep.issued, "more hits than issues");
+        // `cancelled` counts both sweep-skips of positions the consumer
+        // demand-fetched before the window reached them (never issued)
+        // and issued-but-unconsumed leftovers, so it is bounded by the
+        // plan length rather than by `issued`.
+        prop_assert!(rep.cancelled <= n as u64, "more cancels than plan positions");
+
+        // The issue stream visits plan positions strictly in order
+        // (duplicate-free by construction), names the planned sample,
+        // and never holds more than `depth` fetches in flight.
+        let mut last: Option<u64> = None;
+        for rec in &rep.issue_log {
+            prop_assert!(
+                rec.in_flight <= depth,
+                "window overflow: {} > {depth}", rec.in_flight
+            );
+            prop_assert!((rec.position as usize) < n, "issued past the plan");
+            prop_assert_eq!(rec.sample, samples[rec.position as usize]);
+            if let Some(prev) = last {
+                prop_assert!(
+                    rec.position > prev,
+                    "duplicate or out-of-order issue: {} after {prev}", rec.position
+                );
+            }
+            last = Some(rec.position);
         }
     }
 
