@@ -1,15 +1,25 @@
 //! The Default baseline: a user-level LRU cache.
 
 use crate::BaselineTimings;
-use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome};
+use icache_core::{CacheStats, CacheSystem, Fetch, FetchOutcome, IdSlab};
 use icache_storage::StorageBackend;
 use icache_types::{ByteSize, JobId, SampleId, SimTime};
-use std::collections::{BTreeMap, HashMap};
+
+/// One slab slot of the recency list: the entry's size plus its
+/// intrusive prev/next links (`prev` is toward the LRU end).
+#[derive(Debug, Clone, Copy)]
+struct LruNode {
+    size: ByteSize,
+    prev: Option<SampleId>,
+    next: Option<SampleId>,
+}
 
 /// A byte-capacity LRU map of samples, reusable by several baselines.
 ///
-/// Recency is tracked with a monotone counter and an ordered index, giving
-/// `O(log n)` touch/insert/evict with fully deterministic eviction order.
+/// Recency is an intrusive doubly-linked list threaded through a dense
+/// id-indexed slab ([`IdSlab`]): touch, insert, and evict are all `O(1)`
+/// pointer splices — no recency clock, no ordered index — and eviction
+/// order is fully deterministic (strict recency).
 ///
 /// # Examples
 ///
@@ -27,11 +37,11 @@ use std::collections::{BTreeMap, HashMap};
 pub struct LruCore {
     capacity: ByteSize,
     used: ByteSize,
-    // lint: allow(determinism): keyed lookup only; recency order lives
-    // in the `order` BTreeMap, never read off this map
-    items: HashMap<SampleId, (ByteSize, u64)>,
-    order: BTreeMap<u64, SampleId>,
-    clock: u64,
+    nodes: IdSlab<LruNode>,
+    /// Least-recently-used entry (the eviction end).
+    head: Option<SampleId>,
+    /// Most-recently-used entry.
+    tail: Option<SampleId>,
 }
 
 impl LruCore {
@@ -41,6 +51,34 @@ impl LruCore {
             capacity,
             ..Default::default()
         }
+    }
+
+    /// Splice `id` out of the recency list (it must be resident).
+    fn unlink(&mut self, id: SampleId) {
+        let node = *self.nodes.get(id).expect("unlink of non-resident id");
+        match node.prev {
+            Some(p) => self.nodes.get_mut(p).expect("linked prev exists").next = node.next,
+            None => self.head = node.next,
+        }
+        match node.next {
+            Some(n) => self.nodes.get_mut(n).expect("linked next exists").prev = node.prev,
+            None => self.tail = node.prev,
+        }
+    }
+
+    /// Append `id` at the most-recently-used end (links must be clear).
+    fn link_mru(&mut self, id: SampleId) {
+        let old_tail = self.tail;
+        {
+            let node = self.nodes.get_mut(id).expect("link of non-resident id");
+            node.prev = old_tail;
+            node.next = None;
+        }
+        match old_tail {
+            Some(t) => self.nodes.get_mut(t).expect("tail exists").next = Some(id),
+            None => self.head = Some(id),
+        }
+        self.tail = Some(id);
     }
 
     /// Configured capacity.
@@ -55,31 +93,29 @@ impl LruCore {
 
     /// Number of cached samples.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.nodes.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.nodes.is_empty()
     }
 
     /// Whether `id` is cached (does not touch recency).
     pub fn contains(&self, id: SampleId) -> bool {
-        self.items.contains_key(&id)
+        self.nodes.contains_key(id)
     }
 
     /// Mark `id` as most recently used. Returns true when it was cached.
     pub fn touch(&mut self, id: SampleId) -> bool {
-        let clock = self.next_clock();
-        match self.items.get_mut(&id) {
-            Some((_, stamp)) => {
-                self.order.remove(stamp);
-                *stamp = clock;
-                self.order.insert(clock, id);
-                true
-            }
-            None => false,
+        if !self.nodes.contains_key(id) {
+            return false;
         }
+        if self.tail != Some(id) {
+            self.unlink(id);
+            self.link_mru(id);
+        }
+        true
     }
 
     /// Insert `id` (touching it if already present), evicting
@@ -94,27 +130,30 @@ impl LruCore {
         }
         let mut evicted = Vec::new();
         while self.used + size > self.capacity {
-            let (&stamp, &victim) = self.order.iter().next().expect("used > 0 implies entries");
-            self.order.remove(&stamp);
-            let (vsize, _) = self.items.remove(&victim).expect("order and items agree");
-            self.used -= vsize;
+            let victim = self.head.expect("used > 0 implies entries");
+            self.unlink(victim);
+            let node = self.nodes.remove(victim).expect("head is resident");
+            self.used -= node.size;
             evicted.push(victim);
         }
-        let clock = self.next_clock();
-        self.items.insert(id, (size, clock));
-        self.order.insert(clock, id);
+        self.nodes.insert(
+            id,
+            LruNode {
+                size,
+                prev: None,
+                next: None,
+            },
+        );
+        self.link_mru(id);
         self.used += size;
         evicted
     }
 
     /// Iterate over cached ids from least to most recently used.
     pub fn iter_lru(&self) -> impl Iterator<Item = SampleId> + '_ {
-        self.order.values().copied()
-    }
-
-    fn next_clock(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+        std::iter::successors(self.head, move |&id| {
+            self.nodes.get(id).and_then(|n| n.next)
+        })
     }
 }
 
@@ -127,8 +166,7 @@ pub struct LruCache {
     lru: LruCore,
     timings: BaselineTimings,
     stats: CacheStats,
-    // lint: allow(determinism): keyed size lookup only, never iterated
-    sizes: HashMap<SampleId, ByteSize>,
+    sizes: IdSlab<ByteSize>,
 }
 
 impl LruCache {
@@ -143,7 +181,7 @@ impl LruCache {
             lru: LruCore::new(capacity),
             timings,
             stats: CacheStats::default(),
-            sizes: HashMap::new(), // lint: allow(determinism): see field note
+            sizes: IdSlab::new(),
         }
     }
 }
@@ -177,7 +215,7 @@ impl CacheSystem for LruCache {
         self.stats.insertions += 1;
         self.stats.evictions += evicted.len() as u64;
         for v in evicted {
-            self.sizes.remove(&v);
+            self.sizes.remove(v);
         }
         self.sizes.insert(id, size);
         Fetch {

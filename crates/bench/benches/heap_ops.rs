@@ -2,7 +2,7 @@
 //! (the DESIGN.md §5 "shadow vs naive rebuild" ablation).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use icache_core::{HHeap, ShadowedHeap};
+use icache_core::{HHeap, IdSlab, ShadowedHeap};
 use icache_types::{ImportanceValue, SampleId};
 use std::collections::BTreeMap;
 
@@ -26,7 +26,7 @@ fn filled_shadow(n: u64) -> ShadowedHeap {
     h
 }
 
-fn fresh_keys(n: u64) -> BTreeMap<SampleId, ImportanceValue> {
+fn fresh_keys(n: u64) -> IdSlab<ImportanceValue> {
     (0..n)
         .map(|i| (SampleId(i), iv(((i * 40_503) % 999_983) as f64)))
         .collect()
@@ -65,7 +65,7 @@ fn bench_refresh(c: &mut Criterion) {
                 || filled_shadow(n),
                 // Streamed from a borrow: measures the refresh itself,
                 // not a defensive clone of the fresh set.
-                |mut heap| heap.begin_refresh(fresh.iter().map(|(&id, &v)| (id, v))),
+                |mut heap| heap.begin_refresh(fresh.iter().map(|(id, &v)| (id, v))),
                 criterion::BatchSize::LargeInput,
             );
         });
@@ -80,5 +80,61 @@ fn bench_refresh(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_basic_ops, bench_refresh);
+/// The dense-vs-BTree ablation behind the slab migration: the same
+/// point-op and sweep workloads on an [`IdSlab`] and on the `BTreeMap`
+/// it replaced, over the dense contiguous id space the cache actually
+/// uses.
+fn bench_dense_vs_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_vs_btree");
+    for &n in &[10_000u64, 100_000] {
+        let slab: IdSlab<u64> = (0..n).map(|i| (SampleId(i), i * 3)).collect();
+        let tree: BTreeMap<SampleId, u64> = (0..n).map(|i| (SampleId(i), i * 3)).collect();
+        group.bench_with_input(BenchmarkId::new("slab_get", n), &n, |b, &n| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(slab.get(SampleId(k)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btree_get", n), &n, |b, &n| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(tree.get(&SampleId(k)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("slab_insert_remove", n), &n, |b, &n| {
+            let mut s = slab.clone();
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7) % n;
+                s.remove(SampleId(k));
+                s.insert(SampleId(k), k);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btree_insert_remove", n), &n, |b, &n| {
+            let mut t = tree.clone();
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7) % n;
+                t.remove(&SampleId(k));
+                t.insert(SampleId(k), k);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("slab_iter_sum", n), &n, |b, _| {
+            b.iter(|| black_box(slab.iter().map(|(_, &v)| v).sum::<u64>()));
+        });
+        group.bench_with_input(BenchmarkId::new("btree_iter_sum", n), &n, |b, _| {
+            b.iter(|| black_box(tree.values().sum::<u64>()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_basic_ops,
+    bench_refresh,
+    bench_dense_vs_btree
+);
 criterion_main!(benches);

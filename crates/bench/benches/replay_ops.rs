@@ -134,10 +134,35 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dense_hot_path(c: &mut Criterion) {
+    // The dense-vs-BTree ablation on the replay's own id stream: the
+    // per-request residency probe (one `get` per trace access) against
+    // an `IdSlab` and against the `BTreeMap` it replaced, both holding
+    // the same warm resident set.
+    let (dataset, trace) = workload_inputs();
+    let resident = dataset.len() / 10;
+    let slab: icache_core::IdSlab<ByteSize> = (0..resident)
+        .map(|i| (SampleId(i), ByteSize::kib(3)))
+        .collect();
+    let tree: std::collections::BTreeMap<SampleId, ByteSize> = (0..resident)
+        .map(|i| (SampleId(i), ByteSize::kib(3)))
+        .collect();
+    let ids: Vec<SampleId> = trace.records().iter().map(|r| r.sample).collect();
+    let mut group = c.benchmark_group("dense_hot_path");
+    group.bench_function("slab_residency_probe_20k", |b| {
+        b.iter(|| ids.iter().filter(|&&id| slab.contains_key(id)).count());
+    });
+    group.bench_function("btree_residency_probe_20k", |b| {
+        b.iter(|| ids.iter().filter(|&id| tree.contains_key(id)).count());
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_replay_step,
     bench_epoch_boundary,
-    bench_contention
+    bench_contention,
+    bench_dense_hot_path
 );
 criterion_main!(benches);

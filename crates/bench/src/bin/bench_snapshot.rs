@@ -27,7 +27,9 @@
 //! default auto).
 
 use icache_bench::{sweep, workload};
-use icache_core::{LCache, LCacheConfig, Package, PackageId, Packager, SampleData, ShadowedHeap};
+use icache_core::{
+    IdSlab, LCache, LCacheConfig, Package, PackageId, Packager, SampleData, ShadowedHeap,
+};
 use icache_obs::json;
 use icache_sampling::{IisSelector, ImportanceTable, Selector};
 use icache_sim::replay::{replay, replay_concurrent, AccessPattern};
@@ -116,6 +118,10 @@ fn run() -> Result<(), String> {
     let sequential = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, 1);
     let parallel = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, workers);
 
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
     eprintln!("bench_snapshot: loader-thread contention scaling (lock-striped icache)");
     let mut contention_curve: Vec<(String, icache_obs::Json)> = Vec::new();
     let mut loader_secs: BTreeMap<usize, f64> = BTreeMap::new();
@@ -135,6 +141,7 @@ fn run() -> Result<(), String> {
             json!({
                 "secs": secs,
                 "contended": cache.contended(),
+                "available_parallelism": cores as u64,
             }),
         ));
     }
@@ -158,7 +165,7 @@ fn run() -> Result<(), String> {
     lc.integrate(SimTime::ZERO);
     let lcache_rebuild = mean_ns(20, || lc.on_epoch_start());
 
-    let fresh: BTreeMap<SampleId, ImportanceValue> = (0..n)
+    let fresh: IdSlab<ImportanceValue> = (0..n)
         .map(|i| {
             (
                 SampleId(i),
@@ -179,7 +186,7 @@ fn run() -> Result<(), String> {
     let base = filled();
     let shadow_begin = mean_ns(10, || {
         let mut h = base.clone();
-        h.begin_refresh(fresh.iter().map(|(&id, &v)| (id, v)));
+        h.begin_refresh(fresh.iter().map(|(id, &v)| (id, v)));
     });
     let naive_rebuild = mean_ns(10, || {
         let mut h = base.clone();
@@ -202,9 +209,27 @@ fn run() -> Result<(), String> {
         let _ = packager.build(&[SampleId(1)], &pool, |_| ByteSize::kib(3));
     });
 
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    // The dense-vs-BTree ablation behind the slab migration: one full
+    // sweep of n strided point lookups (and one full ascending
+    // iteration) per timed call, on identical contents.
+    let slab: IdSlab<u64> = (0..n).map(|i| (SampleId(i), i * 3)).collect();
+    let tree: BTreeMap<SampleId, u64> = (0..n).map(|i| (SampleId(i), i * 3)).collect();
+    let slab_get = mean_ns(10, || {
+        for k in 0..n {
+            std::hint::black_box(slab.get(SampleId((k * 7) % n)));
+        }
+    });
+    let btree_get = mean_ns(10, || {
+        for k in 0..n {
+            std::hint::black_box(tree.get(&SampleId((k * 7) % n)));
+        }
+    });
+    let slab_iter = mean_ns(10, || {
+        std::hint::black_box(slab.iter().map(|(_, &v)| v).sum::<u64>());
+    });
+    let btree_iter = mean_ns(10, || {
+        std::hint::black_box(tree.values().sum::<u64>());
+    });
     if cores == 1 {
         eprintln!("bench_snapshot: ==============================================================");
         eprintln!("bench_snapshot: WARNING: available_parallelism == 1 on this machine.");
@@ -236,6 +261,10 @@ fn run() -> Result<(), String> {
             "naive_rebuild_100k": naive_rebuild,
             "iis_plan_epoch_100k": iis_plan,
             "package_build_1mib": package_build,
+            "dense_slab_get_sweep_100k": slab_get,
+            "btree_get_sweep_100k": btree_get,
+            "dense_slab_iter_100k": slab_iter,
+            "btree_iter_100k": btree_iter,
         },
     });
     std::fs::write(&out_path, format!("{summary}\n"))

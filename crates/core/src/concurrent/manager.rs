@@ -1,6 +1,7 @@
 //! The lock-striped concurrent cache manager.
 
 use super::{lock_counted, stripe_count, AtomicCacheStats, FreshPool, ShardedHeap, StripedMap};
+use crate::dense::{IdSet, IdSlab};
 use crate::{CacheStats, CacheSystem, Fetch, FetchOutcome, IcacheConfig, Packager, Substitution};
 use icache_obs::Obs;
 use icache_sampling::HList;
@@ -9,7 +10,7 @@ use icache_types::{
     ByteSize, Dataset, Epoch, Error, ImportanceValue, JobId, Result, SampleId, SimDuration, SimTime,
 };
 use rand::rngs::StdRng;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
@@ -189,11 +190,12 @@ pub struct ConcurrentManager {
     /// Epoch gate: fetches read, epoch-boundary operations write.
     gate: RwLock<()>,
     /// Which ids are currently H-samples (read-mostly; written only
-    /// under the gate's write lock).
-    h_members: RwLock<BTreeSet<SampleId>>,
+    /// under the gate's write lock). A dense bitmap over the dataset
+    /// universe: the membership test on every fetch is one word load.
+    h_members: RwLock<IdSet>,
     have_hlist: AtomicBool,
     /// Admission importance per id (written under the write gate).
-    effective_iv: RwLock<BTreeMap<SampleId, ImportanceValue>>,
+    effective_iv: RwLock<IdSlab<ImportanceValue>>,
     // H region.
     h_items: StripedMap<ByteSize>,
     h_heap: ShardedHeap,
@@ -268,9 +270,9 @@ impl ConcurrentManager {
         Ok(ConcurrentManager {
             stripes: n,
             gate: RwLock::new(()),
-            h_members: RwLock::new(BTreeSet::new()),
+            h_members: RwLock::new(IdSet::new(dataset.len())),
             have_hlist: AtomicBool::new(false),
-            effective_iv: RwLock::new(BTreeMap::new()),
+            effective_iv: RwLock::new(IdSlab::new()),
             h_items: StripedMap::new(n),
             h_heap: ShardedHeap::new(n),
             h_used: AtomicU64::new(0),
@@ -373,7 +375,7 @@ impl ConcurrentManager {
             .effective_iv
             .read()
             .expect("effective_iv lock poisoned: a writer panicked")
-            .get(&id)
+            .get(id)
             .copied()
             .unwrap_or(ImportanceValue::ZERO);
         if !self.admit_h(id, size, iv) {
@@ -618,7 +620,7 @@ impl ConcurrentCache for ConcurrentManager {
                 .h_members
                 .read()
                 .expect("h_members lock poisoned: a writer panicked")
-                .contains(&id);
+                .contains(id);
         let fetch = if is_h {
             self.fetch_h(id, size, now, storage)
         } else {
@@ -635,9 +637,9 @@ impl ConcurrentCache for ConcurrentManager {
             .gate
             .write()
             .expect("epoch gate poisoned: a barrier holder panicked");
-        let fresh: BTreeMap<SampleId, ImportanceValue> =
-            hlist.entries().iter().map(|e| (e.id, e.iv)).collect();
-        let members: BTreeSet<SampleId> = fresh.keys().copied().collect();
+        let fresh: IdSlab<ImportanceValue> = hlist.entries().iter().map(|e| (e.id, e.iv)).collect();
+        let mut members = IdSet::new(self.dataset.len());
+        members.extend(fresh.keys());
         // Re-key every resident H-sample to its fresh importance
         // (absent → zero: no longer an H-sample, prime eviction
         // candidate). The write barrier replaces the sequential shadow-
@@ -646,7 +648,7 @@ impl ConcurrentCache for ConcurrentManager {
         self.h_heap.for_each_shard(|shard| {
             let resident: Vec<SampleId> = shard.iter().map(|(id, _)| id).collect();
             for id in resident {
-                let iv = fresh.get(&id).copied().unwrap_or(ImportanceValue::ZERO);
+                let iv = fresh.get(id).copied().unwrap_or(ImportanceValue::ZERO);
                 shard.update_key(id, iv);
             }
         });
@@ -655,7 +657,7 @@ impl ConcurrentCache for ConcurrentManager {
             st.l_pool = self
                 .dataset
                 .ids()
-                .filter(|id| !members.contains(id))
+                .filter(|&id| !members.contains(id))
                 .collect();
         }
         *self

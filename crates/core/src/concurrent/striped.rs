@@ -1,9 +1,9 @@
 //! Lock-striped resident map and substitution fresh-pool.
 
 use super::{lock_counted, stripe_count};
+use crate::dense::IdSlab;
 use icache_types::SampleId;
 use rand::Rng;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -11,13 +11,17 @@ use std::sync::Mutex;
 ///
 /// Stripe selection is `id & (N-1)`; sample ids are contiguous
 /// integers, so consecutive ids fall on distinct stripes and a hot
-/// id range spreads across all locks. Per-stripe storage is a
-/// `BTreeMap`, keeping in-stripe iteration (epoch-barrier bulk
-/// operations) deterministic.
+/// id range spreads across all locks. Per-stripe storage is an
+/// [`IdSlab`] keyed by the *local* id `id >> log2(N)` — the ids
+/// landing on one stripe are exactly `{stripe + k·N}`, so shifting
+/// away the stripe bits keeps each slab dense. Ascending local keys
+/// are ascending global ids within a stripe, keeping in-stripe
+/// iteration (epoch-barrier bulk operations) deterministic.
 #[derive(Debug)]
 pub struct StripedMap<V> {
-    stripes: Box<[Mutex<BTreeMap<SampleId, V>>]>,
+    stripes: Box<[Mutex<IdSlab<V>>]>,
     mask: u64,
+    shift: u32,
     len: AtomicUsize,
     contention: AtomicU64,
 }
@@ -28,8 +32,9 @@ impl<V> StripedMap<V> {
     pub fn new(stripes: usize) -> Self {
         let n = stripe_count(stripes);
         StripedMap {
-            stripes: (0..n).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            stripes: (0..n).map(|_| Mutex::new(IdSlab::new())).collect(),
             mask: (n - 1) as u64,
+            shift: (n as u64).trailing_zeros(),
             len: AtomicUsize::new(0),
             contention: AtomicU64::new(0),
         }
@@ -41,13 +46,26 @@ impl<V> StripedMap<V> {
     }
 
     #[inline]
-    fn stripe_of(&self, id: SampleId) -> &Mutex<BTreeMap<SampleId, V>> {
+    fn stripe_of(&self, id: SampleId) -> &Mutex<IdSlab<V>> {
         &self.stripes[(id.0 & self.mask) as usize]
+    }
+
+    /// The stripe-local key: the id with its stripe bits shifted away.
+    #[inline]
+    fn local_key(&self, id: SampleId) -> SampleId {
+        SampleId(id.0 >> self.shift)
+    }
+
+    /// Reconstruct the global id from a stripe index and its local key.
+    #[inline]
+    fn global_id(&self, stripe: usize, local: SampleId) -> SampleId {
+        SampleId((local.0 << self.shift) | stripe as u64)
     }
 
     /// Insert `id → value`. Returns the previous value if present.
     pub fn insert(&self, id: SampleId, value: V) -> Option<V> {
-        let prev = lock_counted(self.stripe_of(id), &self.contention).insert(id, value);
+        let local = self.local_key(id);
+        let prev = lock_counted(self.stripe_of(id), &self.contention).insert(local, value);
         if prev.is_none() {
             self.len.fetch_add(1, Ordering::Relaxed);
         }
@@ -56,7 +74,8 @@ impl<V> StripedMap<V> {
 
     /// Remove `id`. Returns its value if it was present.
     pub fn remove(&self, id: SampleId) -> Option<V> {
-        let prev = lock_counted(self.stripe_of(id), &self.contention).remove(&id);
+        let local = self.local_key(id);
+        let prev = lock_counted(self.stripe_of(id), &self.contention).remove(local);
         if prev.is_some() {
             self.len.fetch_sub(1, Ordering::Relaxed);
         }
@@ -65,7 +84,7 @@ impl<V> StripedMap<V> {
 
     /// Whether `id` is present.
     pub fn contains(&self, id: SampleId) -> bool {
-        lock_counted(self.stripe_of(id), &self.contention).contains_key(&id)
+        lock_counted(self.stripe_of(id), &self.contention).contains_key(self.local_key(id))
     }
 
     /// A copy of `id`'s value, if present.
@@ -74,7 +93,7 @@ impl<V> StripedMap<V> {
         V: Clone,
     {
         lock_counted(self.stripe_of(id), &self.contention)
-            .get(&id)
+            .get(self.local_key(id))
             .cloned()
     }
 
@@ -109,10 +128,10 @@ impl<V> StripedMap<V> {
     /// function of id) or inserted behind the walk are the caller's
     /// concern.
     pub fn for_each(&self, mut f: impl FnMut(SampleId, &V)) {
-        for s in self.stripes.iter() {
+        for (i, s) in self.stripes.iter().enumerate() {
             let guard = lock_counted(s, &self.contention);
-            for (&id, v) in guard.iter() {
-                f(id, v);
+            for (local, v) in guard.iter() {
+                f(self.global_id(i, local), v);
             }
         }
     }
@@ -126,14 +145,18 @@ impl<V> StripedMap<V> {
     }
 
     /// Internal consistency check (tests): the atomic length matches
-    /// the sum of stripe populations and every id hashes to its stripe.
+    /// the sum of stripe populations and every local key round-trips
+    /// through id reconstruction back onto its stripe.
     #[doc(hidden)]
     pub fn check_invariants(&self) -> bool {
         let mut total = 0;
         for (i, s) in self.stripes.iter().enumerate() {
             let guard = lock_counted(s, &self.contention);
             total += guard.len();
-            if guard.keys().any(|id| (id.0 & self.mask) as usize != i) {
+            if guard
+                .keys()
+                .any(|local| (self.global_id(i, local).0 & self.mask) as usize != i)
+            {
                 return false;
             }
         }
@@ -142,25 +165,42 @@ impl<V> StripedMap<V> {
 }
 
 /// Per-stripe state of the [`FreshPool`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct FreshStripe {
     /// Un-accessed resident ids with O(1) random removal.
     fresh: Vec<SampleId>,
-    /// id → index into `fresh` (the position-map invariant the loom
-    /// model tests pin: `fresh[pos[id]] == id` for every entry).
-    pos: BTreeMap<SampleId, usize>,
+    /// local id → index into `fresh` (the position-map invariant the
+    /// loom model tests pin: `fresh[pos[local(id)]] == id` for every
+    /// entry). Keyed by `id >> shift` so the slab stays dense.
+    pos: IdSlab<usize>,
+    /// The pool's stripe-count shift, for local-key computation.
+    shift: u32,
 }
 
 impl FreshStripe {
+    fn new(shift: u32) -> Self {
+        FreshStripe {
+            fresh: Vec::new(),
+            pos: IdSlab::new(),
+            shift,
+        }
+    }
+
+    #[inline]
+    fn local(&self, id: SampleId) -> SampleId {
+        SampleId(id.0 >> self.shift)
+    }
+
     fn swap_remove(&mut self, id: SampleId) -> bool {
-        match self.pos.remove(&id) {
+        match self.pos.remove(self.local(id)) {
             None => false,
             Some(at) => {
                 let last = self.fresh.len() - 1;
                 self.fresh.swap(at, last);
                 self.fresh.pop();
                 if at < self.fresh.len() {
-                    self.pos.insert(self.fresh[at], at);
+                    let moved = self.local(self.fresh[at]);
+                    self.pos.insert(moved, at);
                 }
                 true
             }
@@ -187,8 +227,11 @@ impl FreshPool {
     /// two, clamped to `[1, 1024]`).
     pub fn new(stripes: usize) -> Self {
         let n = stripe_count(stripes);
+        let shift = (n as u64).trailing_zeros();
         FreshPool {
-            stripes: (0..n).map(|_| Mutex::new(FreshStripe::default())).collect(),
+            stripes: (0..n)
+                .map(|_| Mutex::new(FreshStripe::new(shift)))
+                .collect(),
             mask: (n - 1) as u64,
             len: AtomicUsize::new(0),
             contention: AtomicU64::new(0),
@@ -203,11 +246,12 @@ impl FreshPool {
     /// Add `id` to the pool if absent. Returns true when added.
     pub fn push(&self, id: SampleId) -> bool {
         let mut s = lock_counted(self.stripe_of(id), &self.contention);
-        if s.pos.contains_key(&id) {
+        let local = s.local(id);
+        if s.pos.contains_key(local) {
             return false;
         }
         let slot = s.fresh.len();
-        s.pos.insert(id, slot);
+        s.pos.insert(local, slot);
         s.fresh.push(id);
         self.len.fetch_add(1, Ordering::Relaxed);
         true
@@ -285,7 +329,8 @@ impl FreshPool {
             if guard.pos.len() != guard.fresh.len() {
                 return false;
             }
-            for (&id, &at) in guard.pos.iter() {
+            for (local, &at) in guard.pos.iter() {
+                let id = SampleId((local.0 << guard.shift) | i as u64);
                 if guard.fresh.get(at) != Some(&id) || (id.0 & self.mask) as usize != i {
                     return false;
                 }

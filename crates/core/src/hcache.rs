@@ -1,8 +1,8 @@
 //! The H-cache: the high-importance region.
 
+use crate::dense::IdSlab;
 use crate::{SampleData, ShadowedHeap};
 use icache_types::{ByteSize, ImportanceValue, SampleId};
-use std::collections::BTreeMap;
 
 /// Result of offering a sample to the H-cache.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -41,7 +41,7 @@ pub struct AdmitResult {
 pub struct HCache {
     capacity: ByteSize,
     used: ByteSize,
-    items: BTreeMap<SampleId, SampleData>,
+    items: IdSlab<SampleData>,
     heap: ShadowedHeap,
 }
 
@@ -76,12 +76,12 @@ impl HCache {
 
     /// Whether `id` is cached.
     pub fn contains(&self, id: SampleId) -> bool {
-        self.items.contains_key(&id)
+        self.items.contains_key(id)
     }
 
     /// Read `id` from the region, if cached.
     pub fn get(&self, id: SampleId) -> Option<&SampleData> {
-        self.items.get(&id)
+        self.items.get(id)
     }
 
     /// The least importance currently protected by the region.
@@ -95,7 +95,7 @@ impl HCache {
     /// can never fit (larger than the whole region) it is rejected.
     pub fn admit(&mut self, data: SampleData, iv: ImportanceValue) -> AdmitResult {
         let id = data.id();
-        if self.items.contains_key(&id) {
+        if self.items.contains_key(id) {
             self.heap.update_key(id, iv);
             return AdmitResult {
                 admitted: true,
@@ -121,7 +121,7 @@ impl HCache {
             match self.heap.peek_evict_candidate() {
                 Some((vid, viv)) if viv < iv => {
                     self.heap.pop_evict();
-                    freed += self.items[&vid].size();
+                    freed += self.items.get(vid).expect("victim is cached").size();
                     popped.push((vid, viv));
                 }
                 _ => {
@@ -136,7 +136,7 @@ impl HCache {
         let evicted: Vec<SampleId> = popped
             .into_iter()
             .map(|(vid, _)| {
-                let item = self.items.remove(&vid).expect("victim is cached");
+                let item = self.items.remove(vid).expect("victim is cached");
                 self.used -= item.size();
                 vid
             })
@@ -151,7 +151,7 @@ impl HCache {
     /// Remove `id` outright (used when a sample is demoted or the region
     /// shrinks). Returns true if it was cached.
     pub fn evict(&mut self, id: SampleId) -> bool {
-        match self.items.remove(&id) {
+        match self.items.remove(id) {
             Some(item) => {
                 self.used -= item.size();
                 self.heap.remove(id);
@@ -168,7 +168,7 @@ impl HCache {
         let mut evicted = Vec::new();
         while self.used > self.capacity {
             let (vid, _) = self.heap.pop_evict().expect("used > 0 implies nodes exist");
-            let item = self.items.remove(&vid).expect("heap and map agree");
+            let item = self.items.remove(vid).expect("heap and map agree");
             self.used -= item.size();
             evicted.push(vid);
         }
@@ -178,13 +178,13 @@ impl HCache {
     /// Open a shadow-heap refresh window with new importance values.
     /// Cached samples absent from `fresh` are re-keyed to zero — they are
     /// no longer H-samples and become prime eviction candidates.
-    pub fn begin_refresh(&mut self, fresh: &BTreeMap<SampleId, ImportanceValue>) {
+    pub fn begin_refresh(&mut self, fresh: &IdSlab<ImportanceValue>) {
         // Streamed straight into the window — no intermediate map here.
         let items = &self.items;
         self.heap.begin_refresh(
             items
                 .keys()
-                .map(|&id| (id, fresh.get(&id).copied().unwrap_or(ImportanceValue::ZERO))),
+                .map(|id| (id, fresh.get(id).copied().unwrap_or(ImportanceValue::ZERO))),
         );
     }
 
@@ -200,7 +200,7 @@ impl HCache {
 
     /// Iterate over cached ids in ascending id order.
     pub fn ids(&self) -> impl Iterator<Item = SampleId> + '_ {
-        self.items.keys().copied()
+        self.items.keys()
     }
 
     /// A uniformly random resident sample (used by the `ST_HC`
@@ -305,7 +305,7 @@ mod tests {
         hc.admit(item(1, 100), iv(5.0));
         hc.admit(item(2, 100), iv(1.0));
         // New H-list only contains #2 (now very important).
-        let fresh: BTreeMap<_, _> = [(SampleId(2), iv(9.0))].into();
+        let fresh: IdSlab<_> = [(SampleId(2), iv(9.0))].into_iter().collect();
         hc.begin_refresh(&fresh);
         hc.finish_refresh();
         // #1 was demoted to zero: any positive-importance sample displaces it.

@@ -1,7 +1,7 @@
 //! The small-top heap (H-heap).
 
+use crate::dense::IdSlab;
 use icache_types::{ImportanceValue, SampleId};
-use std::collections::HashMap;
 
 /// An indexed binary min-heap keyed by importance value.
 ///
@@ -30,9 +30,9 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct HHeap {
     nodes: Vec<(ImportanceValue, SampleId)>,
-    // lint: allow(determinism): id->slot index, keyed lookup on the sift
-    // hot path; iteration never happens, order cannot escape
-    pos: HashMap<SampleId, usize>,
+    /// id → slot index; a dense slab so the sift hot path pays one
+    /// array write per swap instead of a hash per swap.
+    pos: IdSlab<usize>,
 }
 
 impl HHeap {
@@ -45,7 +45,7 @@ impl HHeap {
     pub fn with_capacity(cap: usize) -> Self {
         HHeap {
             nodes: Vec::with_capacity(cap),
-            pos: HashMap::with_capacity(cap), // lint: allow(determinism): see field note
+            pos: IdSlab::with_capacity(cap),
         }
     }
 
@@ -61,12 +61,12 @@ impl HHeap {
 
     /// Whether `id` has a node in the heap.
     pub fn contains(&self, id: SampleId) -> bool {
-        self.pos.contains_key(&id)
+        self.pos.contains_key(id)
     }
 
     /// The current key of `id`, if present.
     pub fn key_of(&self, id: SampleId) -> Option<ImportanceValue> {
-        self.pos.get(&id).map(|&i| self.nodes[i].0)
+        self.pos.get(id).map(|&i| self.nodes[i].0)
     }
 
     /// The top node: the least important `(id, importance)` pair.
@@ -77,7 +77,7 @@ impl HHeap {
     /// Insert `id` with key `iv`, or re-key it if already present.
     /// Returns true when the id was newly inserted.
     pub fn insert(&mut self, id: SampleId, iv: ImportanceValue) -> bool {
-        if let Some(&i) = self.pos.get(&id) {
+        if let Some(&i) = self.pos.get(id) {
             self.rekey_at(i, iv);
             return false;
         }
@@ -100,7 +100,7 @@ impl HHeap {
 
     /// Remove `id`'s node. Returns its key if it was present.
     pub fn remove(&mut self, id: SampleId) -> Option<ImportanceValue> {
-        let i = *self.pos.get(&id)?;
+        let i = *self.pos.get(id)?;
         let key = self.nodes[i].0;
         self.remove_at(i);
         Some(key)
@@ -108,7 +108,7 @@ impl HHeap {
 
     /// Change `id`'s key. Returns false when `id` is not in the heap.
     pub fn update_key(&mut self, id: SampleId, iv: ImportanceValue) -> bool {
-        match self.pos.get(&id) {
+        match self.pos.get(id) {
             Some(&i) => {
                 self.rekey_at(i, iv);
                 true
@@ -148,7 +148,7 @@ impl HHeap {
             && self
                 .pos
                 .iter()
-                .all(|(&id, &i)| self.nodes.get(i).map(|n| n.1) == Some(id))
+                .all(|(id, &i)| self.nodes.get(i).map(|n| n.1) == Some(id))
     }
 
     #[inline]
@@ -168,7 +168,7 @@ impl HHeap {
 
     fn remove_at(&mut self, i: usize) {
         let last = self.nodes.len() - 1;
-        self.pos.remove(&self.nodes[i].1);
+        self.pos.remove(self.nodes[i].1);
         if i != last {
             self.nodes.swap(i, last);
             self.pos.insert(self.nodes[i].1, i);

@@ -1,10 +1,11 @@
 //! The L-cache: dynamic packaging and substitutability (§III-C).
 
+use crate::dense::IdSlab;
 use crate::SampleData;
 use icache_types::{ByteSize, Error, IdSet, Result, SampleId, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Identity of a package built by dynamic packaging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,6 +79,11 @@ pub struct Packager {
     target_size: ByteSize,
     rng: StdRng,
     next_id: u64,
+    /// Scratch dedup bitmap, cleared per build and grown lazily to the
+    /// largest id offered. A bitmap beats the `BTreeSet` it replaced
+    /// because the background loader builds tens of thousands of packages
+    /// per replay, each deduplicating hundreds of dense sample ids.
+    seen: IdSet,
 }
 
 impl Packager {
@@ -106,6 +112,7 @@ impl Packager {
             target_size,
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
+            seen: IdSet::new(0),
         })
     }
 
@@ -154,7 +161,7 @@ impl Packager {
         size_of: impl Fn(SampleId) -> ByteSize,
     ) -> Package {
         let mut chosen: Vec<SampleId> = Vec::new();
-        let mut seen = std::collections::BTreeSet::new();
+        self.seen.clear();
         let mut total = ByteSize::ZERO;
         // Packages never overshoot the target (the L-region is sized in
         // package units); only the very first sample may exceed it.
@@ -167,11 +174,17 @@ impl Packager {
             chosen.push(id);
             true
         };
+        // First sight of a candidate id; widens the scratch bitmap on
+        // demand so the packager stays universe-agnostic.
+        let mark_new = |seen: &mut IdSet, id: SampleId| {
+            seen.grow_to(id.0 + 1);
+            seen.insert(id)
+        };
         for &id in missed {
             if total >= self.target_size {
                 break;
             }
-            if seen.insert(id) {
+            if mark_new(&mut self.seen, id) {
                 try_add(id, &mut total, &mut chosen);
             }
         }
@@ -182,7 +195,7 @@ impl Packager {
             while total < self.target_size && attempts < max_attempts {
                 attempts += 1;
                 let id = pool[self.rng.gen_range(0..pool.len())];
-                if seen.insert(id) && !try_add(id, &mut total, &mut chosen) {
+                if mark_new(&mut self.seen, id) && !try_add(id, &mut total, &mut chosen) {
                     break;
                 }
             }
@@ -249,21 +262,19 @@ pub enum LFetch {
 pub struct LCache {
     config: LCacheConfig,
     used: ByteSize,
-    // lint: allow(determinism): keyed lookup only; every iteration-order
-    // concern goes through `resident_index` below
-    resident: HashMap<SampleId, SampleData>,
-    /// Resident ids kept in sorted order, maintained on insert/evict, so
-    /// the per-epoch fresh-pool rebuild never collects and sorts the full
-    /// key set (it was O(n log n) per epoch on the replay hot path).
-    resident_index: BTreeSet<SampleId>,
+    /// Resident samples in a dense id-indexed slab: O(1) keyed lookup on
+    /// the per-request path *and* ascending-id iteration for the
+    /// per-epoch fresh-pool rebuild, in one container (it used to take a
+    /// `HashMap` plus a separately maintained `BTreeSet` index).
+    resident: IdSlab<SampleData>,
     /// Loaded packages in FIFO order, with the ids each one *added* (a
     /// sample re-packed later is owned by its first resident package).
     package_fifo: VecDeque<(PackageId, Vec<SampleId>, ByteSize)>,
     /// Resident samples not yet accessed this epoch, with O(1) random
     /// removal.
     fresh: Vec<SampleId>,
-    // lint: allow(determinism): id->index into `fresh`, keyed lookup only
-    fresh_pos: HashMap<SampleId, usize>,
+    /// id → index into `fresh`, for O(1) swap-removal on access.
+    fresh_pos: IdSlab<usize>,
     accessed: IdSet,
     missed_log: VecDeque<SampleId>,
     pending: VecDeque<(Package, SimTime)>,
@@ -275,11 +286,10 @@ impl LCache {
         LCache {
             config,
             used: ByteSize::ZERO,
-            resident: HashMap::new(), // lint: allow(determinism): see field note
-            resident_index: BTreeSet::new(),
+            resident: IdSlab::new(),
             package_fifo: VecDeque::new(),
             fresh: Vec::new(),
-            fresh_pos: HashMap::new(), // lint: allow(determinism): see field note
+            fresh_pos: IdSlab::new(),
             accessed: IdSet::new(config.num_samples),
             missed_log: VecDeque::new(),
             pending: VecDeque::new(),
@@ -314,13 +324,13 @@ impl LCache {
 
     /// Whether `id` is resident.
     pub fn contains(&self, id: SampleId) -> bool {
-        self.resident.contains_key(&id)
+        self.resident.contains_key(id)
     }
 
     /// Resident sample ids, ascending (used by warm-restart recovery
     /// snapshots).
     pub fn resident_ids(&self) -> impl Iterator<Item = SampleId> + '_ {
-        self.resident_index.iter().copied()
+        self.resident.keys()
     }
 
     /// Number of resident samples not yet accessed this epoch.
@@ -361,7 +371,7 @@ impl LCache {
 
     /// Look up `id`; on a miss, pick a substitute and log the miss.
     pub fn lookup(&mut self, id: SampleId, rng: &mut StdRng) -> LFetch {
-        if self.resident.contains_key(&id) {
+        if self.resident.contains_key(id) {
             self.mark_accessed(id);
             return LFetch::Hit;
         }
@@ -376,7 +386,7 @@ impl LCache {
     /// a hit (marking the sample accessed), false on a miss (logging it).
     /// Used by the `Def` substitution policy and the warm-up pass.
     pub fn lookup_no_substitute(&mut self, id: SampleId) -> bool {
-        if self.resident.contains_key(&id) {
+        if self.resident.contains_key(id) {
             self.mark_accessed(id);
             true
         } else {
@@ -396,11 +406,11 @@ impl LCache {
         self.accessed.clear();
         self.fresh.clear();
         self.fresh_pos.clear();
-        // The index iterates in sorted order, so the fresh pool (and thus
-        // substitution draws) stays independent of HashMap iteration order
-        // — runs are deterministic without re-sorting the keys each epoch.
-        self.fresh.reserve(self.resident_index.len());
-        for (pos, &id) in self.resident_index.iter().enumerate() {
+        // The slab iterates in ascending-id order, so the fresh pool (and
+        // thus substitution draws) matches the old sorted-index behaviour
+        // without re-sorting the keys each epoch.
+        self.fresh.reserve(self.resident.len());
+        for (pos, id) in self.resident.keys().enumerate() {
             self.fresh.push(id);
             self.fresh_pos.insert(id, pos);
         }
@@ -428,17 +438,17 @@ impl LCache {
         if id.0 < self.accessed.universe() {
             self.accessed.insert(id);
         }
-        if let Some(&pos) = self.fresh_pos.get(&id) {
+        if let Some(&pos) = self.fresh_pos.get(id) {
             let last = self.fresh.len() - 1;
             self.fresh.swap(pos, last);
             self.fresh_pos.insert(self.fresh[pos], pos);
             self.fresh.pop();
-            self.fresh_pos.remove(&id);
+            self.fresh_pos.remove(id);
         }
     }
 
     fn push_fresh(&mut self, id: SampleId) {
-        if !self.fresh_pos.contains_key(&id) && !self.accessed.contains(id) {
+        if !self.fresh_pos.contains_key(id) && !self.accessed.contains(id) {
             self.fresh_pos.insert(id, self.fresh.len());
             self.fresh.push(id);
         }
@@ -449,11 +459,10 @@ impl LCache {
         let mut owned = Vec::new();
         let mut owned_bytes = ByteSize::ZERO;
         for s in pkg.samples() {
-            if self.resident.contains_key(&s.id()) {
+            if self.resident.contains_key(s.id()) {
                 continue;
             }
             self.resident.insert(s.id(), *s);
-            self.resident_index.insert(s.id());
             self.used += s.size();
             owned_bytes += s.size();
             owned.push(s.id());
@@ -470,15 +479,14 @@ impl LCache {
                 .pop_front()
                 .expect("loop guard: fifo holds at least two packages");
             for id in ids {
-                if self.resident.remove(&id).is_some() {
-                    self.resident_index.remove(&id);
+                if self.resident.remove(id).is_some() {
                     // Remove from fresh if present.
-                    if let Some(&pos) = self.fresh_pos.get(&id) {
+                    if let Some(&pos) = self.fresh_pos.get(id) {
                         let last = self.fresh.len() - 1;
                         self.fresh.swap(pos, last);
                         self.fresh_pos.insert(self.fresh[pos], pos);
                         self.fresh.pop();
-                        self.fresh_pos.remove(&id);
+                        self.fresh_pos.remove(id);
                     }
                 }
             }
@@ -711,7 +719,7 @@ mod tests {
         c.integrate(SimTime::ZERO);
         c.on_epoch_start();
 
-        let mut reference: Vec<SampleId> = c.resident.keys().copied().collect();
+        let mut reference: Vec<SampleId> = c.resident.keys().collect();
         reference.sort_unstable();
         assert_eq!(c.fresh, reference, "fresh pool is the sorted residents");
 

@@ -74,6 +74,7 @@
 mod client;
 pub mod concurrent;
 mod data;
+pub mod dense;
 mod distributed;
 mod hcache;
 mod hheap;
@@ -94,6 +95,7 @@ pub use concurrent::{
     StripedMap,
 };
 pub use data::SampleData;
+pub use dense::{IdSet, IdSlab};
 pub use distributed::{DirectoryView, DistributedCache, DistributedConfig, RemoteFetchKind};
 pub use hcache::{AdmitResult, HCache};
 pub use hheap::HHeap;

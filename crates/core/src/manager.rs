@@ -1,5 +1,6 @@
 //! The iCache cache manager (system overview, §III-A; Algorithm 1).
 
+use crate::dense::{IdSet, IdSlab};
 use crate::service::{RecoveryEntry, RecoveryRegion};
 use crate::{
     CacheStats, CacheSystem, Fetch, FetchOutcome, HCache, LCache, LCacheConfig, LFetch,
@@ -152,7 +153,7 @@ pub struct IcacheManager {
     lcache: LCache,
     packager: Packager,
     coordinator: MultiJobCoordinator,
-    effective_iv: BTreeMap<SampleId, ImportanceValue>,
+    effective_iv: IdSlab<ImportanceValue>,
     l_pool: Vec<SampleId>,
     loader_busy: SimTime,
     rng: StdRng,
@@ -163,7 +164,7 @@ pub struct IcacheManager {
     h_accesses: u64,
     l_accesses: u64,
     /// H-cache residents already used as substitutes this epoch (ST_HC).
-    h_sub_used: BTreeSet<SampleId>,
+    h_sub_used: IdSet,
     victim: Option<VictimCache>,
     primary_job: Option<JobId>,
     /// Shared observability handle (metrics registry + trace ring).
@@ -208,7 +209,7 @@ impl IcacheManager {
             }),
             packager: Packager::new(config.package_size, config.seed ^ 0xFACC)?,
             coordinator,
-            effective_iv: BTreeMap::new(),
+            effective_iv: IdSlab::new(),
             l_pool: dataset.ids().collect(),
             loader_busy: SimTime::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
@@ -216,7 +217,7 @@ impl IcacheManager {
             job_stats: BTreeMap::new(),
             h_accesses: 0,
             l_accesses: 0,
-            h_sub_used: BTreeSet::new(),
+            h_sub_used: IdSet::new(dataset.len()),
             primary_job: None,
             obs: Obs::noop(),
             current_epoch: 0,
@@ -299,7 +300,7 @@ impl IcacheManager {
     }
 
     fn admission_value(&self, job: JobId, id: SampleId) -> ImportanceValue {
-        self.effective_iv.get(&id).copied().unwrap_or_else(|| {
+        self.effective_iv.get(id).copied().unwrap_or_else(|| {
             self.coordinator
                 .hlist(job)
                 .and_then(|h| h.importance(id))
@@ -519,7 +520,7 @@ impl IcacheManager {
         let mut pick = None;
         for _ in 0..8 {
             match self.hcache.random_resident(&mut self.rng) {
-                Some(c) if !self.h_sub_used.contains(&c) => {
+                Some(c) if !self.h_sub_used.contains(c) => {
                     pick = Some(c);
                     break;
                 }
@@ -590,7 +591,7 @@ impl IcacheManager {
                 size: self.dataset.sample_size(id),
                 iv: self
                     .effective_iv
-                    .get(&id)
+                    .get(id)
                     .copied()
                     .unwrap_or(ImportanceValue::ZERO)
                     .get(),
@@ -779,7 +780,7 @@ impl CacheSystem for IcacheManager {
         }
         self.coordinator.set_hlist(job, hlist.clone());
         self.effective_iv = if self.config.multi_job && self.coordinator.job_count() > 1 {
-            self.coordinator.aggregate()
+            self.coordinator.aggregate().into_iter().collect()
         } else {
             hlist.entries().iter().map(|e| (e.id, e.iv)).collect()
         };

@@ -1,8 +1,8 @@
 //! The shadow-heap refresh mechanism.
 
+use crate::dense::IdSlab;
 use crate::HHeap;
 use icache_types::{ImportanceValue, SampleId};
-use std::collections::{BTreeMap, HashMap};
 
 /// An H-heap with the paper's *shadow heap* refresh protocol (§III-B).
 ///
@@ -56,8 +56,7 @@ struct RefreshState {
     /// The post-refresh heap under construction: fresh keys.
     shadow: HHeap,
     /// New keys not yet applied to nodes still sitting in `frozen`.
-    // lint: allow(determinism): keyed get/remove only, never iterated
-    pending: HashMap<SampleId, ImportanceValue>,
+    pending: IdSlab<ImportanceValue>,
 }
 
 impl ShadowedHeap {
@@ -100,12 +99,7 @@ impl ShadowedHeap {
             Some(r) => r
                 .shadow
                 .key_of(id)
-                .or_else(|| {
-                    r.pending
-                        .get(&id)
-                        .copied()
-                        .filter(|_| r.frozen.contains(id))
-                })
+                .or_else(|| r.pending.get(id).copied().filter(|_| r.frozen.contains(id)))
                 .or_else(|| r.frozen.key_of(id)),
             None => self.active.key_of(id),
         }
@@ -136,7 +130,7 @@ impl ShadowedHeap {
     pub fn finish_refresh(&mut self) {
         if let Some(mut r) = self.refresh.take() {
             for (id, old_key) in r.frozen.drain() {
-                let key = r.pending.get(&id).copied().unwrap_or(old_key);
+                let key = r.pending.get(id).copied().unwrap_or(old_key);
                 r.shadow.insert(id, key);
             }
             self.active = r.shadow;
@@ -150,7 +144,7 @@ impl ShadowedHeap {
         match &mut self.refresh {
             Some(r) => {
                 let was_frozen = r.frozen.remove(id).is_some();
-                r.pending.remove(&id);
+                r.pending.remove(id);
                 let newly = r.shadow.insert(id, iv);
                 let result = newly && !was_frozen;
                 self.auto_finish();
@@ -165,7 +159,7 @@ impl ShadowedHeap {
         match &mut self.refresh {
             Some(r) => {
                 let out = r.frozen.remove(id).or_else(|| r.shadow.remove(id));
-                r.pending.remove(&id);
+                r.pending.remove(id);
                 self.auto_finish();
                 out
             }
@@ -178,7 +172,7 @@ impl ShadowedHeap {
         match &mut self.refresh {
             Some(r) => {
                 if r.frozen.remove(id).is_some() {
-                    r.pending.remove(&id);
+                    r.pending.remove(id);
                     r.shadow.insert(id, iv);
                     self.auto_finish();
                     true
@@ -206,7 +200,7 @@ impl ShadowedHeap {
             Some(r) => {
                 let out = r.frozen.pop_min().or_else(|| r.shadow.pop_min());
                 if let Some((id, _)) = out {
-                    r.pending.remove(&id);
+                    r.pending.remove(id);
                 }
                 self.auto_finish();
                 out
@@ -239,12 +233,12 @@ impl ShadowedHeap {
     /// Naive alternative to the shadow protocol: rebuild the entire heap
     /// with `fresh` keys at once. Exposed for the ablation benchmark that
     /// compares refresh costs.
-    pub fn rebuild_naive(&mut self, fresh: &BTreeMap<SampleId, ImportanceValue>) {
+    pub fn rebuild_naive(&mut self, fresh: &IdSlab<ImportanceValue>) {
         self.finish_refresh();
         let nodes = self.active.drain();
         let mut rebuilt = HHeap::with_capacity(nodes.len());
         for (id, old) in nodes {
-            rebuilt.insert(id, fresh.get(&id).copied().unwrap_or(old));
+            rebuilt.insert(id, fresh.get(id).copied().unwrap_or(old));
         }
         self.active = rebuilt;
     }
@@ -253,6 +247,7 @@ impl ShadowedHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn iv(v: f64) -> ImportanceValue {
         ImportanceValue::new(v).unwrap()
@@ -363,13 +358,13 @@ mod tests {
     #[test]
     fn rebuild_naive_matches_finish_refresh_result() {
         let vals: Vec<(u64, f64)> = (0..30).map(|i| (i, (i * 7 % 30) as f64)).collect();
-        let fresh: BTreeMap<SampleId, ImportanceValue> = (0..30)
+        let fresh: IdSlab<ImportanceValue> = (0..30)
             .map(|i| (SampleId(i), iv(((i * 13) % 30) as f64)))
             .collect();
 
         let mut a = heap_with(&vals);
         // Streamed from a borrow: no clone handed to the refresh window.
-        a.begin_refresh(fresh.iter().map(|(&id, &v)| (id, v)));
+        a.begin_refresh(fresh.iter().map(|(id, &v)| (id, v)));
         a.finish_refresh();
 
         let mut b = heap_with(&vals);
@@ -398,7 +393,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-    use std::collections::BTreeMap;
+    use std::collections::{BTreeMap, HashMap};
 
     /// Frozen heap, shadow heap, and pending insertions of an in-flight
     /// refresh in the reference model.

@@ -8,8 +8,9 @@
 //! PM before paying for remote storage, and a PM hit re-promotes the
 //! sample into DRAM.
 
+use crate::dense::IdSlab;
 use icache_types::{ByteSize, Error, Result, SampleId, SimDuration};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Configuration of the PM victim tier.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,7 +70,7 @@ impl PmTierConfig {
 pub struct VictimCache {
     config: PmTierConfig,
     used: ByteSize,
-    items: BTreeMap<SampleId, ByteSize>,
+    items: IdSlab<ByteSize>,
     order: VecDeque<SampleId>,
     hits: u64,
     misses: u64,
@@ -87,7 +88,7 @@ impl VictimCache {
         Ok(VictimCache {
             config,
             used: ByteSize::ZERO,
-            items: BTreeMap::new(),
+            items: IdSlab::new(),
             order: VecDeque::new(),
             hits: 0,
             misses: 0,
@@ -126,7 +127,7 @@ impl VictimCache {
 
     /// Whether `id` resides in PM (no counter side effects).
     pub fn contains(&self, id: SampleId) -> bool {
-        self.items.contains_key(&id)
+        self.items.contains_key(id)
     }
 
     /// Service time of reading `size` bytes out of PM.
@@ -137,13 +138,13 @@ impl VictimCache {
     /// Accept a DRAM eviction. Items larger than the tier are dropped;
     /// oldest victims are displaced FIFO. Returns the displaced ids.
     pub fn insert(&mut self, id: SampleId, size: ByteSize) -> Vec<SampleId> {
-        if self.items.contains_key(&id) || size > self.config.capacity {
+        if self.items.contains_key(id) || size > self.config.capacity {
             return Vec::new();
         }
         let mut displaced = Vec::new();
         while self.used + size > self.config.capacity {
             let victim = self.order.pop_front().expect("used > 0 implies entries");
-            let vsize = self.items.remove(&victim).expect("order and items agree");
+            let vsize = self.items.remove(victim).expect("order and items agree");
             self.used -= vsize;
             displaced.push(victim);
         }
@@ -156,7 +157,7 @@ impl VictimCache {
     /// Look up `id`, removing it on a hit (the caller re-promotes it into
     /// DRAM). Returns its size when present.
     pub fn promote(&mut self, id: SampleId) -> Option<ByteSize> {
-        match self.items.remove(&id) {
+        match self.items.remove(id) {
             Some(size) => {
                 self.used -= size;
                 self.order.retain(|&x| x != id);

@@ -10,6 +10,12 @@
 //! inline `// lint: allow(determinism): <why order cannot escape>`.
 //! `use` declarations are exempt — the rule fires on usage sites so one
 //! import line does not need its own hatch.
+//!
+//! The approved dense containers — `icache_core::IdSlab` and
+//! `icache_types::IdSet`, id-indexed slabs with ascending-id iteration —
+//! are deterministic by construction and never flagged; for `SampleId`
+//! keys they are the preferred replacement for both the hash and the
+//! BTree collections.
 
 use crate::config::Config;
 use crate::diagnostics::Finding;
@@ -22,13 +28,13 @@ pub const RULE: &str = "determinism";
 const BANNED: &[(&str, &str)] = &[
     (
         "HashMap",
-        "iteration order is randomized per instance; use BTreeMap, or allowlist with a reason \
-         why order cannot escape",
+        "iteration order is randomized per instance; use IdSlab for dense SampleId keys, \
+         BTreeMap otherwise, or allowlist with a reason why order cannot escape",
     ),
     (
         "HashSet",
-        "iteration order is randomized per instance; use BTreeSet, or allowlist with a reason \
-         why order cannot escape",
+        "iteration order is randomized per instance; use IdSet for dense SampleId keys, \
+         BTreeSet otherwise, or allowlist with a reason why order cannot escape",
     ),
     (
         "thread_rng",
@@ -146,6 +152,18 @@ mod tests {
             "sampling",
         );
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn approved_dense_containers_are_clean() {
+        // IdSlab/IdSet are the sanctioned dense-id containers: using
+        // them in a deterministic crate raises nothing.
+        let out = check_src(
+            "struct S { m: icache_core::IdSlab<u8>, s: icache_types::IdSet }\n\
+             fn f(s: &S) -> usize { s.m.len() + s.s.len() }\n",
+            "core",
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

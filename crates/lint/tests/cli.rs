@@ -47,8 +47,8 @@ fn json_report_is_machine_readable() {
     let findings = report["findings"].as_array().expect("findings array");
     assert_eq!(
         findings.len(),
-        11,
-        "1 determinism + 3 panic + 3 hygiene + 4 contract"
+        12,
+        "2 determinism + 3 panic + 3 hygiene + 4 contract"
     );
     for f in findings {
         assert!(f["rule"].as_str().is_some());
@@ -56,7 +56,7 @@ fn json_report_is_machine_readable() {
         assert!(f["message"].as_str().is_some());
     }
     // Per-rule counts mirror the findings list.
-    assert_eq!(report["counts"]["determinism"].as_u64(), Some(1));
+    assert_eq!(report["counts"]["determinism"].as_u64(), Some(2));
     assert_eq!(report["counts"]["panic"].as_u64(), Some(3));
     assert_eq!(report["counts"]["hygiene"].as_u64(), Some(3));
     assert_eq!(report["counts"]["contract"].as_u64(), Some(4));

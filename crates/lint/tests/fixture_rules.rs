@@ -38,9 +38,18 @@ fn determinism_violation_at_exact_position() {
         9,
         14
     ));
+    // `HashSet` in the `Dedup` struct field (fully qualified — no `use`
+    // line to exempt it).
+    assert!(has(
+        &findings,
+        "determinism",
+        "crates/core/src/lib.rs",
+        40,
+        33
+    ));
     assert_eq!(
         findings.iter().filter(|f| f.rule == "determinism").count(),
-        1,
+        2,
         "the use-declaration must not be flagged"
     );
 }

@@ -29,3 +29,12 @@ mod tests {
         Some(1u32).unwrap();
     }
 }
+
+pub struct DenseState {
+    pub resident: icache_core::IdSlab<u32>,
+    pub members: icache_types::IdSet,
+}
+
+pub fn resident_count(s: &DenseState) -> usize {
+    s.resident.len() + s.members.len()
+}

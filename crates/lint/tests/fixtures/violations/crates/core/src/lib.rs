@@ -35,3 +35,7 @@ pub fn emit(obs: &Obs) {
 pub fn hatched() -> u32 {
     unreachable!() // lint: allow(panic)
 }
+
+pub struct Dedup {
+    pub seen: std::collections::HashSet<u32>,
+}

@@ -85,6 +85,24 @@ impl MetricsRegistry {
         }
     }
 
+    /// Record many durations into a named histogram with one name lookup.
+    /// Equivalent to calling [`MetricsRegistry::observe`] per duration.
+    pub fn observe_many<I: IntoIterator<Item = SimDuration>>(&mut self, name: &str, ds: I) {
+        let mut ds = ds.into_iter().peekable();
+        if ds.peek().is_none() {
+            return;
+        }
+        if !self.histograms.contains_key(name) {
+            self.histograms
+                .insert(name.to_string(), LatencyHistogram::new());
+        }
+        if let Some(h) = self.histograms.get_mut(name) {
+            for d in ds {
+                h.record(d);
+            }
+        }
+    }
+
     /// A named histogram, if anything was observed under that name.
     pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
         self.histograms.get(name)

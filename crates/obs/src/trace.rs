@@ -558,6 +558,17 @@ impl Obs {
         self.lock().metrics.observe(name, d);
     }
 
+    /// Record many durations into a named latency histogram under one
+    /// lock acquisition (the bulk-loader path records hundreds of
+    /// per-sample latencies per package build).
+    pub fn observe_many<I: IntoIterator<Item = icache_types::SimDuration>>(
+        &self,
+        name: &str,
+        ds: I,
+    ) {
+        self.lock().metrics.observe_many(name, ds);
+    }
+
     /// Number of retained trace events.
     pub fn trace_len(&self) -> usize {
         self.lock().trace.len()

@@ -207,6 +207,9 @@ pub fn replay(
     let start_stats = cache.stats();
     for r in &trace.records {
         let size = dataset.sample_size(r.sample);
+        // The sequential clock only moves forward, so the storage model
+        // may retire queue bookings from the virtual past.
+        storage.release_before(now);
         let f = cache.fetch(r.job, r.sample, size, now, storage);
         latency.record(f.ready_at.saturating_since(now));
         now = f.ready_at;
@@ -277,6 +280,9 @@ where
                     let mut latency = LatencyHistogram::new();
                     for r in records {
                         let size = dataset.sample_size(r.sample);
+                        // Thread-local storage + monotone thread-local
+                        // clock: safe to retire the virtual past.
+                        storage.release_before(now);
                         let f = cache.fetch(r.job, r.sample, size, now, storage.as_mut(), &mut rng);
                         latency.record(f.ready_at.saturating_since(now));
                         now = f.ready_at;

@@ -44,6 +44,21 @@ pub trait StorageBackend {
     /// of the backend. Returns the completion instant.
     fn read_sample(&mut self, id: SampleId, size: ByteSize, now: SimTime) -> SimTime;
 
+    /// Read a batch of sample files, all submitted at `now` and issued in
+    /// order. Returns the completion instant of the last-finishing read.
+    ///
+    /// Semantically identical to calling [`StorageBackend::read_sample`]
+    /// once per entry (the default does exactly that); backends may
+    /// override it to amortise per-call accounting on bulk-loader paths
+    /// that issue hundreds of reads per package build.
+    fn read_samples(&mut self, reqs: &[(SampleId, ByteSize)], now: SimTime) -> SimTime {
+        let mut ready = now;
+        for &(id, size) in reqs {
+            ready = ready.max(self.read_sample(id, size, now));
+        }
+        ready
+    }
+
     /// Read a sequential package of `size` bytes, submitted at `now`.
     ///
     /// Packages are large (≥ 1 MB in the paper) and stream at close to the
@@ -62,6 +77,19 @@ pub trait StorageBackend {
     fn set_obs(&mut self, obs: icache_obs::Obs) {
         let _ = obs;
     }
+
+    /// Promise that every future read will be submitted at or after `t`,
+    /// letting queue models retire booking state for the virtual past.
+    ///
+    /// Only drivers with a monotone submission clock (the sequential
+    /// replay loop, the earliest-event-first multi-job runner) may call
+    /// this; out-of-order submitters such as the prefetch pipeline must
+    /// not, since retired time ranges look idle to later backdated
+    /// submissions. Purely an optimisation hook: completion times and
+    /// statistics are unchanged. The default does nothing.
+    fn release_before(&mut self, t: SimTime) {
+        let _ = t;
+    }
 }
 
 impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
@@ -70,6 +98,9 @@ impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
     }
     fn read_sample(&mut self, id: SampleId, size: ByteSize, now: SimTime) -> SimTime {
         (**self).read_sample(id, size, now)
+    }
+    fn read_samples(&mut self, reqs: &[(SampleId, ByteSize)], now: SimTime) -> SimTime {
+        (**self).read_samples(reqs, now)
     }
     fn read_package(&mut self, size: ByteSize, now: SimTime) -> SimTime {
         (**self).read_package(size, now)
@@ -82,6 +113,9 @@ impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
     }
     fn set_obs(&mut self, obs: icache_obs::Obs) {
         (**self).set_obs(obs)
+    }
+    fn release_before(&mut self, t: SimTime) {
+        (**self).release_before(t)
     }
 }
 

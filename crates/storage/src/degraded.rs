@@ -149,6 +149,10 @@ impl<B: StorageBackend> StorageBackend for DegradedStorage<B> {
         self.obs = obs.clone();
         self.inner.set_obs(obs);
     }
+
+    fn release_before(&mut self, t: SimTime) {
+        self.inner.release_before(t);
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,13 @@ use std::collections::BTreeMap;
 pub struct TimelineResource {
     /// Non-overlapping busy intervals: start ns → end ns.
     busy: BTreeMap<u64, u64>,
+    /// Cached start/end of the interval with the greatest start (the
+    /// tail); meaningless while `busy` is empty. The overwhelmingly
+    /// common submission — at or after the tail interval's start — then
+    /// books in O(1)-ish with a single keyed update instead of the
+    /// range-walk-and-reinsert of the general gap search.
+    tail_start: u64,
+    tail_end: u64,
     busy_time: SimDuration,
     jobs_served: u64,
 }
@@ -52,8 +59,31 @@ impl TimelineResource {
     /// Book `service` at the earliest idle instant at or after `now`;
     /// returns the completion time.
     pub fn submit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
-        let dur = service.as_nanos();
-        let mut start = now.as_nanos();
+        let end = self.book(now.as_nanos(), service.as_nanos());
+        self.busy_time += service;
+        self.jobs_served += 1;
+        SimTime::from_nanos(end)
+    }
+
+    fn book(&mut self, mut start: u64, dur: u64) -> u64 {
+        // Fast path: the submission starts at or after the tail interval,
+        // so no earlier gap can fit it — it either queues right behind the
+        // tail (extending it in place) or books the open time after it.
+        if dur > 0 && !self.busy.is_empty() && start >= self.tail_start {
+            let s = start.max(self.tail_end);
+            let e = s + dur;
+            if s > self.tail_end {
+                self.busy.insert(s, e);
+                self.tail_start = s;
+                self.tail_end = e;
+                return e;
+            }
+            if let Some(end) = self.busy.get_mut(&self.tail_start) {
+                *end = e;
+                self.tail_end = e;
+                return e;
+            }
+        }
         // Walk intervals that could collide, pushing the candidate start
         // past each overlap. Intervals are sorted; begin from the last
         // interval starting at or before the candidate.
@@ -75,9 +105,11 @@ impl TimelineResource {
         }
         let end = start + dur;
         self.insert_interval(start, end);
-        self.busy_time += service;
-        self.jobs_served += 1;
-        SimTime::from_nanos(end)
+        if let Some((&ts, &te)) = self.busy.iter().next_back() {
+            self.tail_start = ts;
+            self.tail_end = te;
+        }
+        end
     }
 
     fn insert_interval(&mut self, mut start: u64, mut end: u64) {
@@ -102,6 +134,27 @@ impl TimelineResource {
             }
         }
         self.busy.insert(start, end);
+    }
+
+    /// Forget booked intervals that end at or before `t`, keeping the
+    /// tail interval so [`TimelineResource::busy_until`] is preserved.
+    ///
+    /// This is a memory-reclamation contract, not a semantic no-op: a
+    /// pruned interval's time range looks idle again. The caller must
+    /// therefore guarantee that **every future submission starts at or
+    /// after `t`** — a monotone-clock driver can retire the past as its
+    /// clock advances, while out-of-order submitters (the prefetch
+    /// pipeline's backdated issues) must never call this. Statistics
+    /// (`busy_time`, `jobs_served`) are unaffected.
+    pub fn release_before(&mut self, t: SimTime) {
+        let cutoff = t.as_nanos();
+        while let Some((&start, &end)) = self.busy.iter().next() {
+            if end <= cutoff && start != self.tail_start {
+                self.busy.remove(&start);
+            } else {
+                break;
+            }
+        }
     }
 
     /// The latest instant any booking ends (the horizon).
@@ -189,6 +242,27 @@ mod tests {
     }
 
     #[test]
+    fn release_before_reclaims_but_keeps_the_horizon() {
+        let mut t = TimelineResource::new();
+        // Three disjoint bookings leave three intervals.
+        t.submit(SimTime::ZERO, us(10));
+        t.submit(at(50), us(10));
+        t.submit(at(100), us(10));
+        assert_eq!(t.interval_count(), 3);
+        t.release_before(at(70));
+        assert_eq!(t.interval_count(), 1, "two retired intervals dropped");
+        assert_eq!(t.busy_until(), at(110), "horizon survives pruning");
+        assert_eq!(t.busy_time(), us(30), "stats survive pruning");
+        // A submission respecting the watermark queues exactly as before:
+        // the 100..110 tail is still booked.
+        assert_eq!(t.submit(at(105), us(10)), at(120));
+        // Even pruning past the horizon keeps the tail interval.
+        t.release_before(at(500));
+        assert_eq!(t.interval_count(), 1);
+        assert_eq!(t.busy_until(), at(120));
+    }
+
+    #[test]
     fn zero_service_is_free() {
         let mut t = TimelineResource::new();
         let done = t.submit(at(7), SimDuration::ZERO);
@@ -221,6 +295,51 @@ mod proptests {
             }
             prop_assert_eq!(fifo.busy_until(), timeline.busy_until());
             prop_assert_eq!(fifo.busy_time(), timeline.busy_time());
+        }
+
+        /// The tail fast path books exactly like a naive scan over all
+        /// intervals: arbitrary (possibly out-of-order, zero-duration)
+        /// streams complete at identical instants.
+        #[test]
+        fn fast_path_matches_naive_reference(
+            reqs in proptest::collection::vec((0u64..10_000, 0u64..2_000), 1..150)
+        ) {
+            let mut t = TimelineResource::new();
+            // Sorted, non-overlapping booked intervals in nanoseconds.
+            let mut naive: Vec<(u64, u64)> = Vec::new();
+            for (at_us, service_us) in reqs {
+                let now = SimTime::from_nanos(at_us * 1_000);
+                let service = SimDuration::from_micros(service_us);
+                let done = t.submit(now, service);
+                let dur = service.as_nanos();
+                let mut start = now.as_nanos();
+                loop {
+                    let mut changed = false;
+                    for &(bs, be) in naive.iter() {
+                        if bs <= start && start < be {
+                            start = be;
+                            changed = true;
+                            break;
+                        }
+                        if start < bs && bs < start + dur {
+                            start = be;
+                            changed = true;
+                            break;
+                        }
+                        if bs >= start + dur {
+                            break;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                prop_assert_eq!(done.as_nanos(), start + dur, "at {now} for {service}");
+                if dur > 0 {
+                    let pos = naive.partition_point(|&(bs, _)| bs < start);
+                    naive.insert(pos, (start, start + dur));
+                }
+            }
         }
 
         /// Bookings never overlap and always start at or after submission.

@@ -101,6 +101,16 @@ impl IdSet {
         self.len = 0;
     }
 
+    /// Widen the universe to at least `universe`, keeping every member.
+    /// Shrinking is not supported: a smaller value is a no-op, so existing
+    /// members can never silently fall outside the universe.
+    pub fn grow_to(&mut self, universe: u64) {
+        if universe > self.universe {
+            self.universe = universe;
+            self.words.resize((universe as usize).div_ceil(64), 0);
+        }
+    }
+
     /// Iterate over members in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = SampleId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -198,6 +208,19 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert!(!s.contains(SampleId(3)));
+    }
+
+    #[test]
+    fn grow_to_widens_and_keeps_members() {
+        let mut s = IdSet::new(10);
+        s.insert(SampleId(7));
+        s.grow_to(100);
+        assert_eq!(s.universe(), 100);
+        assert!(s.contains(SampleId(7)));
+        assert!(s.insert(SampleId(99)));
+        s.grow_to(5); // shrink request is a no-op
+        assert_eq!(s.universe(), 100);
+        assert!(s.contains(SampleId(99)));
     }
 
     #[test]
