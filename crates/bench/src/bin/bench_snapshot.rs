@@ -24,7 +24,10 @@
 //! Flags: `--out <file>` (default `BENCH_icache.json`),
 //! `--requests <n>` / `--universe <n>` (replay workload size),
 //! `--parallel [n|auto]` (worker threads for the parallel pass;
-//! default auto).
+//! default auto), `--force` (allow overwriting a snapshot recorded on
+//! a machine with more cores than this one — without it, the run
+//! refuses rather than replace real contention numbers with
+//! time-sliced ones).
 
 use icache_bench::{sweep, workload};
 use icache_core::{
@@ -104,6 +107,30 @@ fn run() -> Result<(), String> {
     let workers = sweep::parse_workers(&get("parallel", "auto"))?;
     let seed = 11u64;
 
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // A snapshot recorded on a wide machine must not be silently
+    // replaced by one from a narrow machine: the contention curve and
+    // every speedup would degrade into time-slicing artifacts while
+    // looking like perf regressions.
+    if !args.contains_key("force") {
+        if let Ok(prev) = std::fs::read_to_string(&out_path) {
+            if let Ok(prev) = icache_obs::Json::parse(&prev) {
+                let prev_cores = prev["available_parallelism"].as_u64().unwrap_or(0);
+                if prev_cores > cores as u64 {
+                    return Err(format!(
+                        "refusing to overwrite {out_path}: the existing snapshot was recorded \
+                         at available_parallelism={prev_cores} but this machine exposes \
+                         {cores}, so its parallel and loader-thread numbers would become \
+                         time-slicing artifacts, not scaling results — re-record on a machine \
+                         with >= {prev_cores} cores, or pass --force to overwrite anyway"
+                    ));
+                }
+            }
+        }
+    }
+
     eprintln!("bench_snapshot: replay workload ({requests} requests over {universe} samples)");
     let dataset = DatasetBuilder::new("bench", universe)
         .size_model(SizeModel::Fixed(ByteSize::kib(3)))
@@ -117,10 +144,6 @@ fn run() -> Result<(), String> {
 
     let sequential = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, 1);
     let parallel = replay_lineup_secs(&trace, &dataset, &hlist, cap, seed, workers);
-
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
 
     eprintln!("bench_snapshot: loader-thread contention scaling (lock-striped icache)");
     let mut contention_curve: Vec<(String, icache_obs::Json)> = Vec::new();

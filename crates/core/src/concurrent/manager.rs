@@ -511,6 +511,7 @@ impl ConcurrentManager {
         if pkg.is_empty() {
             return;
         }
+        // lint: allow(locks-io): the loader guard IS the asynchronous loader's identity — read_package only schedules a virtual-time arrival (pending is drained on later ticks), it never blocks the calling trainer thread
         let ready = storage.read_package(pkg.total_bytes(), now);
         let pacing =
             SimDuration::from_secs_f64(pkg.total_bytes().as_f64() / self.config.loader_bandwidth);

@@ -90,25 +90,47 @@ impl ShardedHeap {
         self.contention.load(Ordering::Relaxed)
     }
 
-    /// Lock every shard in ascending index order.
-    fn lock_all(&self) -> Vec<MutexGuard<'_, HHeap>> {
+    /// Lock every shard in ascending index order, reporting each shard
+    /// index to `witness` at the moment its lock is taken. The witness
+    /// lets the loom model assert the ascending acquisition discipline
+    /// itself, not just the merge result.
+    fn lock_all(&self, witness: &mut dyn FnMut(usize)) -> Vec<MutexGuard<'_, HHeap>> {
         self.shards
             .iter()
-            .map(|s| lock_counted(s, &self.contention))
+            .enumerate()
+            .map(|(i, s)| {
+                let guard = lock_counted(s, &self.contention);
+                witness(i);
+                guard
+            })
             .collect()
     }
 
     /// The global minimum `(id, importance)` without removing it.
     /// Takes every shard lock; exact under concurrency.
     pub fn peek_global_min(&self) -> Option<(SampleId, ImportanceValue)> {
-        let guards = self.lock_all();
+        let guards = self.lock_all(&mut |_| {});
         Self::min_of(&guards)
     }
 
     /// Remove and return the global minimum node (deterministic
     /// cross-shard merge: lowest `(importance, id)`).
     pub fn pop_global_min(&self) -> Option<(SampleId, ImportanceValue)> {
-        let mut guards = self.lock_all();
+        self.pop_global_min_witnessed(&mut |_| {})
+    }
+
+    /// [`pop_global_min`] with the lock-acquisition witness exposed:
+    /// `witness` receives each shard index as its lock is acquired.
+    /// Test hook for the loom model asserting the all-shards-ascending
+    /// order; not part of the stable API.
+    ///
+    /// [`pop_global_min`]: ShardedHeap::pop_global_min
+    #[doc(hidden)]
+    pub fn pop_global_min_witnessed(
+        &self,
+        witness: &mut dyn FnMut(usize),
+    ) -> Option<(SampleId, ImportanceValue)> {
+        let mut guards = self.lock_all(witness);
         let (id, _) = Self::min_of(&guards)?;
         let popped = guards[(id.0 & self.mask) as usize]
             .pop_min()

@@ -160,6 +160,49 @@ fn inflight_window_survives_producer_consumer_race() {
 }
 
 #[test]
+fn sharded_heap_eviction_merge_locks_shards_ascending() {
+    // The declared discipline ([locks] classes in lint.toml): a
+    // cross-shard eviction merge acquires every shard lock in ascending
+    // index order, which is what makes two racing evictors deadlock-free.
+    // The witness hook reports each shard index at acquisition time, so
+    // this asserts the order actually taken under the race, not just the
+    // merge's result.
+    const SHARDS: usize = 4;
+    loom::model(|| {
+        let heap = ShardedHeap::new(SHARDS);
+        for i in 0..24u64 {
+            heap.insert(SampleId(i), iv(i as f64));
+        }
+        let ascending: Vec<usize> = (0..SHARDS).collect();
+        std::thread::scope(|s| {
+            // Two racing evictors: were the acquisition order not a
+            // total order, this pair could deadlock; each checks the
+            // witness sequence of every merge it performs.
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let mut order = Vec::new();
+                        heap.pop_global_min_witnessed(&mut |i| order.push(i));
+                        assert_eq!(
+                            order, ascending,
+                            "eviction merge must lock shards in ascending index order"
+                        );
+                    }
+                });
+            }
+            // A racing inserter keeps the point-op path (single-shard
+            // locks) contending with the all-shard sweeps.
+            s.spawn(|| {
+                for i in 24..48u64 {
+                    heap.insert(SampleId(i), iv(i as f64 * 0.25));
+                }
+            });
+        });
+        assert!(heap.check_invariants(), "sharded heap invariants violated");
+    });
+}
+
+#[test]
 fn sharded_heap_survives_racing_inserts_and_evictions() {
     loom::model(|| {
         let heap = ShardedHeap::new(4);

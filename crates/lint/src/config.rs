@@ -34,6 +34,21 @@ pub struct Config {
     /// Minimum length of an `expect()` message for it to count as an
     /// invariant statement.
     pub min_expect_message: usize,
+    /// The authoritative lock hierarchy, outermost first: a lock may
+    /// only be acquired while holding locks that appear *earlier* in
+    /// this list. Empty disables the declared-order checks (cycle and
+    /// I/O checks still run).
+    pub lock_order: Vec<String>,
+    /// Lock classes allowed to self-nest (e.g. all-shards-ascending
+    /// acquisition): `(lock, reason)`.
+    pub lock_classes: Vec<(String, String)>,
+    /// Locks allowed to be held across blocking calls: `(lock, reason)`.
+    pub lock_io_exempt: Vec<(String, String)>,
+    /// Free functions that acquire the lock passed as their first
+    /// argument (contention-counting wrappers).
+    pub lock_wrappers: Vec<String>,
+    /// Callee names treated as blocking I/O sinks.
+    pub lock_blocking: Vec<String>,
 }
 
 impl Default for Config {
@@ -57,6 +72,17 @@ impl Default for Config {
             design: "DESIGN.md".to_string(),
             event_source: "crates/obs/src/trace.rs".to_string(),
             min_expect_message: 8,
+            lock_order: Vec::new(),
+            lock_classes: Vec::new(),
+            lock_io_exempt: Vec::new(),
+            lock_wrappers: vec!["lock_counted".to_string()],
+            lock_blocking: vec![
+                "read_sample".to_string(),
+                "read_samples".to_string(),
+                "read_package".to_string(),
+                "send".to_string(),
+                "recv".to_string(),
+            ],
         }
     }
 }
@@ -91,6 +117,15 @@ impl Config {
                     ("contract", "event_source") => {
                         cfg.event_source = value.clone().into_string()?
                     }
+                    ("locks", "order") => cfg.lock_order = value.clone().into_array()?,
+                    ("locks", "classes") => {
+                        cfg.lock_classes = split_allow_entries(value.clone().into_array()?)?
+                    }
+                    ("locks", "io_exempt") => {
+                        cfg.lock_io_exempt = split_allow_entries(value.clone().into_array()?)?
+                    }
+                    ("locks", "wrappers") => cfg.lock_wrappers = value.clone().into_array()?,
+                    ("locks", "blocking") => cfg.lock_blocking = value.clone().into_array()?,
                     _ => {
                         return Err(format!(
                             "lint.toml: unknown key `{key}` in section `[{section}]`"
@@ -275,6 +310,36 @@ design = "DOC.md"
         assert_eq!(c.det_allow.len(), 1);
         assert_eq!(c.det_allow[0].0, "crates/baselines/src/timing.rs");
         assert_eq!(c.det_allow[0].1, "wall-clock is the point");
+    }
+
+    #[test]
+    fn locks_section_parses() {
+        let c = Config::parse(
+            r#"
+[locks]
+order = ["M.gate", "M.admit"]
+classes = ["H.shards: all-shards ascending"]
+io_exempt = ["M.gate: read barrier by design"]
+wrappers = ["lock_counted"]
+blocking = ["read_sample", "recv"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(c.lock_order, vec!["M.gate", "M.admit"]);
+        assert_eq!(
+            c.lock_classes,
+            vec![("H.shards".into(), "all-shards ascending".into())]
+        );
+        assert_eq!(c.lock_io_exempt.len(), 1);
+        assert_eq!(c.lock_blocking, vec!["read_sample", "recv"]);
+    }
+
+    #[test]
+    fn lock_defaults_cover_wrapper_and_sinks() {
+        let c = Config::default();
+        assert_eq!(c.lock_wrappers, vec!["lock_counted"]);
+        assert!(c.lock_blocking.contains(&"read_package".to_string()));
+        assert!(c.lock_order.is_empty());
     }
 
     #[test]

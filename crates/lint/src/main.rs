@@ -20,6 +20,8 @@ OPTIONS:
     --config <file>    lint.toml to load (default: <root>/lint.toml if present)
     --allowlist <file> Alias for --config
     --json             Emit the machine-readable report on stdout
+    --lock-graph <file> Write the lock-acquisition-order graph (nodes,
+                       edges, witness cycles, blocking paths) as JSON
     -h, --help         Show this help
 
 EXIT CODES:
@@ -32,6 +34,7 @@ struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     json: bool,
+    lock_graph: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         root: PathBuf::from("."),
         config: None,
         json: false,
+        lock_graph: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,6 +60,12 @@ fn parse_args() -> Result<Option<Args>, String> {
                 ))
             }
             "--json" => args.json = true,
+            "--lock-graph" => {
+                args.lock_graph =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        "--lock-graph needs a file path".to_string()
+                    })?))
+            }
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -89,13 +99,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = match icache_lint::run(&args.root, &cfg) {
-        Ok(findings) => findings,
+    let report = match icache_lint::run_full(&args.root, &cfg) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("icache_lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let findings = report.findings;
+    if let Some(path) = &args.lock_graph {
+        if let Err(e) = std::fs::write(path, format!("{}\n", report.lock_graph)) {
+            eprintln!("icache_lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if args.json {
         println!("{}", icache_lint::diagnostics::report_json(&findings));
     } else {

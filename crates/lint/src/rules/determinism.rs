@@ -62,9 +62,9 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     if !in_scope {
         return;
     }
-    if Config::file_allowed(&cfg.det_allow, &file.rel).is_some() {
-        return;
-    }
+    // A file-level allow entry still scans — usage must be recorded so
+    // stale entries get pruned rather than silently shadowing the rule.
+    let file_excused = Config::file_allowed(&cfg.det_allow, &file.rel).is_some();
     for (i, tok) in file.lexed.tokens.iter().enumerate() {
         let TokenKind::Ident(name) = &tok.kind else {
             continue;
@@ -72,7 +72,14 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
         let Some((_, why)) = BANNED.iter().find(|(b, _)| b == name) else {
             continue;
         };
-        if file.in_use_decl[i] || file.is_test_line(tok.line) || file.allowed(RULE, tok.line) {
+        if file.in_use_decl[i] || file.is_test_line(tok.line) {
+            continue;
+        }
+        if file_excused {
+            file.mark_file_allow_used(RULE);
+            continue;
+        }
+        if file.allowed(RULE, tok.line) {
             continue;
         }
         out.push(Finding {

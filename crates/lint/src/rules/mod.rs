@@ -1,8 +1,11 @@
-//! The four rule families. Each rule takes a parsed
-//! [`SourceFile`](crate::source::SourceFile) (or, for the contract, the
-//! whole workspace) and appends [`Finding`](crate::diagnostics::Finding)s.
+//! The rule families. Each rule takes a parsed
+//! [`SourceFile`](crate::source::SourceFile) (or, for the contract and
+//! lock rules, the whole workspace) and appends
+//! [`Finding`](crate::diagnostics::Finding)s.
 
 pub mod contract;
 pub mod determinism;
 pub mod hygiene;
+pub mod locks;
 pub mod panic;
+pub mod stale;

@@ -22,16 +22,16 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
     if file.kind != FileKind::Lib {
         return;
     }
-    if Config::file_allowed(&cfg.panic_allow, &file.rel).is_some() {
-        return;
-    }
+    // A file-level allow entry still scans — usage must be recorded so
+    // stale entries get pruned rather than silently shadowing the rule.
+    let file_excused = Config::file_allowed(&cfg.panic_allow, &file.rel).is_some();
     let toks = &file.lexed.tokens;
     for i in 0..toks.len() {
         let tok = &toks[i];
         let TokenKind::Ident(name) = &tok.kind else {
             continue;
         };
-        if file.is_test_line(tok.line) || file.allowed(RULE, tok.line) {
+        if file.is_test_line(tok.line) {
             continue;
         }
         let next_is = |k: usize, p: char| {
@@ -39,30 +39,20 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
                 .is_some_and(|t| t.kind == TokenKind::Punct(p))
         };
         let prev_is_dot = i > 0 && toks[i - 1].kind == TokenKind::Punct('.');
-        match name.as_str() {
-            "unwrap" if prev_is_dot && next_is(1, '(') && next_is(2, ')') => {
-                out.push(Finding {
-                    rule: RULE,
-                    path: file.rel.clone(),
-                    line: tok.line,
-                    col: tok.col,
-                    message: "unwrap() in library code: state the invariant with expect(\"…\") \
-                              or propagate the error"
-                        .to_string(),
-                });
-            }
-            "panic" | "unreachable" if next_is(1, '!') => {
-                out.push(Finding {
-                    rule: RULE,
-                    path: file.rel.clone(),
-                    line: tok.line,
-                    col: tok.col,
-                    message: format!(
-                        "{name}! in library code: return an error, or add \
-                         `// lint: allow(panic): <reason>` if the branch is provably dead"
-                    ),
-                });
-            }
+        // Decide whether this token is a violation *before* consulting
+        // any excuse: `allowed()` records hatch usage, so asking it for
+        // non-violations would mark every hatch on a busy line as used
+        // and blind the stale-suppression rule.
+        let message: Option<String> = match name.as_str() {
+            "unwrap" if prev_is_dot && next_is(1, '(') && next_is(2, ')') => Some(
+                "unwrap() in library code: state the invariant with expect(\"…\") \
+                 or propagate the error"
+                    .to_string(),
+            ),
+            "panic" | "unreachable" if next_is(1, '!') => Some(format!(
+                "{name}! in library code: return an error, or add \
+                 `// lint: allow(panic): <reason>` if the branch is provably dead"
+            )),
             "expect" if prev_is_dot && next_is(1, '(') => {
                 let ok = match toks.get(i + 2).map(|t| &t.kind) {
                     Some(TokenKind::StrLit(msg)) => msg.len() >= cfg.min_expect_message,
@@ -75,22 +65,31 @@ pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
                     ),
                     _ => false,
                 };
-                if !ok {
-                    out.push(Finding {
-                        rule: RULE,
-                        path: file.rel.clone(),
-                        line: tok.line,
-                        col: tok.col,
-                        message: format!(
-                            "expect() needs an invariant message of at least {} characters \
-                             (the message is the reason the panic cannot fire)",
-                            cfg.min_expect_message
-                        ),
-                    });
-                }
+                (!ok).then(|| {
+                    format!(
+                        "expect() needs an invariant message of at least {} characters \
+                         (the message is the reason the panic cannot fire)",
+                        cfg.min_expect_message
+                    )
+                })
             }
-            _ => {}
+            _ => None,
+        };
+        let Some(message) = message else { continue };
+        if file_excused {
+            file.mark_file_allow_used(RULE);
+            continue;
         }
+        if file.allowed(RULE, tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE,
+            path: file.rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
     }
 }
 

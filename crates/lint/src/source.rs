@@ -67,6 +67,10 @@ pub struct SourceFile {
     pub metric_decls: Vec<MetricDecl>,
     /// Malformed `lint:` directives: `(line, problem)`.
     pub bad_directives: Vec<(u32, String)>,
+    /// Suppressions that actually fired: `(rule, line)` for inline
+    /// hatches, `(rule + ":file", 0)` for `lint.toml` file-level allow
+    /// entries. Interior mutability keeps rule signatures `&SourceFile`.
+    pub used_allows: std::cell::RefCell<std::collections::BTreeSet<(String, u32)>>,
 }
 
 impl SourceFile {
@@ -85,6 +89,7 @@ impl SourceFile {
             allows: Vec::new(),
             metric_decls: Vec::new(),
             bad_directives: Vec::new(),
+            used_allows: Default::default(),
         };
         file.parse_directives();
         file
@@ -99,9 +104,38 @@ impl SourceFile {
     /// hatches still suppress — the missing reason is reported once as
     /// its own finding, not once per suppressed site).
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows
+        let hit = self
+            .allows
             .iter()
-            .any(|a| a.rule == rule && a.effective_line == line)
+            .any(|a| a.rule == rule && a.effective_line == line);
+        if hit {
+            self.used_allows
+                .borrow_mut()
+                .insert((rule.to_string(), line));
+        }
+        hit
+    }
+
+    /// Record that a `lint.toml` file-level allow entry for `rule`
+    /// suppressed a would-be finding in this file.
+    pub fn mark_file_allow_used(&self, rule: &str) {
+        self.used_allows
+            .borrow_mut()
+            .insert((format!("{rule}:file"), 0));
+    }
+
+    /// Whether the inline hatch for `rule` at `line` suppressed anything.
+    pub fn allow_used(&self, rule: &str, line: u32) -> bool {
+        self.used_allows
+            .borrow()
+            .contains(&(rule.to_string(), line))
+    }
+
+    /// Whether a file-level allow entry for `rule` suppressed anything.
+    pub fn file_allow_used(&self, rule: &str) -> bool {
+        self.used_allows
+            .borrow()
+            .contains(&(format!("{rule}:file"), 0))
     }
 
     fn parse_directives(&mut self) {

@@ -47,8 +47,9 @@ fn json_report_is_machine_readable() {
     let findings = report["findings"].as_array().expect("findings array");
     assert_eq!(
         findings.len(),
-        12,
-        "2 determinism + 3 panic + 3 hygiene + 4 contract"
+        17,
+        "2 determinism + 3 panic + 3 hygiene + 4 contract + 1 locks-order \
+         + 1 locks-io + 2 locks-guard + 1 stale-allow"
     );
     for f in findings {
         assert!(f["rule"].as_str().is_some());
@@ -60,6 +61,71 @@ fn json_report_is_machine_readable() {
     assert_eq!(report["counts"]["panic"].as_u64(), Some(3));
     assert_eq!(report["counts"]["hygiene"].as_u64(), Some(3));
     assert_eq!(report["counts"]["contract"].as_u64(), Some(4));
+    assert_eq!(report["counts"]["locks-order"].as_u64(), Some(1));
+    assert_eq!(report["counts"]["locks-io"].as_u64(), Some(1));
+    assert_eq!(report["counts"]["locks-guard"].as_u64(), Some(2));
+    assert_eq!(report["counts"]["stale-allow"].as_u64(), Some(1));
+}
+
+#[test]
+fn lock_graph_artifact_has_nodes_edges_and_witness_cycle() {
+    let dir = std::env::temp_dir().join("icache_lint_lock_graph_test");
+    std::fs::create_dir_all(&dir).expect("temp dir must be creatable");
+    let graph_path = dir.join("lock-graph.json");
+    let out = lint(&[
+        "--root",
+        fixture("violations").to_str().unwrap(),
+        "--lock-graph",
+        graph_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = std::fs::read_to_string(&graph_path).expect("artifact must be written");
+    let graph = Json::parse(&text).expect("artifact must be valid canonical JSON");
+
+    // Nodes carry name/declared/rank/class/io_exempt/sites.
+    let nodes = graph["nodes"].as_array().expect("nodes array");
+    let pair_a = nodes
+        .iter()
+        .find(|n| n["name"].as_str() == Some("Pair.a"))
+        .expect("Pair.a node");
+    assert_eq!(pair_a["declared"].as_bool(), Some(false));
+    assert!(matches!(pair_a["rank"], Json::Null));
+    assert!(pair_a["sites"].as_u64().unwrap_or(0) >= 3);
+
+    // Both directions of the cycle appear as edges with file:line:col
+    // witnesses inside the fixture tree.
+    let edges = graph["edges"].as_array().expect("edges array");
+    for (from, to) in [("Pair.a", "Pair.b"), ("Pair.b", "Pair.a")] {
+        let e = edges
+            .iter()
+            .find(|e| e["from"].as_str() == Some(from) && e["to"].as_str() == Some(to))
+            .unwrap_or_else(|| panic!("edge {from} -> {to} missing"));
+        let at = e["at"].as_str().expect("edge witness position");
+        assert!(
+            at.starts_with("crates/core/src/locks.rs:"),
+            "witness must point into the fixture: {at}"
+        );
+    }
+
+    // The witness cycle is closed (first node repeated) and canonical.
+    let cycles = graph["cycles"].as_array().expect("cycles array");
+    assert_eq!(cycles.len(), 1, "{text}");
+    let cyc: Vec<&str> = cycles[0]
+        .as_array()
+        .expect("cycle path")
+        .iter()
+        .map(|n| n.as_str().expect("node name"))
+        .collect();
+    assert_eq!(cyc, ["Pair.a", "Pair.b", "Pair.a"]);
+
+    // The blocking section records the io violation with its chain.
+    let blocking = graph["blocking"].as_array().expect("blocking array");
+    let b = blocking
+        .iter()
+        .find(|b| b["status"].as_str() == Some("violation"))
+        .expect("blocking violation entry");
+    assert_eq!(b["lock"].as_str(), Some("Pair.a"));
+    assert_eq!(b["chain"].as_str(), Some("recv"));
 }
 
 #[test]

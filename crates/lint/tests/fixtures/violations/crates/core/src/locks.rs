@@ -1,0 +1,52 @@
+//! Deliberately broken locking discipline: an acquisition-order cycle
+//! (`ab` vs `ba`), blocking I/O under a live guard, a guard bound to
+//! `_`, a re-lock of a field already held, and a stale inline hatch.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga.as_ref().ok().map_or(&0, |g| g) + *gb.as_ref().ok().map_or(&0, |g| g)
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga.as_ref().ok().map_or(&0, |g| g) + *gb.as_ref().ok().map_or(&0, |g| g)
+    }
+
+    pub fn blocking_under_guard(&self, net: &Net) -> u32 {
+        let _ga = self.a.lock();
+        net.recv()
+    }
+
+    pub fn discarded_guard(&self) {
+        let _ = self.a.lock();
+    }
+
+    pub fn relock(&self) -> bool {
+        let first = self.a.lock();
+        let again = self.a.lock();
+        first.is_ok() && again.is_ok()
+    }
+
+    pub fn no_panic_here(&self) -> u32 {
+        // lint: allow(panic): hatch kept after the unwrap it covered was removed
+        7
+    }
+}
+
+pub struct Net;
+
+impl Net {
+    pub fn recv(&self) -> u32 {
+        0
+    }
+}

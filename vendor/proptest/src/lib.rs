@@ -31,7 +31,17 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 128 }
+            // Mirrors upstream proptest: the `PROPTEST_CASES` env var
+            // overrides the per-property case count. CI's miri job runs
+            // the same suites at 8 cases — the interpreter is orders of
+            // magnitude slower than native, and miri checks memory
+            // discipline per case, not statistical coverage.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(128);
+            ProptestConfig { cases }
         }
     }
 
